@@ -1,0 +1,74 @@
+"""Ablation: MSB-partition memory clock gating (Sec. IV-C).
+
+The paper gates the inactive half of every weight memory. This bench
+compares dynamic power and per-image energy with gating on vs off, at
+paper scale for both precisions.
+"""
+
+import pytest
+
+from benchmarks.conftest import report_result
+from repro.experiments.table1 import paper_scale_network
+from repro.hw.config import AcceleratorConfig, PAPER_TABLE1_ALLOCATION
+from repro.hw.power import PowerModel
+from repro.hw.resources import ResourceEstimator
+from repro.quant.schemes import FP32, INT4
+from repro.reporting import Table
+
+
+@pytest.fixture(scope="module")
+def gating_table():
+    table = Table(
+        title="Clock-gating ablation (paper-scale CIFAR100 design)",
+        columns=["precision", "gating", "dynamic W", "memory W"],
+    )
+    results = {}
+    for scheme in (INT4, FP32):
+        network = paper_scale_network(scheme)
+        for gating in (True, False):
+            config = AcceleratorConfig(
+                name="gate",
+                allocation=PAPER_TABLE1_ALLOCATION,
+                scheme=scheme,
+                clock_gating=gating,
+            )
+            estimate = ResourceEstimator(config).estimate(network, 2)
+            power = PowerModel(config).estimate(estimate)
+            memory_w = sum(layer.memory_w for layer in power.layers)
+            table.add_row(
+                scheme.name, "on" if gating else "off",
+                power.dynamic_w, memory_w,
+            )
+            results[(scheme.name, gating)] = power.dynamic_w
+    report_result("ablation_clock_gating", table.render())
+    return results
+
+
+class TestClockGating:
+    def test_gating_saves_power_int4(self, gating_table):
+        assert gating_table[("int4", True)] < gating_table[("int4", False)]
+
+    def test_gating_saves_power_fp32(self, gating_table):
+        assert gating_table[("fp32", True)] < gating_table[("fp32", False)]
+
+    def test_fp32_saves_more_absolute(self, gating_table):
+        """fp32 designs hold more memory, so gating saves more watts."""
+        int4_saving = gating_table[("int4", False)] - gating_table[("int4", True)]
+        fp32_saving = gating_table[("fp32", False)] - gating_table[("fp32", True)]
+        assert fp32_saving > int4_saving
+
+
+def bench_power_with_gating(scheme):
+    network = paper_scale_network(scheme)
+    config = AcceleratorConfig(
+        name="gate", allocation=PAPER_TABLE1_ALLOCATION, scheme=scheme
+    )
+    estimate = ResourceEstimator(config).estimate(network, 2)
+    return PowerModel(config).estimate(estimate).dynamic_w
+
+
+def test_bench_gated_power_estimation(benchmark, gating_table):
+    watts = benchmark.pedantic(
+        bench_power_with_gating, args=(INT4,), rounds=3, iterations=1
+    )
+    assert watts > 0

@@ -1,0 +1,74 @@
+"""Ablation: ECU priority-encoder chunk width.
+
+The compression routine scans n bits per cycle (Sec. IV-B). Wider
+encoders skip empty regions faster but cost more logic; this bench sweeps
+n over recorded spike trains from the trained CIFAR10 model and reports
+the cycle trade-off, plus times the batch compression kernel.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import report_result
+from repro.hw.compression import compression_cycles_batch
+from repro.reporting import Table
+
+CHUNK_WIDTHS = (4, 8, 16, 32, 64, 128)
+
+
+@pytest.fixture(scope="module")
+def recorded_trains(ctx):
+    model = ctx.trained("cifar10", "int4")
+    images, _ = ctx.sim_images("cifar10")
+    out = model.forward(images[:32], ctx.timesteps_for("direct"), record=True)
+    # conv2_1's input maps: genuinely sparse mid-network traffic.
+    trains = out.spike_trains["conv2_1"]
+    maps = np.concatenate([t.reshape(t.shape[0], t.shape[1], -1) for t in trains])
+    return maps
+
+
+@pytest.fixture(scope="module")
+def sweep_table(recorded_trains):
+    table = Table(
+        title="Compression chunk-width ablation (conv2_1 traffic)",
+        columns=["chunk bits", "cycles/map", "vs n=32"],
+    )
+    reference = None
+    for chunk in CHUNK_WIDTHS:
+        cycles = float(compression_cycles_batch(recorded_trains, chunk).mean())
+        if chunk == 32:
+            reference = cycles
+        table.add_row(chunk, cycles, None)
+    # Fill the relative column once the n=32 reference is known.
+    for row, chunk in zip(table.rows, CHUNK_WIDTHS):
+        cycles = row[1]
+        row[2] = cycles / reference
+    report_result("ablation_compression", table.render())
+    return table
+
+
+class TestCompressionAblation:
+    def test_wider_never_slower(self, sweep_table):
+        cycles = sweep_table.column("cycles/map")
+        assert all(a >= b for a, b in zip(cycles, cycles[1:]))
+
+    def test_diminishing_returns(self, sweep_table):
+        """Beyond the spike count floor, widening stops helping: the last
+        doubling must save a smaller fraction than the first."""
+        cycles = sweep_table.column("cycles/map")
+        first_gain = cycles[0] / cycles[1]
+        last_gain = cycles[-2] / cycles[-1]
+        assert first_gain >= last_gain
+
+    def test_floor_is_spike_count(self, recorded_trains, sweep_table):
+        spikes_per_map = float(
+            recorded_trains.astype(np.float64).sum(axis=-1).mean()
+        )
+        cycles = sweep_table.column("cycles/map")
+        assert cycles[-1] >= spikes_per_map - 1e-6
+
+
+def test_bench_compression_kernel(benchmark, recorded_trains, sweep_table):
+    """Times the vectorised exact-compression kernel at n=32."""
+    result = benchmark(compression_cycles_batch, recorded_trains, 32)
+    assert result.shape == recorded_trains.shape[:-1]

@@ -1,0 +1,75 @@
+"""Ablation: why the hybrid architecture needs its dense core.
+
+Direct coding feeds the input layer an analog frame: on sparse cores that
+frame would be a worst-case all-active event stream, while the dense
+systolic core processes it in activity-independent time. This bench
+compares the input layer's cycle cost under both mappings (the
+architectural argument of Sec. I / IV) at paper-scale dimensions.
+"""
+
+import pytest
+
+from benchmarks.conftest import report_result
+from repro.hw.dense_core import DenseCoreModel
+from repro.hw.sparse_core import SparseCoreModel
+from repro.reporting import Table
+
+#: Paper input layer: 3x32x32 frame -> 64 maps, 3x3 kernel, T=2.
+IN_SHAPE = (3, 32, 32)
+OUT_CHANNELS = 64
+TIMESTEPS = 2
+
+
+def input_layer_cycles(dense_rows, sparse_ncs):
+    """(dense cycles, sparse cycles) for the direct-coded input layer."""
+    dense = DenseCoreModel(rows=dense_rows)
+    dense_cycles = dense.layer_cycles(
+        OUT_CHANNELS, 32, 32, IN_SHAPE[0], 3
+    ).total_cycles * TIMESTEPS
+    # On sparse cores every analog pixel-timestep becomes an event.
+    sparse = SparseCoreModel(nc_count=sparse_ncs)
+    events = IN_SHAPE[0] * IN_SHAPE[1] * IN_SHAPE[2]
+    timing = sparse.conv_timestep_cycles(
+        None, IN_SHAPE, OUT_CHANNELS, 3, spike_count=float(events)
+    )
+    return dense_cycles, timing.total_cycles * TIMESTEPS
+
+
+@pytest.fixture(scope="module")
+def hybrid_table():
+    table = Table(
+        title="Hybrid ablation: input layer on dense vs sparse cores",
+        columns=["cores", "dense cycles", "sparse cycles", "dense advantage x"],
+    )
+    results = {}
+    for cores in (1, 2, 4, 8):
+        dense_cycles, sparse_cycles = input_layer_cycles(cores, cores)
+        table.add_row(
+            cores, dense_cycles, sparse_cycles, sparse_cycles / dense_cycles
+        )
+        results[cores] = (dense_cycles, sparse_cycles)
+    report_result("ablation_hybrid", table.render())
+    return results
+
+
+class TestHybridAblation:
+    def test_dense_core_wins_at_every_size(self, hybrid_table):
+        for dense_cycles, sparse_cycles in hybrid_table.values():
+            assert dense_cycles < sparse_cycles
+
+    def test_advantage_is_large(self, hybrid_table):
+        """The event path pays F=9 updates per owned channel per pixel;
+        the systolic path pays ~1 cycle per output pixel. The gap should
+        be around an order of magnitude."""
+        dense_cycles, sparse_cycles = hybrid_table[1]
+        assert sparse_cycles / dense_cycles > 5.0
+
+    def test_both_scale_with_cores(self, hybrid_table):
+        assert hybrid_table[8][0] < hybrid_table[1][0]
+        assert hybrid_table[8][1] < hybrid_table[1][1]
+
+
+def test_bench_input_layer_models(benchmark, hybrid_table):
+    """Times one dense-vs-sparse input-layer sizing comparison."""
+    dense_cycles, sparse_cycles = benchmark(input_layer_cycles, 4, 4)
+    assert dense_cycles < sparse_cycles

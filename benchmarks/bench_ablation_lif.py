@@ -1,0 +1,70 @@
+"""Ablation: LIF threshold as an inference-time sparsity knob.
+
+Sec. II-A notes that a lower theta increases firing frequency (and a
+higher beta retains more membrane, firing more). This bench sweeps the
+firing threshold of the trained CIFAR10 int4 model at inference time and
+reports the accuracy/sparsity trade-off around the paper's operating
+point (beta=0.15, theta=0.5).
+"""
+
+import pytest
+
+from benchmarks.conftest import report_result
+from repro.reporting import Table
+from repro.snn.neuron import LIFConfig
+
+THETAS = (0.3, 0.4, 0.5, 0.65, 0.8)
+
+
+@pytest.fixture(scope="module")
+def theta_sweep(ctx):
+    model = ctx.trained("cifar10", "int4")
+    images, labels = ctx.sim_images("cifar10")
+    timesteps = ctx.timesteps_for("direct")
+    original = model.lif
+    table = Table(
+        title="LIF threshold sweep (trained CIFAR10 int4 model)",
+        columns=["theta", "acc %", "spikes/img"],
+    )
+    results = {}
+    try:
+        for theta in THETAS:
+            model.lif = LIFConfig(beta=original.beta, threshold=theta)
+            out = model.forward(images, timesteps)
+            accuracy = float((out.logits.argmax(axis=1) == labels).mean())
+            spikes = out.stats.spikes_per_image()
+            table.add_row(theta, 100 * accuracy, spikes)
+            results[theta] = (accuracy, spikes)
+    finally:
+        model.lif = original
+    report_result("ablation_lif_threshold", table.render())
+    return results
+
+
+class TestThetaSweep:
+    def test_lower_threshold_more_spikes(self, theta_sweep):
+        """Eq. 2: lower theta -> easier firing (monotone spike counts)."""
+        spikes = [theta_sweep[t][1] for t in THETAS]
+        assert spikes == sorted(spikes, reverse=True)
+
+    def test_trained_operating_point_is_best(self, theta_sweep):
+        """The model was trained at theta=0.5; accuracy should peak at or
+        near it."""
+        best_theta = max(theta_sweep, key=lambda t: theta_sweep[t][0])
+        assert abs(best_theta - 0.5) <= 0.2
+
+    def test_extreme_thresholds_hurt(self, theta_sweep):
+        at_train = theta_sweep[0.5][0]
+        assert theta_sweep[0.8][0] <= at_train + 0.02
+
+
+def test_bench_theta_evaluation(benchmark, ctx, theta_sweep):
+    """Times one inference pass of the sweep."""
+    model = ctx.trained("cifar10", "int4")
+    images, _ = ctx.sim_images("cifar10")
+
+    def run():
+        return model.forward(images[:32], ctx.timesteps_for("direct"))
+
+    out = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert out.logits.shape[0] == 32

@@ -1,0 +1,109 @@
+"""Extension bench: off-chip weight streaming (the paper's future work).
+
+Sec. VI of the paper defers the analysis of external-memory access for
+larger models. This bench runs it: at paper scale, sweep the on-chip
+weight budget and report how many layers must stream from DDR, how much
+throughput survives, and how int4 postpones the cliff relative to fp32.
+"""
+
+import pytest
+
+from benchmarks.conftest import report_result
+from repro.experiments.table1 import paper_scale_network
+from repro.hw.config import AcceleratorConfig, PAPER_TABLE1_ALLOCATION
+from repro.hw.memory import BRAM_BITS
+from repro.hw.offchip import (
+    apply_streaming_to_cycles,
+    bandwidth_bound_layers,
+    plan_streaming,
+)
+from repro.hw.simulator import HybridSimulator
+from repro.quant.schemes import FP32, INT4
+from repro.reporting import Table
+
+#: On-chip weight budgets as a fraction of the device's BRAM bits.
+BUDGET_FRACTIONS = (1.0, 0.5, 0.25, 0.1, 0.0)
+_DEVICE_BITS = 2688 * BRAM_BITS
+
+
+def _flat_density(network, value=0.10):
+    return {layer.name: value for layer in network.layers}
+
+
+def _throughput(network, scheme, budget_bits):
+    """Pipelined FPS with streaming merged into the layer cycles."""
+    from repro.workload.model import estimate_input_events
+
+    config = AcceleratorConfig(
+        name="offchip", allocation=PAPER_TABLE1_ALLOCATION, scheme=scheme
+    )
+    events = estimate_input_events(network, _flat_density(network), 2)
+    report = HybridSimulator(network, config).run_from_counts(events, 2)
+    cycles = {s.name: s.cycles for s in report.layers}
+    streaming = plan_streaming(
+        network, scheme, config.clock_hz, onchip_budget_bits=budget_bits
+    )
+    merged = apply_streaming_to_cycles(cycles, streaming)
+    bottleneck = max(merged.values())
+    fps = config.clock_hz / bottleneck
+    bound = bandwidth_bound_layers(cycles, streaming)
+    return fps, len(streaming.streamed_layers), len(bound)
+
+
+@pytest.fixture(scope="module")
+def offchip_table():
+    table = Table(
+        title="Off-chip streaming sweep (paper-scale CIFAR100 VGG9)",
+        columns=[
+            "on-chip budget", "precision", "streamed layers",
+            "bandwidth-bound", "throughput FPS",
+        ],
+    )
+    results = {}
+    for scheme in (INT4, FP32):
+        network = paper_scale_network(scheme)
+        for fraction in BUDGET_FRACTIONS:
+            fps, streamed, bound = _throughput(
+                network, scheme, fraction * _DEVICE_BITS
+            )
+            table.add_row(
+                f"{fraction * 100:.0f}%", scheme.name, streamed, bound, fps
+            )
+            results[(scheme.name, fraction)] = (fps, streamed, bound)
+    table.add_note(
+        "uniform 10% input density; streaming overlaps compute "
+        "(double buffering), so a layer costs max(compute, fetch)"
+    )
+    report_result("ablation_offchip", table.render())
+    return results
+
+
+class TestOffchipSweep:
+    def test_throughput_never_improves_with_less_memory(self, offchip_table):
+        for scheme in ("int4", "fp32"):
+            fps = [offchip_table[(scheme, f)][0] for f in BUDGET_FRACTIONS]
+            assert all(a >= b - 1e-9 for a, b in zip(fps, fps[1:]))
+
+    def test_int4_streams_fewer_layers(self, offchip_table):
+        """Quantization shrinks weights 8x, so at every budget int4 keeps
+        at least as many layers resident as fp32."""
+        for fraction in BUDGET_FRACTIONS:
+            int4_streamed = offchip_table[("int4", fraction)][1]
+            fp32_streamed = offchip_table[("fp32", fraction)][1]
+            assert int4_streamed <= fp32_streamed
+
+    def test_full_budget_int4_all_resident(self, offchip_table):
+        fps, streamed, _ = offchip_table[("int4", 1.0)]
+        assert streamed <= 2  # at most the giant FC pair
+
+    def test_zero_budget_everything_streams(self, offchip_table):
+        _, streamed, _ = offchip_table[("fp32", 0.0)]
+        assert streamed == 9
+
+
+def test_bench_streaming_plan(benchmark, offchip_table):
+    network = paper_scale_network(INT4)
+    plan = benchmark(
+        plan_streaming, network, INT4, 100e6, 0.5 * _DEVICE_BITS
+    )
+    assert plan.plans

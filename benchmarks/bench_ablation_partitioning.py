@@ -1,0 +1,88 @@
+"""Ablation: workload-balanced partitioning vs naive allocations.
+
+The paper's LW configurations come from the Eq. 3 workload model; this
+bench quantifies what that buys: bottleneck latency of balanced vs
+uniform vs proportional allocations on the *measured* workload profile of
+the trained CIFAR10 model, and times the partitioning search itself.
+"""
+
+import pytest
+
+from benchmarks.conftest import report_result
+from repro.reporting import Table
+from repro.workload import (
+    balanced_allocation,
+    proportional_allocation,
+    uniform_allocation,
+    workloads_from_network,
+)
+
+BUDGETS = (18, 36, 72, 144)
+
+
+@pytest.fixture(scope="module")
+def measured_workloads(ctx):
+    model = ctx.trained("cifar10", "int4")
+    evaluation = ctx.evaluate("cifar10", "int4")
+    return workloads_from_network(
+        model,
+        evaluation.input_events_per_image,
+        ctx.timesteps_for("direct"),
+    )
+
+
+@pytest.fixture(scope="module")
+def partition_table(measured_workloads):
+    table = Table(
+        title="Partitioning ablation (measured CIFAR10 int4 workloads)",
+        columns=[
+            "budget", "balanced bottleneck", "uniform bottleneck",
+            "uniform/balanced", "proportional imbalance",
+        ],
+    )
+    rows = {}
+    proportional = proportional_allocation(measured_workloads)
+    for budget in BUDGETS:
+        balanced = balanced_allocation(measured_workloads, budget)
+        uniform = uniform_allocation(measured_workloads, budget)
+        gain = uniform.bottleneck_cycles / balanced.bottleneck_cycles
+        table.add_row(
+            budget,
+            balanced.bottleneck_cycles,
+            uniform.bottleneck_cycles,
+            gain,
+            proportional.imbalance,
+        )
+        rows[budget] = (balanced, uniform)
+    report_result("ablation_partitioning", table.render())
+    return rows
+
+
+class TestPartitioningAblation:
+    def test_balanced_never_worse_than_uniform(self, partition_table):
+        for balanced, uniform in partition_table.values():
+            assert balanced.bottleneck_cycles <= uniform.bottleneck_cycles * 1.001
+
+    def test_balanced_wins_at_tight_budgets(self, partition_table):
+        balanced, uniform = partition_table[BUDGETS[0]]
+        assert uniform.bottleneck_cycles > 1.2 * balanced.bottleneck_cycles
+
+    def test_budget_monotonicity(self, partition_table):
+        bottlenecks = [
+            partition_table[b][0].bottleneck_cycles for b in BUDGETS
+        ]
+        assert bottlenecks == sorted(bottlenecks, reverse=True)
+
+    def test_proportional_balances_sparse_layers(self, measured_workloads):
+        result = proportional_allocation(measured_workloads)
+        sparse = [
+            lat for wl, lat in zip(measured_workloads, result.latencies)
+            if wl.kind != "dense" and lat > 0
+        ]
+        assert max(sparse) / min(sparse) < 3.0
+
+
+def test_bench_balanced_search(benchmark, measured_workloads, partition_table):
+    """Times the binary-search balanced partitioner."""
+    result = benchmark(balanced_allocation, measured_workloads, 72)
+    assert sum(result.allocation[1:]) <= 72  # dense row excluded from budget

@@ -1,0 +1,81 @@
+"""Ablation: timestep count for direct coding.
+
+Sec. V-D notes accuracy plateaus as timesteps grow for both coding
+schemes (direct coding already saturating by T=2). This bench sweeps T on
+the trained direct-coded model: accuracy should not collapse at the
+paper's T=2 and spikes/latency must grow ~linearly with T -- the reason
+fewer timesteps win on energy.
+"""
+
+import pytest
+
+from benchmarks.conftest import report_result
+from repro.hw.config import lw_config
+from repro.hw.simulator import HybridSimulator
+from repro.quant.schemes import INT4
+from repro.reporting import Table
+from repro.snn import make_encoder
+
+TIMESTEPS = (1, 2, 4, 6)
+
+
+@pytest.fixture(scope="module")
+def timestep_sweep(ctx):
+    model = ctx.trained("cifar10", "int4")
+    images, labels = ctx.sim_images("cifar10")
+    config = lw_config("cifar10", scheme=INT4)
+    table = Table(
+        title="Direct-coding timestep sweep (CIFAR10 int4, LW hardware)",
+        columns=["T", "acc %", "spikes/img", "latency ms", "energy mJ"],
+    )
+    results = {}
+    for t in TIMESTEPS:
+        report = HybridSimulator(model, config).run(
+            images, t, make_encoder("direct"), labels
+        )
+        table.add_row(
+            t,
+            100 * (report.accuracy or 0.0),
+            report.total_spikes_per_image,
+            report.latency_ms,
+            report.energy_mj,
+        )
+        results[t] = report
+    report_result("ablation_timesteps", table.render())
+    return results
+
+
+class TestTimestepSweep:
+    def test_spikes_grow_with_t(self, timestep_sweep):
+        spikes = [timestep_sweep[t].total_spikes_per_image for t in TIMESTEPS]
+        assert spikes == sorted(spikes)
+
+    def test_latency_grows_with_t(self, timestep_sweep):
+        latency = [timestep_sweep[t].latency_ms for t in TIMESTEPS]
+        assert latency == sorted(latency)
+
+    def test_energy_roughly_linear_in_t(self, timestep_sweep):
+        e2 = timestep_sweep[2].energy_mj
+        e4 = timestep_sweep[4].energy_mj
+        assert 1.4 < e4 / e2 < 2.8
+
+    def test_accuracy_plateaus_not_collapses(self, timestep_sweep):
+        """Trained at T=2; more timesteps shouldn't change accuracy much
+        (the paper's plateau observation)."""
+        at_2 = timestep_sweep[2].accuracy
+        at_6 = timestep_sweep[6].accuracy
+        assert abs(at_6 - at_2) < 0.25
+
+
+def test_bench_t4_simulation(benchmark, ctx, timestep_sweep):
+    model = ctx.trained("cifar10", "int4")
+    images, _ = ctx.sim_images("cifar10")
+    config = lw_config("cifar10", scheme=INT4)
+
+    def run():
+        return HybridSimulator(model, config).run(
+            images[:32], 4, make_encoder("direct")
+        )
+
+    report = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert report.energy_mj > 0

@@ -1,0 +1,93 @@
+"""Micro-benchmarks of the core computational kernels.
+
+Not a paper table -- these keep an eye on the substrate itself: the conv
+engine, the LIF step, the event-driven golden sim, the dense-core
+operational model, and a full training step. Regressions here make every
+experiment slower.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hw.compression import compression_cycles_batch
+from repro.hw.dense_core import DenseCoreModel
+from repro.hw.event_sim import EventDrivenLayerSim
+from repro.snn import Trainer, TrainingConfig, build_network
+from repro.snn.neuron import LIFNeuron
+from repro.tensor import Tensor, ops, parameter
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return np.random.default_rng(0)
+
+
+def test_bench_conv2d_forward(benchmark, rng):
+    x = Tensor(rng.random((16, 32, 16, 16)).astype(np.float32))
+    w = Tensor(rng.normal(size=(64, 32, 3, 3)).astype(np.float32))
+    result = benchmark(ops.conv2d, x, w, None, 1, 1)
+    assert result.shape == (16, 64, 16, 16)
+
+
+def test_bench_conv2d_backward(benchmark, rng):
+    x = parameter(rng.random((8, 16, 16, 16)))
+    w = parameter(rng.normal(size=(32, 16, 3, 3)) * 0.1)
+
+    def step():
+        x.zero_grad()
+        w.zero_grad()
+        out = ops.conv2d(x, w, None, 1, 1)
+        out.backward(np.ones(out.shape, dtype=np.float32))
+        return w.grad
+
+    grad = benchmark(step)
+    assert grad.shape == (32, 16, 3, 3)
+
+
+def test_bench_lif_step(benchmark, rng):
+    neuron = LIFNeuron()
+    current = Tensor(rng.normal(size=(32, 64, 16, 16)).astype(np.float32))
+
+    def step():
+        return neuron.step(current, None)
+
+    spikes, _ = benchmark(step)
+    assert spikes.shape == (32, 64, 16, 16)
+
+
+def test_bench_compression_kernel_large(benchmark, rng):
+    trains = (rng.random((64, 112, 256)) < 0.15).astype(np.float32)
+    cycles = benchmark(compression_cycles_batch, trains, 32)
+    assert cycles.shape == (64, 112)
+
+
+def test_bench_event_sim(benchmark, rng):
+    spikes = (rng.random((16, 16, 16)) < 0.1).astype(np.float32)
+    weight = rng.normal(size=(32, 16, 3, 3)).astype(np.float32)
+    sim = EventDrivenLayerSim(nc_count=4)
+    result = benchmark(sim.run_conv, spikes, weight)
+    assert result.membrane.shape == (32, 16, 16)
+
+
+def test_bench_dense_core_operational(benchmark, rng):
+    frame = rng.random((3, 32, 32)).astype(np.float32)
+    weight = rng.normal(size=(64, 3, 3, 3)).astype(np.float32)
+    bias = np.zeros(64, dtype=np.float32)
+    model = DenseCoreModel(rows=4)
+    membrane, timing = benchmark(model.run_layer, frame, weight, bias)
+    assert membrane.shape == (64, 32, 32)
+    assert timing.total_cycles > 0
+
+
+def test_bench_training_step(benchmark, rng):
+    net = build_network("8C3-MP2-16C3-MP2-40", (3, 8, 8), 10, seed=0)
+    trainer = Trainer(net, TrainingConfig(epochs=1, seed=0))
+    images = rng.random((32, 3, 8, 8)).astype(np.float32)
+    labels = rng.integers(0, 10, size=32)
+    encoder = trainer._make_encoder()
+
+    def step():
+        return trainer._step(images, labels, encoder)
+
+    loss, _correct = benchmark(step)
+    assert np.isfinite(loss)

@@ -1,0 +1,60 @@
+"""Fig. 1 bench: quantization's effect on total spikes.
+
+Regenerates the paper's Fig. 1 (fp32 vs int4 spike counts and accuracy on
+all three datasets) and times the spike-counting evaluation pass that
+produces it. Trained models come from the shared artifact cache.
+"""
+
+import pytest
+
+from benchmarks.conftest import report_result
+from repro.experiments import fig1
+
+
+@pytest.fixture(scope="module")
+def fig1_result(ctx):
+    result = fig1.run(ctx)
+    report_result("fig1_quant_sparsity", result.render())
+    return result
+
+
+class TestFig1Shape:
+    """Assert the *shape* of the paper's finding on the measured data."""
+
+    def test_accuracy_well_above_chance(self, fig1_result, ctx):
+        table = fig1_result.tables[0]
+        chance = {"svhn": 10.0, "cifar10": 10.0, "cifar100": 1.0}
+        for row in table.rows:
+            dataset, fp32_acc = row[0], row[1]
+            assert fp32_acc > 2.5 * chance[dataset], (
+                f"{dataset} fp32 accuracy {fp32_acc}% too close to chance"
+            )
+
+    def test_int4_accuracy_close_to_fp32(self, fig1_result):
+        table = fig1_result.tables[0]
+        for row in table.rows:
+            dataset, fp32_acc, int4_acc = row[0], row[1], row[2]
+            assert abs(fp32_acc - int4_acc) < 15.0, (
+                f"{dataset}: fp32 {fp32_acc}% vs int4 {int4_acc}%"
+            )
+
+    def test_spike_counts_same_order_of_magnitude(self, fig1_result):
+        table = fig1_result.tables[0]
+        for row in table.rows:
+            fp32_spikes, int4_spikes = row[3], row[4]
+            assert 0.5 < fp32_spikes / int4_spikes < 2.0
+
+
+def bench_spike_counting(ctx):
+    model = ctx.trained("cifar10", "int4")
+    images, _ = ctx.sim_images("cifar10")
+    out = model.forward(images, ctx.timesteps_for("direct"))
+    return out.stats.total_spikes
+
+
+def test_bench_fig1_eval_pass(benchmark, ctx, fig1_result):
+    """Times one spike-counting inference pass (the Fig. 1 measurement)."""
+    total = benchmark.pedantic(
+        bench_spike_counting, args=(ctx,), rounds=3, iterations=1
+    )
+    assert total > 0

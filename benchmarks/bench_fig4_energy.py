@@ -1,0 +1,61 @@
+"""Fig. 4 bench: energy per image, fp32 vs int4, across LW/perf2/perf4.
+
+Regenerates all three bar groups from the trained small-scale models and
+times a single simulator cell (the unit of the sweep).
+"""
+
+import pytest
+
+from benchmarks.conftest import report_result
+from repro.experiments import fig4
+from repro.hw.config import lw_config
+from repro.hw.simulator import HybridSimulator
+from repro.quant.schemes import INT4
+from repro.snn import make_encoder
+
+
+@pytest.fixture(scope="module")
+def fig4_result(ctx):
+    result = fig4.run(ctx)
+    report_result("fig4_energy", result.render())
+    return result
+
+
+class TestFig4Shape:
+    def test_int4_cheaper_everywhere(self, fig4_result):
+        """The paper's Fig. 4 shape: int4 beats fp32 in every cell."""
+        for table in fig4_result.tables:
+            fp32 = table.column("fp32")
+            int4 = table.column("int4")
+            for config, f, q in zip(table.column("config"), fp32, int4):
+                assert q < f, f"{table.title} {config}: int4 {q} >= fp32 {f}"
+
+    def test_perf_configs_cost_less_energy_than_lw(self, fig4_result):
+        """More cores -> shorter busy time; the paper reports perf4 at
+        28-52% below LW. Energy should not grow with scaling."""
+        for table in fig4_result.tables:
+            int4 = table.column("int4")
+            assert int4[2] <= int4[0] * 1.4  # perf4 vs lw, generous band
+
+    def test_average_improvement_reported(self, fig4_result):
+        for comparison in fig4_result.comparisons:
+            row = comparison.rows[0]
+            assert row.measured_value > 1.0
+
+
+def bench_one_cell(ctx):
+    model = ctx.trained("cifar10", "int4")
+    config = lw_config("cifar10", scheme=INT4)
+    images, labels = ctx.sim_images("cifar10")
+    report = HybridSimulator(model, config).run(
+        images, ctx.timesteps_for("direct"), make_encoder("direct"), labels
+    )
+    return report.energy_mj
+
+
+def test_bench_fig4_simulation_cell(benchmark, ctx, fig4_result):
+    """Times one (dataset, scheme, config) simulation cell of the sweep."""
+    energy = benchmark.pedantic(
+        bench_one_cell, args=(ctx,), rounds=3, iterations=1
+    )
+    assert energy > 0

@@ -1,0 +1,75 @@
+"""Table I bench: paper-scale area utilization and power estimation.
+
+Regenerates the per-layer LUT/FF/BRAM/URAM/power rows for both precisions
+at full paper dimensions and times the analytic estimation pass.
+"""
+
+import pytest
+
+from benchmarks.conftest import report_result
+from repro.experiments import table1
+from repro.hw.config import AcceleratorConfig, PAPER_TABLE1_ALLOCATION
+from repro.hw.power import PowerModel
+from repro.hw.resources import ResourceEstimator
+from repro.quant.schemes import INT4
+
+
+@pytest.fixture(scope="module")
+def table1_result(ctx):
+    result = table1.run(ctx)
+    report_result("table1_resources", result.render())
+    return result
+
+
+@pytest.fixture(scope="module")
+def paper_network():
+    return table1.paper_scale_network(INT4)
+
+
+class TestTable1Shape:
+    def test_int4_uses_no_uram(self, table1_result):
+        int4_table = table1_result.tables[0]
+        assert all(v == 0 for v in int4_table.column("URAM"))
+
+    def test_fp32_power_exceeds_int4(self, table1_result):
+        ratios = next(
+            c for c in table1_result.comparisons if "ratio" in c.name.lower()
+        )
+        power_row = next(
+            r for r in ratios.rows if "power" in r.metric.lower()
+        )
+        assert power_row.measured_value > 1.5  # paper: 2.82x
+
+    def test_lut_gap(self, table1_result):
+        ratios = next(
+            c for c in table1_result.comparisons if "ratio" in c.name.lower()
+        )
+        lut_row = next(r for r in ratios.rows if "LUT" in r.metric)
+        assert lut_row.measured_value > 3.0  # paper: ~8x
+
+    def test_conv1_2_dominates_fp32_luts(self, table1_result):
+        fp32_table = next(
+            t for t in table1_result.tables if "fp32" in t.title
+        )
+        layers = fp32_table.column("layer")
+        luts = fp32_table.column("LUT")
+        by_layer = dict(zip(layers, luts))
+        others = [v for k, v in by_layer.items() if k not in ("conv1_2", "total")]
+        assert by_layer["conv1_2"] > max(others)
+
+
+def bench_estimation(paper_network):
+    config = AcceleratorConfig(
+        name="bench", allocation=PAPER_TABLE1_ALLOCATION, scheme=INT4
+    )
+    estimate = ResourceEstimator(config).estimate(paper_network, 2)
+    power = PowerModel(config).estimate(estimate)
+    return estimate.total_luts, power.dynamic_w
+
+
+def test_bench_table1_estimation(benchmark, paper_network, table1_result):
+    """Times the full-design resource+power estimation at paper scale."""
+    luts, watts = benchmark.pedantic(
+        bench_estimation, args=(paper_network,), rounds=5, iterations=1
+    )
+    assert luts > 0 and watts > 0

@@ -1,0 +1,68 @@
+"""Table II bench: direct vs rate coding on the quantized LW hardware."""
+
+import pytest
+
+from benchmarks.conftest import report_result
+from repro.baselines import rate_coded_config
+from repro.experiments import table2
+from repro.hw.config import lw_config
+from repro.hw.simulator import HybridSimulator
+from repro.quant.schemes import INT4
+from repro.snn import make_encoder
+
+
+@pytest.fixture(scope="module")
+def table2_result(ctx):
+    result = table2.run(ctx)
+    report_result("table2_coding", result.render())
+    return result
+
+
+class TestTable2Shape:
+    def test_direct_uses_fewer_timesteps(self, table2_result):
+        table = table2_result.tables[0]
+        steps = dict(zip(table.column("coding"), table.column("timesteps")))
+        assert steps["direct"] < steps["rate"]
+
+    def test_direct_fewer_spikes(self, table2_result):
+        """Paper: 2.6x fewer spikes for direct coding."""
+        table = table2_result.tables[0]
+        spikes = dict(zip(table.column("coding"), table.column("spikes/img")))
+        assert spikes["direct"] < spikes["rate"]
+
+    def test_direct_less_energy(self, table2_result):
+        """Paper: 26.4x less energy for direct coding."""
+        table = table2_result.tables[0]
+        energy = dict(zip(table.column("coding"), table.column("energy mJ")))
+        assert energy["direct"] < energy["rate"]
+
+    def test_direct_lower_latency(self, table2_result):
+        table = table2_result.tables[0]
+        latency = dict(zip(table.column("coding"), table.column("latency ms")))
+        assert latency["direct"] < latency["rate"]
+
+    def test_direct_at_least_as_accurate(self, table2_result):
+        """Paper: +10pp for direct. Allow slack for reduced-scale noise."""
+        table = table2_result.tables[0]
+        acc = dict(zip(table.column("coding"), table.column("acc %")))
+        assert acc["direct"] > acc["rate"] - 5.0
+
+
+def bench_rate_coded_sim(ctx):
+    model = ctx.trained("cifar10", "int4", "rate")
+    config = rate_coded_config(lw_config("cifar10", scheme=INT4))
+    images, _ = ctx.sim_images("cifar10")
+    report = HybridSimulator(model, config).run(
+        images[:32],
+        ctx.timesteps_for("rate"),
+        make_encoder("rate", seed=7),
+    )
+    return report.energy_mj
+
+
+def test_bench_table2_rate_simulation(benchmark, ctx, table2_result):
+    """Times the rate-coded (sparse-cores-only) simulation arm."""
+    energy = benchmark.pedantic(
+        bench_rate_coded_sim, args=(ctx,), rounds=2, iterations=1
+    )
+    assert energy > 0

@@ -1,0 +1,58 @@
+"""Benchmark fixtures and reporting plumbing.
+
+Benches reuse the experiment context's disk cache (``artifacts/``): the
+first run trains the small-scale models (~15 minutes), subsequent runs
+load them. Set ``REPRO_BENCH_SCALE=tiny`` for a fast smoke pass.
+
+Every bench registers its regenerated tables through ``report_result``;
+a ``pytest_terminal_summary`` hook prints them after the timing table,
+so ``pytest benchmarks/ --benchmark-only`` output contains the
+reproduced paper tables, and a copy is written to
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Tuple
+
+import pytest
+
+_RESULTS: List[Tuple[str, str]] = []
+_RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def report_result(name: str, text: str) -> None:
+    """Register a rendered table/figure for the terminal summary."""
+    _RESULTS.append((name, text))
+    os.makedirs(_RESULTS_DIR, exist_ok=True)
+    path = os.path.join(_RESULTS_DIR, f"{name}.md")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _RESULTS:
+        return
+    terminalreporter.section("reproduced paper tables/figures")
+    for name, text in _RESULTS:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"==== {name} ====")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> str:
+    return os.environ.get("REPRO_BENCH_SCALE", "small")
+
+
+@pytest.fixture(scope="session")
+def ctx(bench_scale):
+    """Shared experiment context backed by the artifacts/ cache."""
+    from repro.experiments.context import ExperimentContext
+
+    workspace = os.environ.get("REPRO_BENCH_WORKSPACE", "artifacts")
+    return ExperimentContext(
+        scale=bench_scale, workspace=workspace, seed=0, verbose=True
+    )

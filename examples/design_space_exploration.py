@@ -1,0 +1,87 @@
+"""Design-time workload modelling and neural-core partitioning (Sec. V-A).
+
+Shows the paper's hardware-sizing flow:
+
+1. train a network and *measure* its per-layer input spike counts
+   ('acquired empirically by running the network once'),
+2. build the Eq. 3 workload model from those counts,
+3. derive the LW allocation (proportional, minimal) and balanced
+   allocations at growing budgets,
+4. compare against a naive uniform split, and print the layer-overhead
+   balance the paper reports for its Table I configuration.
+
+Run:  python examples/design_space_exploration.py   (~2 minutes)
+"""
+
+from repro.datasets import make_dataset, train_test_split
+from repro.hw.config import AcceleratorConfig
+from repro.hw.simulator import HybridSimulator
+from repro.quant import INT4, convert, prepare_qat
+from repro.reporting import Table
+from repro.snn import Trainer, TrainingConfig, build_vgg9
+from repro.workload import (
+    balanced_allocation,
+    proportional_allocation,
+    sweep_budgets,
+    uniform_allocation,
+    workloads_from_network,
+)
+
+
+def main() -> None:
+    data = make_dataset("cifar10", 1000, image_size=16, seed=0)
+    train, test = train_test_split(data, 0.2, seed=1)
+    net = build_vgg9(10, population=100, input_shape=(3, 16, 16),
+                     channel_scale=0.25, seed=0)
+    prepare_qat(net, INT4)
+    print("training (measures realistic per-layer sparsity)...")
+    Trainer(net, TrainingConfig(epochs=5, lr=2e-3, seed=0)).fit(
+        train.images, train.labels
+    )
+    net.eval()
+    deployable = convert(net, INT4)
+
+    # Step 1-2: measured input events -> Eq. 3 workloads.
+    out = deployable.forward(test.images[:128], 2)
+    events = {k: v / 128 for k, v in out.input_spike_totals.items()}
+    workloads = workloads_from_network(deployable, events, timesteps=2)
+    table = Table(title="Measured workloads (Eq. 3)",
+                  columns=["layer", "kind", "events/img", "work"])
+    for wl in workloads:
+        table.add_row(wl.name, wl.kind, wl.input_events, wl.work)
+    print(table.render())
+
+    # Step 3: LW and balanced allocations.
+    lw = proportional_allocation(workloads)
+    print(f"\nLW allocation (proportional):      {lw.allocation}  "
+          f"imbalance {lw.imbalance:.2f}")
+    for budget in (24, 48, 96):
+        balanced = balanced_allocation(workloads, budget)
+        uniform = uniform_allocation(workloads, budget)
+        gain = uniform.bottleneck_cycles / balanced.bottleneck_cycles
+        print(f"budget {budget:>3}: balanced {balanced.allocation} "
+              f"bottleneck {balanced.bottleneck_cycles:,.0f} cyc "
+              f"({gain:.2f}x better than uniform)")
+
+    # Step 4: simulate the LW point and print its layer-overhead balance.
+    config = AcceleratorConfig(name="lw-derived", allocation=lw.allocation,
+                               scheme=INT4)
+    report = HybridSimulator(deployable, config).run(test.images[:64], 2)
+    overheads = report.energy.layer_overheads()
+    print("\nlayer overheads on the derived LW point (balanced target):")
+    print("  " + ", ".join(f"{k} {v:.1f}%" for k, v in overheads.items()))
+    print("  paper's Table I balance: 0.9, 13.4, 13.6, 13.8, 12.8, 12.3, "
+          "12.9, 15.6, 4.8 (%)")
+
+    # Bonus: the budget/latency Pareto curve behind LW -> perf2 -> perf4.
+    points = sweep_budgets(workloads, [16, 32, 64, 128, 256])
+    curve = Table(title="Budget sweep", columns=["budget", "cores used",
+                                                 "bottleneck cycles"])
+    for point in points:
+        curve.add_row(point.budget, point.total_cores, point.bottleneck_cycles)
+    print()
+    print(curve.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Input-encoding zoo: direct vs rate vs time-to-first-spike.
+
+Compares the three encoders on identical frames *without any training*:
+input event counts, information timing, and the hardware implication
+(which cores the first layer needs). TTFS is this reproduction's
+extension beyond the paper's direct/rate pair (Sec. VI future work).
+
+Run:  python examples/encoding_zoo.py     (seconds)
+"""
+
+import numpy as np
+
+from repro.datasets import make_dataset
+from repro.reporting import Table
+from repro.snn import make_encoder
+
+
+def main() -> None:
+    data = make_dataset("cifar10", 64, image_size=16, seed=0)
+    images = data.images
+    timesteps = 8
+
+    table = Table(
+        title="Input encodings on identical frames (T=8)",
+        columns=[
+            "encoder", "analog input?", "input events/img",
+            "events std/img", "first layer runs on",
+        ],
+    )
+    for name in ("direct", "rate", "ttfs"):
+        encoder = make_encoder(name, seed=3, timesteps=timesteps)
+        per_image = np.zeros(len(images))
+        analog = encoder.analog_input
+        for t in range(timesteps):
+            frame = encoder.encode(images, t).data
+            if analog:
+                # Dense core: every pixel is touched whether or not it is
+                # zero; count pixel-timesteps as 'events'.
+                per_image += frame[:, 0].size / len(images)
+            else:
+                per_image += frame.reshape(len(images), -1).sum(axis=1)
+        table.add_row(
+            name,
+            "yes" if analog else "no",
+            float(per_image.mean()),
+            float(per_image.std()),
+            "dense core" if analog else "sparse cores",
+        )
+    print(table.render())
+    print(
+        "\ndirect coding floods the input layer (hence the paper's dense "
+        "core); rate coding trades timesteps for binary sparsity; TTFS "
+        "emits exactly one spike per pixel -- the sparsest code, but it "
+        "needs enough timesteps to resolve intensity."
+    )
+
+
+if __name__ == "__main__":
+    main()

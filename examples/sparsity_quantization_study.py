@@ -1,0 +1,67 @@
+"""The sparsity-quantization interplay (a scripted mini Fig. 1).
+
+Trains the same VGG9-style network twice -- full precision and int4 QAT --
+on two synthetic datasets and reports accuracy and total spike counts,
+reproducing the paper's central observation that quantization *increases*
+sparsity at near-equal accuracy.
+
+Run:  python examples/sparsity_quantization_study.py    (~5 minutes)
+"""
+
+from repro.datasets import make_dataset, train_test_split
+from repro.quant import FP32, INT4, convert, prepare_qat
+from repro.reporting import Table
+from repro.snn import Trainer, TrainingConfig, build_vgg9
+
+
+def train_arm(dataset, scheme, seed=0):
+    """Train one (dataset, precision) arm and return (accuracy, spikes)."""
+    train, test = dataset
+    classes = train.num_classes
+    net = build_vgg9(
+        num_classes=classes,
+        population=classes * 10,
+        input_shape=(3, 16, 16),
+        channel_scale=0.25,
+        seed=seed,
+    )
+    if not scheme.is_float:
+        prepare_qat(net, scheme)
+    config = TrainingConfig(epochs=8, batch_size=32, lr=2e-3, timesteps=2, seed=seed)
+    Trainer(net, config).fit(train.images, train.labels)
+    net.eval()
+    deployable = convert(net, scheme)
+    out = deployable.forward(test.images, 2)
+    accuracy = (out.logits.argmax(axis=1) == test.labels).mean()
+    return accuracy, out.stats.spikes_per_image()
+
+
+def main() -> None:
+    table = Table(
+        title="Quantization effect on spikes (mini Fig. 1)",
+        columns=[
+            "dataset", "fp32 acc %", "int4 acc %",
+            "fp32 spikes", "int4 spikes", "spike reduction %",
+        ],
+    )
+    for name in ("svhn", "cifar10"):
+        data = make_dataset(name, 1200, image_size=16, seed=0)
+        split = train_test_split(data, 0.2, seed=1)
+        fp32_acc, fp32_spikes = train_arm(split, FP32)
+        int4_acc, int4_spikes = train_arm(split, INT4)
+        reduction = 100.0 * (fp32_spikes - int4_spikes) / fp32_spikes
+        table.add_row(
+            name, 100 * fp32_acc, 100 * int4_acc,
+            fp32_spikes, int4_spikes, reduction,
+        )
+        print(f"done: {name}")
+    print()
+    print(table.render())
+    print(
+        "\npaper (full scale): SVHN -6.1%, CIFAR10 -10.1%, CIFAR100 -15.2% "
+        "spikes at <=3.1pp accuracy cost"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""Reproduction of the DATE 2025 paper on a hybrid SNN event-driven architecture.
+
+This package reproduces, in pure Python/NumPy, the complete system described
+in "Exploring the Sparsity-Quantization Interplay on a Novel Hybrid SNN
+Event-Driven Architecture" (Aliyev, Lopez, Adegbija; DATE 2025):
+
+* ``repro.tensor`` -- a reverse-mode autograd engine (the training substrate),
+* ``repro.snn`` -- LIF neurons, surrogate gradients, spiking layers, direct
+  and rate input coding, and a BPTT trainer,
+* ``repro.quant`` -- quantization-aware training and integer conversion,
+* ``repro.datasets`` -- deterministic synthetic stand-ins for SVHN/CIFAR,
+* ``repro.hw`` -- a transaction/cycle-level model of the paper's hybrid
+  accelerator (dense systolic core + sparse event-driven cores, memory,
+  resource, power and energy models),
+* ``repro.workload`` -- the layer-wise workload model (Eq. 3) and the
+  neural-core partitioning design-space exploration,
+* ``repro.baselines`` -- analytic models of the prior works compared against,
+* ``repro.experiments`` -- one harness per paper table/figure.
+
+See ``examples/quickstart.py`` for a complete end-to-end walk-through.
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

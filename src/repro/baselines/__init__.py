@@ -1,0 +1,33 @@
+"""Analytic models of the prior works the paper compares against.
+
+Table III pits the hybrid accelerator against two published designs:
+
+* **SyncNN** (Panchapakesan et al., TRETS 2022 -- reference [15]): an
+  event-driven design with quantization support on a ZCU102,
+* **Gerlinghoff et al.** (DATE 2022 -- reference [7]): a resource-
+  efficient accelerator supporting emerging neural encodings on the same
+  XCVU13P; the paper's closest comparison point.
+
+Like the paper, the comparison uses these works' *reported* numbers as
+anchors; the classes also expose simple first-order scaling models (cycle
+counts from their published dataflows) so ablations can ask "what if"
+questions without pretending to bit-accuracy.
+"""
+
+from repro.baselines.prior_work import (
+    GERLINGHOFF_DATE22,
+    SYNCNN_CIFAR10,
+    SYNCNN_SVHN,
+    PriorWorkPoint,
+    all_baselines,
+)
+from repro.baselines.rate_coded import rate_coded_config
+
+__all__ = [
+    "GERLINGHOFF_DATE22",
+    "PriorWorkPoint",
+    "SYNCNN_CIFAR10",
+    "SYNCNN_SVHN",
+    "all_baselines",
+    "rate_coded_config",
+]

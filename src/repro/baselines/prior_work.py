@@ -1,0 +1,84 @@
+"""Published operating points of the Table III baselines.
+
+Values are taken verbatim from the paper's Table III (which itself quotes
+the original publications); ``None`` marks figures the original work did
+not report ('--' entries).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class PriorWorkPoint:
+    """One published accelerator result used as a comparison anchor."""
+
+    study: str
+    dataset: str
+    network: str
+    weight_precision: str
+    accuracy_percent: float
+    platform: str
+    fmax_mhz: float
+    power_w: float
+    latency_ms: Optional[float]
+    energy_mj: Optional[float]
+    throughput_fps: float
+
+    def energy_per_frame_mj(self) -> Optional[float]:
+        """Energy per frame from power/throughput when not reported."""
+        if self.energy_mj is not None:
+            return self.energy_mj
+        if self.throughput_fps > 0:
+            return 1e3 * self.power_w / self.throughput_fps
+        return None
+
+
+SYNCNN_SVHN = PriorWorkPoint(
+    study="SyncNN [15]",
+    dataset="svhn",
+    network="VGG11",
+    weight_precision="4-bit",
+    accuracy_percent=89.0,
+    platform="ZCU102",
+    fmax_mhz=200.0,
+    power_w=0.4,
+    latency_ms=None,
+    energy_mj=None,
+    throughput_fps=65.0,
+)
+
+SYNCNN_CIFAR10 = PriorWorkPoint(
+    study="SyncNN [15]",
+    dataset="cifar10",
+    network="VGG11",
+    weight_precision="4-bit",
+    accuracy_percent=78.0,
+    platform="ZCU102",
+    fmax_mhz=200.0,
+    power_w=0.4,
+    latency_ms=None,
+    energy_mj=None,
+    throughput_fps=62.0,
+)
+
+GERLINGHOFF_DATE22 = PriorWorkPoint(
+    study="Gerlinghoff [7]",
+    dataset="cifar100",
+    network="VGG11",
+    weight_precision="32-bit",
+    accuracy_percent=60.1,
+    platform="XCVU13P",
+    fmax_mhz=115.0,
+    power_w=4.9,
+    latency_ms=210.0,
+    energy_mj=None,
+    throughput_fps=4.7,
+)
+
+
+def all_baselines() -> List[PriorWorkPoint]:
+    """Every Table III anchor, in the paper's row order."""
+    return [SYNCNN_SVHN, SYNCNN_CIFAR10, GERLINGHOFF_DATE22]

@@ -1,0 +1,27 @@
+"""The rate-coding baseline configuration (Table II methodology).
+
+A rate-coded network receives binary spikes at the input, so it needs
+only sparse cores; for a fair comparison the paper powers the dense core
+down. This helper derives that operating point from any direct-coding
+configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.hw.config import AcceleratorConfig
+
+
+def rate_coded_config(config: AcceleratorConfig) -> AcceleratorConfig:
+    """Clone ``config`` with the dense core gated off.
+
+    The input layer's allocation entry is reinterpreted as a sparse-core
+    NC count; the paper's LW tuples use 1 there, which carries over as a
+    single NC serving the (now event-driven) input layer.
+    """
+    return replace(
+        config,
+        name=f"{config.name}-rate",
+        use_dense_core=False,
+    )

@@ -1,0 +1,228 @@
+"""Command-line interface (``snn-hybrid``).
+
+Subcommands:
+
+* ``info``        -- package, device and preset summary
+* ``train``       -- train one (dataset, scheme, coding) model into the cache
+* ``evaluate``    -- accuracy + spike statistics of a cached model
+* ``simulate``    -- run a cached model on a hardware configuration
+* ``partition``   -- derive a balanced NC allocation from measured workloads
+* ``experiment``  -- regenerate paper tables/figures (fig1 table1 fig4
+                     table2 table3 | all), optionally writing EXPERIMENTS.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.version import __version__
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="snn-hybrid",
+        description=(
+            "Reproduction of the DATE 2025 hybrid SNN event-driven "
+            "architecture paper"
+        ),
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--scale", default="small", help="tiny | small | paper")
+        p.add_argument("--workspace", default="artifacts")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--quiet", action="store_true")
+
+    sub.add_parser("info", help="package / device / preset summary")
+
+    train = sub.add_parser("train", help="train one model into the cache")
+    add_common(train)
+    train.add_argument("dataset", choices=["svhn", "cifar10", "cifar100"])
+    train.add_argument("--scheme", default="int4", help="fp32 | int4 | int8")
+    train.add_argument("--coding", default="direct", choices=["direct", "rate"])
+
+    evaluate = sub.add_parser("evaluate", help="accuracy + spike stats")
+    add_common(evaluate)
+    evaluate.add_argument("dataset", choices=["svhn", "cifar10", "cifar100"])
+    evaluate.add_argument("--scheme", default="int4")
+    evaluate.add_argument("--coding", default="direct", choices=["direct", "rate"])
+
+    simulate = sub.add_parser("simulate", help="hardware simulation")
+    add_common(simulate)
+    simulate.add_argument("dataset", choices=["svhn", "cifar10", "cifar100"])
+    simulate.add_argument("--scheme", default="int4")
+    simulate.add_argument("--coding", default="direct", choices=["direct", "rate"])
+    simulate.add_argument(
+        "--config", default="lw", help="lw | perf2 | perf4"
+    )
+
+    partition = sub.add_parser(
+        "partition", help="derive a balanced NC allocation"
+    )
+    add_common(partition)
+    partition.add_argument("dataset", choices=["svhn", "cifar10", "cifar100"])
+    partition.add_argument("--scheme", default="int4")
+    partition.add_argument("--budget", type=int, default=60)
+
+    experiment = sub.add_parser(
+        "experiment", help="regenerate paper tables/figures"
+    )
+    add_common(experiment)
+    experiment.add_argument(
+        "which",
+        choices=["fig1", "table1", "fig4", "table2", "table3", "all"],
+    )
+    experiment.add_argument(
+        "--write-md",
+        metavar="PATH",
+        default=None,
+        help="write EXPERIMENTS.md-style output to PATH (only with 'all')",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "info":
+        return _cmd_info()
+    if args.command == "train":
+        return _cmd_train(args)
+    if args.command == "evaluate":
+        return _cmd_evaluate(args)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    if args.command == "partition":
+        return _cmd_partition(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    return 1  # pragma: no cover - argparse enforces choices
+
+
+def _make_context(args):
+    from repro.experiments.context import ExperimentContext
+
+    return ExperimentContext(
+        scale=args.scale,
+        workspace=args.workspace,
+        seed=args.seed,
+        verbose=not args.quiet,
+    )
+
+
+def _cmd_info() -> int:
+    from repro.experiments.presets import PRESETS
+    from repro.hw.device import XCVU13P
+
+    print(f"repro {__version__}")
+    print(
+        f"device {XCVU13P.name}: {XCVU13P.luts} LUT, {XCVU13P.ffs} FF, "
+        f"{XCVU13P.bram36} BRAM36, {XCVU13P.uram} URAM"
+    )
+    for preset in PRESETS.values():
+        print(
+            f"preset {preset.name}: {preset.image_size}x{preset.image_size}, "
+            f"channels x{preset.channel_scale}, {preset.epochs} epochs"
+        )
+    return 0
+
+
+def _cmd_train(args) -> int:
+    ctx = _make_context(args)
+    model = ctx.trained(args.dataset, args.scheme, args.coding)
+    print(model.describe())
+    print(f"cached at {ctx.model_path(ctx.model_key(args.dataset, args.scheme, args.coding))}")
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    ctx = _make_context(args)
+    result = ctx.evaluate(args.dataset, args.scheme, args.coding)
+    print(
+        f"{args.dataset} {args.scheme} {args.coding}: "
+        f"accuracy {result.accuracy * 100:.2f}%, "
+        f"{result.spikes_per_image:.0f} spikes/image over {result.samples} images"
+    )
+    for layer, spikes in sorted(result.per_layer_spikes.items()):
+        print(f"  {layer}: {spikes:.1f} spikes/image")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from repro.baselines.rate_coded import rate_coded_config
+    from repro.hw.config import lw_config, perf_config
+    from repro.hw.simulator import HybridSimulator
+    from repro.quant.schemes import scheme_by_name
+    from repro.snn import make_encoder
+
+    ctx = _make_context(args)
+    scheme = scheme_by_name(args.scheme)
+    model = ctx.trained(args.dataset, args.scheme, args.coding)
+    if args.config == "lw":
+        config = lw_config(args.dataset, scheme=scheme)
+    else:
+        factor = int(args.config.replace("perf", ""))
+        config = perf_config(args.dataset, factor, scheme=scheme)
+    if args.coding == "rate":
+        config = rate_coded_config(config)
+    images, labels = ctx.sim_images(args.dataset)
+    encoder = make_encoder(args.coding, seed=args.seed + 7)
+    report = HybridSimulator(model, config).run(
+        images, ctx.timesteps_for(args.coding), encoder, labels
+    )
+    print(report.summary())
+    return 0
+
+
+def _cmd_partition(args) -> int:
+    from repro.workload.model import workloads_from_network
+    from repro.workload.partition import (
+        balanced_allocation,
+        proportional_allocation,
+    )
+
+    ctx = _make_context(args)
+    model = ctx.trained(args.dataset, args.scheme)
+    evaluation = ctx.evaluate(args.dataset, args.scheme)
+    workloads = workloads_from_network(
+        model,
+        evaluation.input_events_per_image,
+        ctx.timesteps_for("direct"),
+    )
+    lw = proportional_allocation(workloads)
+    balanced = balanced_allocation(workloads, args.budget)
+    print(f"workloads ({args.dataset}, {args.scheme}):")
+    for wl in workloads:
+        print(f"  {wl.name:<10s} {wl.kind:<6s} work {wl.work:,.0f}")
+    print(f"LW (proportional):   {lw.allocation}  imbalance {lw.imbalance:.2f}")
+    print(
+        f"balanced (budget {args.budget}): {balanced.allocation}  "
+        f"imbalance {balanced.imbalance:.2f}"
+    )
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from repro.experiments.runall import RUNNERS, render_experiments_md, run_all
+
+    ctx = _make_context(args)
+    if args.which == "all":
+        results = run_all(ctx)
+        for result in results:
+            print(result.render())
+            print()
+        if args.write_md:
+            with open(args.write_md, "w", encoding="utf-8") as handle:
+                handle.write(render_experiments_md(results, ctx))
+            print(f"wrote {args.write_md}")
+    else:
+        result = RUNNERS[args.which](ctx)
+        print(result.render())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,28 @@
+"""Deterministic synthetic stand-ins for the paper's datasets.
+
+The evaluation uses SVHN, CIFAR-10 and CIFAR-100; this reproduction runs
+offline, so :mod:`repro.datasets.synthetic` generates class-conditional
+image distributions with the same interface (3xHxW float frames in
+[0, 1]) and -- crucially -- the same *difficulty ordering*:
+``svhn_like`` (digit glyphs, easiest) > ``cifar10_like`` (10 oriented
+textures) > ``cifar100_like`` (100 fine-grained textures, hardest).
+"""
+
+from repro.datasets.loaders import Dataset, train_test_split
+from repro.datasets.synthetic import (
+    DATASET_NAMES,
+    cifar10_like,
+    cifar100_like,
+    make_dataset,
+    svhn_like,
+)
+
+__all__ = [
+    "DATASET_NAMES",
+    "Dataset",
+    "cifar10_like",
+    "cifar100_like",
+    "make_dataset",
+    "svhn_like",
+    "train_test_split",
+]

@@ -1,0 +1,98 @@
+"""Dataset container, splitting and batching."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.utils.rng import SeedLike, new_rng
+
+
+@dataclass
+class Dataset:
+    """An in-memory labelled image set.
+
+    Attributes:
+        images: (N, C, H, W) float32 frames in [0, 1].
+        labels: (N,) integer class labels.
+        num_classes: label-space size (may exceed max(labels)+1 for small
+            samples of many-class sets).
+        name: generator name, used for artifact caching.
+    """
+
+    images: np.ndarray
+    labels: np.ndarray
+    num_classes: int
+    name: str = "dataset"
+
+    def __post_init__(self) -> None:
+        self.images = np.asarray(self.images, dtype=np.float32)
+        self.labels = np.asarray(self.labels, dtype=np.int64)
+        if self.images.ndim != 4:
+            raise DatasetError(f"images must be (N, C, H, W), got {self.images.shape}")
+        if len(self.images) != len(self.labels):
+            raise DatasetError(
+                f"{len(self.images)} images but {len(self.labels)} labels"
+            )
+        if self.num_classes < 2:
+            raise DatasetError(f"num_classes must be >= 2, got {self.num_classes}")
+
+    def __len__(self) -> int:
+        return len(self.images)
+
+    @property
+    def image_shape(self) -> Tuple[int, int, int]:
+        return tuple(self.images.shape[1:])
+
+    def batches(
+        self,
+        batch_size: int,
+        shuffle: bool = False,
+        seed: SeedLike = None,
+    ) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Yield (images, labels) minibatches."""
+        if batch_size < 1:
+            raise DatasetError(f"batch_size must be >= 1, got {batch_size}")
+        order = np.arange(len(self))
+        if shuffle:
+            new_rng(seed).shuffle(order)
+        for start in range(0, len(self), batch_size):
+            index = order[start : start + batch_size]
+            yield self.images[index], self.labels[index]
+
+    def subset(self, count: int) -> "Dataset":
+        """First ``count`` samples (class balance is preserved by the
+        generators' interleaved layout)."""
+        if count < 1 or count > len(self):
+            raise DatasetError(
+                f"subset size {count} out of range 1..{len(self)}"
+            )
+        return Dataset(
+            self.images[:count], self.labels[:count], self.num_classes, self.name
+        )
+
+
+def train_test_split(
+    dataset: Dataset, test_fraction: float = 0.2, seed: SeedLike = 0
+) -> Tuple[Dataset, Dataset]:
+    """Shuffle and split into train/test partitions."""
+    if not 0.0 < test_fraction < 1.0:
+        raise DatasetError(
+            f"test_fraction must be in (0, 1), got {test_fraction}"
+        )
+    rng = new_rng(seed)
+    order = rng.permutation(len(dataset))
+    cut = max(1, int(round(len(dataset) * test_fraction)))
+    test_idx, train_idx = order[:cut], order[cut:]
+    if len(train_idx) == 0:
+        raise DatasetError("split left no training samples")
+    make = lambda idx, suffix: Dataset(  # noqa: E731 - tiny local helper
+        dataset.images[idx],
+        dataset.labels[idx],
+        dataset.num_classes,
+        f"{dataset.name}-{suffix}",
+    )
+    return make(train_idx, "train"), make(test_idx, "test")

@@ -1,0 +1,203 @@
+"""Class-conditional synthetic image generators.
+
+Three families mirror the paper's benchmarks:
+
+* :func:`svhn_like` -- house-number digits: a 5x7 glyph rendered with
+  random colours, position jitter and background clutter. Like SVHN it is
+  the easiest of the three (the paper reaches 94.3%).
+* :func:`cifar10_like` -- 10 object classes become 10 oriented band-pass
+  textures with class-specific colour tints and moderate noise (paper:
+  86.6%).
+* :func:`cifar100_like` -- 100 fine-grained classes: orientation x
+  frequency x tint combinations separated by much smaller margins and
+  heavier noise (paper: 57.3%).
+
+All generators are deterministic in (seed, num_samples, image_size), emit
+float32 frames in [0, 1] with interleaved labels (sample ``i`` has class
+``i % num_classes``), and accept any even ``image_size`` >= 8 so the same
+code drives tiny unit-test runs and paper-scale sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.datasets.loaders import Dataset
+from repro.errors import DatasetError
+from repro.utils.rng import SeedLike, new_rng
+
+DATASET_NAMES = ("svhn", "cifar10", "cifar100")
+
+# 5x7 digit glyphs (1 = ink). The classic seven-segment-ish bitmap font.
+_DIGIT_GLYPHS = {
+    0: ["01110", "10001", "10011", "10101", "11001", "10001", "01110"],
+    1: ["00100", "01100", "00100", "00100", "00100", "00100", "01110"],
+    2: ["01110", "10001", "00001", "00010", "00100", "01000", "11111"],
+    3: ["11111", "00010", "00100", "00010", "00001", "10001", "01110"],
+    4: ["00010", "00110", "01010", "10010", "11111", "00010", "00010"],
+    5: ["11111", "10000", "11110", "00001", "00001", "10001", "01110"],
+    6: ["00110", "01000", "10000", "11110", "10001", "10001", "01110"],
+    7: ["11111", "00001", "00010", "00100", "01000", "01000", "01000"],
+    8: ["01110", "10001", "10001", "01110", "10001", "10001", "01110"],
+    9: ["01110", "10001", "10001", "01111", "00001", "00010", "01100"],
+}
+
+
+def _validate(num_samples: int, image_size: int) -> None:
+    if num_samples < 1:
+        raise DatasetError(f"num_samples must be >= 1, got {num_samples}")
+    if image_size < 8 or image_size % 2:
+        raise DatasetError(
+            f"image_size must be an even integer >= 8, got {image_size}"
+        )
+
+
+def _glyph_array(digit: int) -> np.ndarray:
+    rows = _DIGIT_GLYPHS[digit]
+    return np.array([[int(ch) for ch in row] for row in rows], dtype=np.float32)
+
+
+def _resize_nearest(img: np.ndarray, out_h: int, out_w: int) -> np.ndarray:
+    """Nearest-neighbour resize (no scipy dependency in the hot path)."""
+    in_h, in_w = img.shape
+    rows = (np.arange(out_h) * in_h // out_h).clip(0, in_h - 1)
+    cols = (np.arange(out_w) * in_w // out_w).clip(0, in_w - 1)
+    return img[np.ix_(rows, cols)]
+
+
+def svhn_like(
+    num_samples: int,
+    image_size: int = 32,
+    seed: SeedLike = 0,
+) -> Dataset:
+    """Digit-glyph dataset (10 classes, SVHN difficulty tier)."""
+    _validate(num_samples, image_size)
+    rng = new_rng(seed)
+    images = np.empty((num_samples, 3, image_size, image_size), dtype=np.float32)
+    labels = np.empty(num_samples, dtype=np.int64)
+    glyph_h = max(6, int(image_size * 0.7))
+    glyph_w = max(4, int(image_size * 0.5))
+    # Real SVHN frames are digit-centred crops, so the glyph sits near the
+    # centre with small jitter (not at arbitrary positions).
+    jitter = max(1, image_size // 8)
+    centre_r = (image_size - glyph_h) // 2
+    centre_c = (image_size - glyph_w) // 2
+    for i in range(num_samples):
+        digit = i % 10
+        labels[i] = digit
+        glyph = _resize_nearest(_glyph_array(digit), glyph_h, glyph_w)
+        canvas = np.zeros((image_size, image_size), dtype=np.float32)
+        r = int(np.clip(centre_r + rng.integers(-jitter, jitter + 1), 0, image_size - glyph_h))
+        c = int(np.clip(centre_c + rng.integers(-jitter, jitter + 1), 0, image_size - glyph_w))
+        canvas[r : r + glyph_h, c : c + glyph_w] = glyph
+        background = rng.uniform(0.0, 0.3, size=3)
+        foreground = rng.uniform(0.65, 1.0, size=3)
+        frame = (
+            background[:, None, None]
+            + canvas[None, :, :] * (foreground - background)[:, None, None]
+        )
+        frame += rng.normal(0.0, 0.06, size=frame.shape)
+        images[i] = np.clip(frame, 0.0, 1.0)
+    return Dataset(images, labels, num_classes=10, name="svhn")
+
+
+def _texture_frame(
+    rng: np.random.Generator,
+    image_size: int,
+    orientation: float,
+    frequency: float,
+    tint: np.ndarray,
+    noise_std: float,
+) -> np.ndarray:
+    """One oriented sinusoidal texture with a colour tint and noise."""
+    coords = np.linspace(-1.0, 1.0, image_size, dtype=np.float32)
+    yy, xx = np.meshgrid(coords, coords, indexing="ij")
+    angle = orientation + rng.normal(0.0, 0.06)
+    phase = rng.uniform(0.0, 2.0 * np.pi)
+    carrier = np.cos(
+        2.0 * np.pi * frequency * (xx * np.cos(angle) + yy * np.sin(angle)) + phase
+    )
+    pattern = 0.5 + 0.5 * carrier
+    amplitude = rng.uniform(0.7, 1.0)
+    frame = tint[:, None, None] * (0.25 + 0.6 * amplitude * pattern[None, :, :])
+    frame += rng.normal(0.0, noise_std, size=frame.shape)
+    return np.clip(frame, 0.0, 1.0).astype(np.float32)
+
+
+def cifar10_like(
+    num_samples: int,
+    image_size: int = 32,
+    seed: SeedLike = 0,
+) -> Dataset:
+    """Ten oriented-texture classes (CIFAR-10 difficulty tier)."""
+    _validate(num_samples, image_size)
+    rng = new_rng(seed)
+    images = np.empty((num_samples, 3, image_size, image_size), dtype=np.float32)
+    labels = np.empty(num_samples, dtype=np.int64)
+    tints = 0.55 + 0.45 * np.abs(
+        np.sin(np.outer(np.arange(10), np.array([1.0, 2.0, 3.0])) + 0.7)
+    )
+    for i in range(num_samples):
+        cls = i % 10
+        labels[i] = cls
+        orientation = cls * np.pi / 10.0
+        frequency = 2.0 + (cls % 3)
+        images[i] = _texture_frame(
+            rng, image_size, orientation, frequency, tints[cls], noise_std=0.24
+        )
+    return Dataset(images, labels, num_classes=10, name="cifar10")
+
+
+def cifar100_like(
+    num_samples: int,
+    image_size: int = 32,
+    seed: SeedLike = 0,
+) -> Dataset:
+    """One hundred fine-grained texture classes (CIFAR-100 tier).
+
+    Classes tile a 10-orientation x 10-frequency grid: adjacent classes
+    differ by 18 degrees *or* a 0.6-cycle frequency step, with a noise
+    floor above :func:`cifar10_like` -- a 100-way discrimination task that
+    is clearly harder than the 10-way sets while staying learnable.
+    """
+    _validate(num_samples, image_size)
+    rng = new_rng(seed)
+    images = np.empty((num_samples, 3, image_size, image_size), dtype=np.float32)
+    labels = np.empty(num_samples, dtype=np.int64)
+    tints = 0.5 + 0.5 * np.abs(
+        np.sin(np.outer(np.arange(100), np.array([0.31, 0.57, 0.93])) + 1.3)
+    )
+    for i in range(num_samples):
+        cls = i % 100
+        labels[i] = cls
+        orientation = (cls % 10) * np.pi / 10.0
+        frequency = 1.5 + (cls // 10) * 0.6
+        images[i] = _texture_frame(
+            rng, image_size, orientation, frequency, tints[cls], noise_std=0.18
+        )
+    return Dataset(images, labels, num_classes=100, name="cifar100")
+
+
+_GENERATORS: Dict[str, Callable[..., Dataset]] = {
+    "svhn": svhn_like,
+    "cifar10": cifar10_like,
+    "cifar100": cifar100_like,
+}
+
+
+def make_dataset(
+    name: str,
+    num_samples: int,
+    image_size: int = 32,
+    seed: SeedLike = 0,
+) -> Dataset:
+    """Dispatch by dataset name ('svhn' | 'cifar10' | 'cifar100')."""
+    try:
+        generator = _GENERATORS[name]
+    except KeyError:
+        raise DatasetError(
+            f"unknown dataset {name!r}; expected one of {DATASET_NAMES}"
+        ) from None
+    return generator(num_samples, image_size=image_size, seed=seed)

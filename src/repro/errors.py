@@ -1,0 +1,50 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All library-raised exceptions derive from :class:`ReproError` so that
+callers can catch everything from this package with one ``except`` clause
+while still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ShapeError(ReproError):
+    """An operand had an incompatible shape."""
+
+
+class GraphError(ReproError):
+    """The autograd graph was used incorrectly (e.g. backward twice)."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value was supplied."""
+
+
+class ArchitectureError(ReproError):
+    """A network architecture string or spec could not be interpreted."""
+
+
+class QuantizationError(ReproError):
+    """Quantization parameters or state were invalid."""
+
+
+class HardwareModelError(ReproError):
+    """The hardware model was configured or driven incorrectly."""
+
+
+class CapacityError(HardwareModelError):
+    """A design exceeded the capacity of the modelled FPGA device."""
+
+
+class WorkloadError(ReproError):
+    """The workload model or partitioner received invalid input."""
+
+
+class DatasetError(ReproError):
+    """A dataset generator or loader received invalid parameters."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness failed or was misconfigured."""

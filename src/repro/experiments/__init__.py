@@ -1,0 +1,13 @@
+"""Experiment harnesses: one module per paper table / figure.
+
+Each module exposes ``run(ctx) -> ExperimentResult``; the shared
+:class:`~repro.experiments.context.ExperimentContext` trains (and disk-
+caches) the models, so running several experiments reuses work. See
+DESIGN.md section 3 for the experiment-to-module index.
+"""
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.context import ExperimentContext
+from repro.experiments.presets import PRESETS, ScalePreset
+
+__all__ = ["ExperimentContext", "ExperimentResult", "PRESETS", "ScalePreset"]

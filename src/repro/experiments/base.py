@@ -1,0 +1,45 @@
+"""Common result container for experiment harnesses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.reporting.comparison import PaperComparison
+from repro.reporting.tables import Series, Table
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one table/figure harness produces.
+
+    Attributes:
+        experiment_id: paper reference ('fig1', 'table2', ...).
+        title: human-readable headline.
+        tables: regenerated tables (same rows the paper reports).
+        series: regenerated figure series.
+        comparisons: paper-vs-measured metric pairs with verdicts.
+        notes: caveats (scale, substitutions) recorded alongside.
+    """
+
+    experiment_id: str
+    title: str
+    tables: List[Table] = field(default_factory=list)
+    series: List[Series] = field(default_factory=list)
+    comparisons: List[PaperComparison] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        parts: List[str] = [f"## {self.experiment_id}: {self.title}"]
+        for table in self.tables:
+            parts.append(table.render())
+        for series in self.series:
+            parts.append(series.render())
+        for comparison in self.comparisons:
+            parts.append(comparison.render())
+        if self.notes:
+            parts.append("\n".join(f"- {note}" for note in self.notes))
+        return "\n\n".join(parts)
+
+    def __str__(self) -> str:
+        return self.render()

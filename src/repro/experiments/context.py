@@ -1,0 +1,229 @@
+"""Shared experiment context: datasets, trained models, disk cache.
+
+Training is the expensive step, so deployed models are cached on disk
+keyed by (scale, dataset, scheme, coding, seed); every harness that needs
+"the int4 CIFAR10 model" gets the same artifact. Evaluation results
+(accuracy, spike statistics) are cached in the artifact metadata.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.datasets import Dataset, make_dataset, train_test_split
+from repro.errors import ExperimentError
+from repro.experiments.presets import ScalePreset, get_preset
+from repro.quant import DeployableNetwork, convert, prepare_qat
+from repro.quant.schemes import QuantScheme, scheme_by_name
+from repro.snn import (
+    Trainer,
+    TrainingConfig,
+    build_vgg9,
+    make_encoder,
+)
+from repro.snn.metrics import SpikeStats
+
+_DATASET_CLASSES = {"svhn": 10, "cifar10": 10, "cifar100": 100}
+
+
+@dataclass
+class EvaluationResult:
+    """Test-set evaluation of one deployed model."""
+
+    accuracy: float
+    spikes_per_image: float
+    per_layer_spikes: Dict[str, float]
+    input_events_per_image: Dict[str, float]
+    samples: int
+
+
+class ExperimentContext:
+    """Caches datasets and trained models across experiment harnesses.
+
+    Args:
+        scale: preset name ('tiny' | 'small' | 'paper').
+        workspace: directory for cached artifacts.
+        seed: master seed; every derived model/dataset is deterministic
+            in (scale, seed).
+        verbose: print progress (training epochs etc.).
+    """
+
+    def __init__(
+        self,
+        scale: str = "small",
+        workspace: str = "artifacts",
+        seed: int = 0,
+        verbose: bool = False,
+    ) -> None:
+        self.preset: ScalePreset = get_preset(scale)
+        self.workspace = workspace
+        self.seed = seed
+        self.verbose = verbose
+        self._datasets: Dict[str, Tuple[Dataset, Dataset]] = {}
+        self._models: Dict[str, DeployableNetwork] = {}
+        self._evaluations: Dict[str, EvaluationResult] = {}
+
+    # ------------------------------------------------------------------
+    # Datasets
+    # ------------------------------------------------------------------
+    def dataset(self, name: str) -> Tuple[Dataset, Dataset]:
+        """(train, test) splits for a dataset name, memoised."""
+        if name not in _DATASET_CLASSES:
+            raise ExperimentError(f"unknown dataset {name!r}")
+        if name not in self._datasets:
+            classes = _DATASET_CLASSES[name]
+            preset = self.preset
+            total = preset.train_samples_for(classes) + preset.test_samples
+            data = make_dataset(
+                name, total, image_size=preset.image_size, seed=self.seed
+            )
+            test_fraction = preset.test_samples / total
+            self._datasets[name] = train_test_split(
+                data, test_fraction, seed=self.seed + 1
+            )
+        return self._datasets[name]
+
+    def num_classes(self, name: str) -> int:
+        return _DATASET_CLASSES[name]
+
+    # ------------------------------------------------------------------
+    # Models
+    # ------------------------------------------------------------------
+    def model_key(self, dataset: str, scheme: str, coding: str) -> str:
+        return f"{self.preset.name}_{dataset}_{scheme}_{coding}_s{self.seed}"
+
+    def model_path(self, key: str) -> str:
+        return os.path.join(self.workspace, "models", f"{key}.npz")
+
+    def trained(
+        self, dataset: str, scheme: str = "fp32", coding: str = "direct"
+    ) -> DeployableNetwork:
+        """A trained, converted model (loaded from cache when possible)."""
+        key = self.model_key(dataset, scheme, coding)
+        if key in self._models:
+            return self._models[key]
+        path = self.model_path(key)
+        if os.path.exists(path):
+            model = DeployableNetwork.load(path)
+        else:
+            model = self._train(dataset, scheme_by_name(scheme), coding)
+            model.save(path)
+        self._models[key] = model
+        return model
+
+    def _train(
+        self, dataset: str, scheme: QuantScheme, coding: str
+    ) -> DeployableNetwork:
+        preset = self.preset
+        train, _test = self.dataset(dataset)
+        classes = self.num_classes(dataset)
+        if self.verbose:
+            print(
+                f"[ctx] training {dataset} {scheme.name} {coding} "
+                f"({preset.name} scale, {len(train)} samples)"
+            )
+        network = build_vgg9(
+            num_classes=classes,
+            population=preset.population(classes),
+            input_shape=(3, preset.image_size, preset.image_size),
+            channel_scale=preset.channel_scale,
+            seed=self.seed,
+        )
+        if not scheme.is_float:
+            prepare_qat(network, scheme)
+        timesteps = (
+            preset.direct_timesteps
+            if coding == "direct"
+            else preset.rate_timesteps
+        )
+        epochs = (
+            preset.epochs_for(classes)
+            if coding == "direct"
+            else preset.rate_epochs
+        )
+        # 100-way classification needs a gentler step to avoid the
+        # uniform-logits collapse mode of deep SNN training.
+        lr = preset.lr * (0.5 if classes >= 100 else 1.0)
+        config = TrainingConfig(
+            epochs=epochs,
+            batch_size=preset.batch_size,
+            lr=lr,
+            timesteps=timesteps,
+            encoder=coding,
+            seed=self.seed,
+            verbose=self.verbose,
+        )
+        Trainer(network, config).fit(train.images, train.labels)
+        network.eval()
+        return convert(network, scheme)
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def timesteps_for(self, coding: str) -> int:
+        return (
+            self.preset.direct_timesteps
+            if coding == "direct"
+            else self.preset.rate_timesteps
+        )
+
+    def evaluate(
+        self,
+        dataset: str,
+        scheme: str = "fp32",
+        coding: str = "direct",
+        max_samples: Optional[int] = None,
+        timesteps: Optional[int] = None,
+    ) -> EvaluationResult:
+        """Test-set accuracy + spike statistics of a cached model."""
+        cache_key = (
+            f"{self.model_key(dataset, scheme, coding)}"
+            f"_n{max_samples}_t{timesteps}"
+        )
+        if cache_key in self._evaluations:
+            return self._evaluations[cache_key]
+        model = self.trained(dataset, scheme, coding)
+        _train, test = self.dataset(dataset)
+        images, labels = test.images, test.labels
+        if max_samples is not None:
+            images, labels = images[:max_samples], labels[:max_samples]
+        steps = timesteps or self.timesteps_for(coding)
+        encoder = make_encoder(coding, seed=self.seed + 99)
+        stats = SpikeStats()
+        input_events: Dict[str, float] = {}
+        correct = 0
+        batch = 128
+        for start in range(0, len(images), batch):
+            chunk = images[start : start + batch]
+            out = model.forward(chunk, steps, encoder)
+            stats.merge(out.stats)
+            for name, value in out.input_spike_totals.items():
+                input_events[name] = input_events.get(name, 0.0) + value
+            correct += int(
+                (out.logits.argmax(axis=1) == labels[start : start + batch]).sum()
+            )
+        samples = len(images)
+        result = EvaluationResult(
+            accuracy=correct / samples if samples else 0.0,
+            spikes_per_image=stats.spikes_per_image(),
+            per_layer_spikes={
+                layer: stats.layer_spikes_per_image(layer)
+                for layer in stats.per_layer
+            },
+            input_events_per_image={
+                name: value / samples for name, value in input_events.items()
+            },
+            samples=samples,
+        )
+        self._evaluations[cache_key] = result
+        return result
+
+    def sim_images(self, dataset: str) -> Tuple[np.ndarray, np.ndarray]:
+        """A fixed batch for hardware simulation runs."""
+        _train, test = self.dataset(dataset)
+        n = min(self.preset.sim_samples, len(test))
+        return test.images[:n], test.labels[:n]

@@ -1,0 +1,103 @@
+"""Fig. 4 -- energy per image, fp32 vs int4, across LW/perf2/perf4.
+
+The paper reports int4 cutting average energy by 3.4x (CIFAR10) and 1.7x
+(CIFAR100) across configurations, most of it from the power gap, the rest
+from the sparsity gap of Fig. 1. This harness simulates every
+(dataset, scheme, config) cell on the trained models and regenerates the
+three bar groups.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.context import ExperimentContext
+from repro.hw.config import lw_config, perf_config
+from repro.hw.simulator import HybridSimulator, SimulationReport
+from repro.quant.schemes import FP32, INT4
+from repro.reporting.comparison import PaperComparison
+from repro.reporting.tables import Series, Table
+from repro.snn import make_encoder
+
+DATASETS = ("svhn", "cifar10", "cifar100")
+CONFIG_NAMES = ("lw", "perf2", "perf4")
+
+#: Paper-reported average energy improvement of int4 over fp32.
+PAPER_AVG_IMPROVEMENT = {"cifar10": 3.4, "cifar100": 1.7}
+
+
+def run(ctx: ExperimentContext) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="fig4",
+        title="Energy comparison, fp32 vs int4 hardware (LW/perf2/perf4)",
+    )
+    timesteps = ctx.timesteps_for("direct")
+    energies: Dict[Tuple[str, str, str], SimulationReport] = {}
+    for dataset in DATASETS:
+        table = Table(
+            title=f"Fig. 4 ({dataset}): energy per image [mJ]",
+            columns=["config", "fp32", "int4", "improvement x"],
+        )
+        fp32_series = Series(f"{dataset} fp32", "config", "energy mJ")
+        int4_series = Series(f"{dataset} int4", "config", "energy mJ")
+        images, labels = ctx.sim_images(dataset)
+        for config_name in CONFIG_NAMES:
+            row = [config_name]
+            for scheme in (FP32, INT4):
+                model = ctx.trained(dataset, scheme.name)
+                config = _make_config(dataset, config_name, scheme)
+                simulator = HybridSimulator(model, config)
+                encoder = make_encoder("direct")
+                report = simulator.run(images, timesteps, encoder, labels)
+                energies[(dataset, scheme.name, config_name)] = report
+                row.append(report.energy_mj)
+            improvement = row[1] / row[2] if row[2] else 0.0
+            table.add_row(row[0], row[1], row[2], improvement)
+            fp32_series.add_point(config_name, row[1])
+            int4_series.add_point(config_name, row[2])
+        result.tables.append(table)
+        result.series.extend([fp32_series, int4_series])
+
+        if dataset in PAPER_AVG_IMPROVEMENT:
+            measured = _average_improvement(energies, dataset)
+            comparison = PaperComparison(name=f"Fig. 4 / {dataset}")
+            comparison.add(
+                "avg energy improvement (fp32/int4)",
+                PAPER_AVG_IMPROVEMENT[dataset],
+                measured,
+                "x",
+            )
+            comparison.verdict = (
+                "shape holds: int4 cheaper in every configuration"
+                if measured > 1.0
+                else "shape NOT reproduced"
+            )
+            result.comparisons.append(comparison)
+
+    result.notes.append(
+        "energies from the hybrid simulator on the trained "
+        f"{ctx.preset.name}-scale models; paper LW allocations and their "
+        "2x/4x scalings; absolute mJ differ from the paper (smaller "
+        "frames, synthetic data), improvement factors are the target"
+    )
+    return result
+
+
+def _make_config(dataset: str, config_name: str, scheme):
+    if config_name == "lw":
+        return lw_config(dataset, scheme=scheme)
+    factor = int(config_name.replace("perf", ""))
+    return perf_config(dataset, factor, scheme=scheme)
+
+
+def _average_improvement(
+    energies: Dict[Tuple[str, str, str], SimulationReport], dataset: str
+) -> float:
+    ratios = []
+    for config_name in CONFIG_NAMES:
+        fp32 = energies[(dataset, "fp32", config_name)].energy_mj
+        int4 = energies[(dataset, "int4", config_name)].energy_mj
+        if int4 > 0:
+            ratios.append(fp32 / int4)
+    return sum(ratios) / len(ratios) if ratios else 0.0

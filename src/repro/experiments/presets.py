@@ -1,0 +1,119 @@
+"""Scale presets (DESIGN.md Sec. 4).
+
+Training the full 32x32 VGG9 in NumPy is possible but slow, so trained-
+model experiments run at a reduced scale with identical structure; the
+analytic hardware models (Table I / Table III resource and power rows)
+always use the paper-scale layer dimensions, which cost nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class ScalePreset:
+    """All knobs that shrink an experiment without changing its shape.
+
+    Attributes:
+        name: preset key.
+        image_size: input frames are 3 x size x size.
+        channel_scale: VGG9 channel multiplier.
+        pop_per_class: population-layer neurons per class (paper: 100 for
+            CIFAR10/SVHN, 50 for CIFAR100).
+        train_samples / test_samples: dataset sizes per split.
+        epochs / batch_size / lr: training hyper-parameters.
+        direct_timesteps: T for direct coding (paper: 2).
+        rate_timesteps: T for the rate-coding arm (paper: 25; reduced
+            presets scale it down to keep BPTT affordable, preserving the
+            rate >> direct timestep ratio).
+        rate_epochs: rate-coded training epochs (forward cost is
+            rate_timesteps/direct_timesteps higher per epoch).
+        sim_samples: images per hardware-simulation batch.
+    """
+
+    name: str
+    image_size: int
+    channel_scale: float
+    pop_per_class: int
+    train_samples: int
+    test_samples: int
+    epochs: int
+    batch_size: int
+    lr: float
+    direct_timesteps: int
+    rate_timesteps: int
+    rate_epochs: int
+    sim_samples: int
+
+    def population(self, num_classes: int) -> int:
+        return num_classes * self.pop_per_class
+
+    def train_samples_for(self, num_classes: int) -> int:
+        """More classes need more samples; keep >= 24 per class."""
+        return max(self.train_samples, num_classes * 24)
+
+    def epochs_for(self, num_classes: int) -> int:
+        """100-way discrimination converges slower, especially under QAT
+        noise; give it extra passes."""
+        return self.epochs + (6 if num_classes >= 100 else 0)
+
+
+PRESETS: Dict[str, ScalePreset] = {
+    "tiny": ScalePreset(
+        name="tiny",
+        image_size=8,
+        channel_scale=0.125,
+        pop_per_class=4,
+        train_samples=240,
+        test_samples=120,
+        epochs=2,
+        batch_size=32,
+        lr=3e-3,
+        direct_timesteps=2,
+        rate_timesteps=6,
+        rate_epochs=2,
+        sim_samples=32,
+    ),
+    "small": ScalePreset(
+        name="small",
+        image_size=16,
+        channel_scale=0.25,
+        pop_per_class=10,
+        train_samples=1280,
+        test_samples=400,
+        epochs=10,
+        batch_size=32,
+        lr=2e-3,
+        direct_timesteps=2,
+        rate_timesteps=12,
+        rate_epochs=4,
+        sim_samples=64,
+    ),
+    "paper": ScalePreset(
+        name="paper",
+        image_size=32,
+        channel_scale=1.0,
+        pop_per_class=100,
+        train_samples=20000,
+        test_samples=4000,
+        epochs=30,
+        batch_size=64,
+        lr=1e-3,
+        direct_timesteps=2,
+        rate_timesteps=25,
+        rate_epochs=10,
+        sim_samples=256,
+    ),
+}
+
+
+def get_preset(name: str) -> ScalePreset:
+    try:
+        return PRESETS[name]
+    except KeyError:
+        known = ", ".join(sorted(PRESETS))
+        raise ConfigError(f"unknown scale preset {name!r}; known: {known}") from None

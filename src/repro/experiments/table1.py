@@ -1,0 +1,189 @@
+"""Table I -- area utilization and power of the CIFAR100 hardware.
+
+Resources and power depend only on layer *dimensions* and core
+allocation, never on trained weight values, so this harness always runs
+at full paper scale: it instantiates the exact VGG9 (population 5000),
+applies the paper's published Table I allocation
+(1, 28, 12, 54, 16, 72, 70, 19, 4), and prints per-layer LUT/FF/BRAM/
+URAM/power for both precisions next to the paper's numbers. The layer
+overhead balance (Sec. V-B in-text) is regenerated from the Eq. 3
+workload model using input densities measured on the trained small-scale
+model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.context import ExperimentContext
+from repro.hw.config import (
+    AcceleratorConfig,
+    PAPER_TABLE1_ALLOCATION,
+    PAPER_TABLE1_OVERHEADS,
+)
+from repro.hw.power import PowerModel
+from repro.hw.resources import ResourceEstimator
+from repro.hw.simulator import HybridSimulator
+from repro.quant import convert
+from repro.quant.schemes import FP32, INT4, QuantScheme
+from repro.reporting.comparison import PaperComparison
+from repro.reporting.tables import Table
+from repro.snn import build_vgg9
+from repro.workload.model import estimate_input_events, measured_input_density
+
+#: Paper Table I rows: layer -> (LUT, FF, BRAM, URAM, dyn power W).
+PAPER_TABLE1_INT4 = {
+    "conv1_1": (1_900, 1_900, 0, 0, 0.048),
+    "conv1_2": (11_700, 14_600, 32, 0, 0.205),
+    "conv2_1": (1_700, 2_100, 44, 0, 0.054),
+    "conv2_2": (5_100, 5_100, 164, 0, 0.170),
+    "conv3_1": (1_600, 1_300, 144, 0, 0.100),
+    "conv3_2": (5_700, 5_200, 216, 0, 0.293),
+    "conv3_3": (5_800, 5_100, 211, 0, 0.284),
+    "fc": (6_000, 2_100, 168, 0, 0.125),
+}
+PAPER_TABLE1_FP32 = {
+    "conv1_1": (11_600, 1_900, 0, 0, 0.051),
+    "conv1_2": (670_300, 15_200, 32, 0, 0.251),
+    "conv2_1": (11_400, 5_300, 212, 0, 0.152),
+    "conv2_2": (34_400, 10_100, 272, 54, 0.561),
+    "conv3_1": (11_600, 2_900, 464, 129, 0.405),
+    "conv3_2": (45_600, 12_500, 648, 145, 0.960),
+    "conv3_3": (39_200, 8_400, 631, 140, 0.634),
+    "fc": (7_600, 2_800, 607, 368, 0.508),
+}
+PAPER_TOTALS = {
+    "int4": (109_700, 37_600, 979, 0, 1.231, 3.13),
+    "fp32": (821_600, 58_700, 2_466, 836, 3.471, 3.22),
+}
+
+
+def paper_scale_network(scheme: QuantScheme, seed: int = 0):
+    """The full CIFAR100 VGG9 (random weights -- shapes are what matter)."""
+    network = build_vgg9(
+        num_classes=100,
+        population=5000,
+        input_shape=(3, 32, 32),
+        channel_scale=1.0,
+        seed=seed,
+    )
+    network.eval()
+    return convert(network, scheme)
+
+
+def run(ctx: ExperimentContext, timesteps: int = 2) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="table1",
+        title="Area utilization and power (CIFAR100 hardware, paper scale)",
+    )
+    per_scheme = {}
+    for scheme, paper_rows in ((INT4, PAPER_TABLE1_INT4), (FP32, PAPER_TABLE1_FP32)):
+        network = paper_scale_network(scheme)
+        config = AcceleratorConfig(
+            name="table1", allocation=PAPER_TABLE1_ALLOCATION, scheme=scheme
+        )
+        estimator = ResourceEstimator(config)
+        estimate = estimator.estimate(network, timesteps)
+        power = PowerModel(config).estimate(estimate)
+        per_scheme[scheme.name] = (network, config, estimate, power)
+
+        table = Table(
+            title=f"Table I ({scheme.name} hardware, measured)",
+            columns=["layer", "LUT", "FF", "BRAM", "URAM", "power W"],
+        )
+        merged = _merge_fc(estimate, power)
+        for name, (lut, ff, bram, uram, watt) in merged.items():
+            table.add_row(name, round(lut), round(ff), round(bram), round(uram), watt)
+        total = (
+            estimate.total_luts,
+            estimate.total_ffs,
+            estimate.total_bram,
+            estimate.total_uram,
+            power.dynamic_w,
+        )
+        table.add_row("total", *(round(v) for v in total[:4]), total[4])
+        util = estimator.utilization(estimate)
+        table.add_note(
+            f"utilization: LUT {util['lut'] * 100:.2f}%, "
+            f"BRAM {util['bram'] * 100:.2f}%, URAM {util['uram'] * 100:.2f}%; "
+            f"static power {power.static_w:.2f} W"
+        )
+        result.tables.append(table)
+
+        paper_total = PAPER_TOTALS[scheme.name]
+        comparison = PaperComparison(name=f"Table I totals ({scheme.name})")
+        comparison.add("total LUT", paper_total[0], total[0])
+        comparison.add("total FF", paper_total[1], total[1])
+        comparison.add("total BRAM", paper_total[2], total[2])
+        comparison.add("total URAM", paper_total[3], total[3])
+        comparison.add("dynamic power", paper_total[4], total[4], "W")
+        comparison.add("static power", paper_total[5], power.static_w, "W")
+        result.comparisons.append(comparison)
+
+    # Headline ratios (Sec. V-B): int4 ~8x fewer LUTs, ~3.4x fewer
+    # BRAM/URAM-equivalents, 2.82x less dynamic power.
+    int4_est, int4_pow = per_scheme["int4"][2], per_scheme["int4"][3]
+    fp32_est, fp32_pow = per_scheme["fp32"][2], per_scheme["fp32"][3]
+    ratios = PaperComparison(name="Table I headline ratios (fp32 / int4)")
+    ratios.add("LUT ratio", 8.0, fp32_est.total_luts / int4_est.total_luts, "x")
+    bram_eq_fp32 = fp32_est.total_bram + fp32_est.total_uram * 8
+    bram_eq_int4 = int4_est.total_bram + int4_est.total_uram * 8
+    ratios.add("BRAM+URAM ratio", 3.4, bram_eq_fp32 / bram_eq_int4, "x")
+    ratios.add("dynamic power ratio", 2.82, fp32_pow.dynamic_w / int4_pow.dynamic_w, "x")
+    result.comparisons.append(ratios)
+
+    # Layer overhead balance, from measured small-scale input densities
+    # extrapolated to paper dimensions.
+    overheads = _layer_overheads(ctx, per_scheme["int4"][0], per_scheme["int4"][1], timesteps)
+    if overheads is not None:
+        table = Table(
+            title="Layer execution overheads (balanced allocation, int4)",
+            columns=["layer", "measured %", "paper %"],
+        )
+        for (name, measured), paper in zip(
+            overheads.items(), PAPER_TABLE1_OVERHEADS
+        ):
+            table.add_row(name, measured, paper)
+        result.tables.append(table)
+
+    result.notes.append(
+        "resource/power rows computed at full paper scale (layer shapes "
+        "only); the paper's FC rows under-report full on-chip fp32 FC "
+        "storage (475 Mb of weights vs ~106 Mb of URAM listed), so our "
+        "honest storage model shows larger FC memory"
+    )
+    return result
+
+
+def _merge_fc(estimate, power) -> Dict[str, tuple]:
+    """Collapse fc1+fc2 into one 'fc' row, matching the paper's table."""
+    merged: Dict[str, list] = {}
+    power_by_name = power.by_name()
+    for layer in estimate.layers:
+        key = "fc" if layer.name.startswith("fc") else layer.name
+        row = merged.setdefault(key, [0.0, 0.0, 0.0, 0.0, 0.0])
+        row[0] += layer.luts
+        row[1] += layer.ffs
+        row[2] += layer.bram
+        row[3] += layer.uram
+        row[4] += power_by_name[layer.name].total_w
+    return {key: tuple(values) for key, values in merged.items()}
+
+
+def _layer_overheads(
+    ctx: ExperimentContext, network, config, timesteps: int
+) -> Optional[Dict[str, float]]:
+    """Regenerate the Sec. V-B overhead balance from measured densities."""
+    try:
+        evaluation = ctx.evaluate("cifar100", "int4")
+    except Exception:  # pragma: no cover - defensive: table still useful
+        return None
+    small = ctx.trained("cifar100", "int4")
+    density = measured_input_density(
+        evaluation.input_events_per_image, small, ctx.timesteps_for("direct")
+    )
+    events = estimate_input_events(network, density, timesteps)
+    simulator = HybridSimulator(network, config)
+    report = simulator.run_from_counts(events, timesteps)
+    return report.energy.layer_overheads()

@@ -1,0 +1,141 @@
+"""Table II -- direct vs rate coding on CIFAR10 (quantized LW hardware).
+
+The paper's second headline: with only 2 timesteps, direct coding beats
+rate coding at 25 timesteps by 10 accuracy points while emitting 2.6x
+fewer spikes and consuming 26.4x less energy -- contradicting the prior
+belief that rate coding is the energy-efficient choice. The rate-coded
+network runs with the dense core switched off (sparse cores only), the
+direct-coded one on the full hybrid.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.rate_coded import rate_coded_config
+from repro.experiments.base import ExperimentResult
+from repro.experiments.context import ExperimentContext
+from repro.hw.config import lw_config
+from repro.hw.simulator import HybridSimulator
+from repro.quant.schemes import INT4
+from repro.reporting.comparison import PaperComparison
+from repro.reporting.tables import Table
+from repro.snn import make_encoder
+
+#: Paper Table II: (timesteps, total spikes, acc %, latency ms, energy mJ).
+PAPER_RATE = (25, 107_000, 77.37, 340.0, 201.0)
+PAPER_DIRECT = (2, 41_000, 87.01, 11.7, 7.6)
+PAPER_ENERGY_IMPROVEMENT = 26.4
+
+
+def run(ctx: ExperimentContext, dataset: str = "cifar10") -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="table2",
+        title="Direct vs rate coding (quantized LW configuration)",
+    )
+    images, labels = ctx.sim_images(dataset)
+
+    direct_model = ctx.trained(dataset, "int4", "direct")
+    direct_config = lw_config(dataset, scheme=INT4)
+    direct_steps = ctx.timesteps_for("direct")
+    direct_report = HybridSimulator(direct_model, direct_config).run(
+        images, direct_steps, make_encoder("direct"), labels
+    )
+
+    rate_model = ctx.trained(dataset, "int4", "rate")
+    rate_config = rate_coded_config(lw_config(dataset, scheme=INT4))
+    rate_steps = ctx.timesteps_for("rate")
+    rate_report = HybridSimulator(rate_model, rate_config).run(
+        images,
+        rate_steps,
+        make_encoder("rate", seed=ctx.seed + 7),
+        labels,
+    )
+
+    improvement = (
+        rate_report.energy_mj / direct_report.energy_mj
+        if direct_report.energy_mj
+        else 0.0
+    )
+    table = Table(
+        title="Table II (measured)",
+        columns=[
+            "coding",
+            "timesteps",
+            "spikes/img",
+            "acc %",
+            "latency ms",
+            "energy mJ",
+            "energy imprv",
+        ],
+    )
+    table.add_row(
+        "rate",
+        rate_steps,
+        rate_report.total_spikes_per_image,
+        100.0 * (rate_report.accuracy or 0.0),
+        rate_report.latency_ms,
+        rate_report.energy_mj,
+        "--",
+    )
+    table.add_row(
+        "direct",
+        direct_steps,
+        direct_report.total_spikes_per_image,
+        100.0 * (direct_report.accuracy or 0.0),
+        direct_report.latency_ms,
+        direct_report.energy_mj,
+        f"{improvement:.1f}x",
+    )
+    result.tables.append(table)
+
+    comparison = PaperComparison(name="Table II paper vs measured")
+    comparison.add("rate timesteps", PAPER_RATE[0], rate_steps)
+    comparison.add("direct timesteps", PAPER_DIRECT[0], direct_steps)
+    comparison.add(
+        "spike ratio (rate/direct)",
+        PAPER_RATE[1] / PAPER_DIRECT[1],
+        _safe_ratio(
+            rate_report.total_spikes_per_image,
+            direct_report.total_spikes_per_image,
+        ),
+        "x",
+    )
+    comparison.add(
+        "accuracy gain (direct - rate)",
+        PAPER_DIRECT[2] - PAPER_RATE[2],
+        100.0
+        * ((direct_report.accuracy or 0.0) - (rate_report.accuracy or 0.0)),
+        "pp",
+    )
+    comparison.add(
+        "latency ratio (rate/direct)",
+        PAPER_RATE[3] / PAPER_DIRECT[3],
+        _safe_ratio(rate_report.latency_ms, direct_report.latency_ms),
+        "x",
+    )
+    comparison.add(
+        "energy improvement (rate/direct)",
+        PAPER_ENERGY_IMPROVEMENT,
+        improvement,
+        "x",
+    )
+    direct_wins = (
+        (direct_report.accuracy or 0.0) >= (rate_report.accuracy or 0.0)
+        and improvement > 1.0
+    )
+    comparison.verdict = (
+        "shape holds: direct coding more accurate AND cheaper"
+        if direct_wins
+        else "shape partially reproduced; see notes"
+    )
+    result.comparisons.append(comparison)
+    result.notes.append(
+        f"rate arm uses T={rate_steps} (paper: 25) scaled with the "
+        f"{ctx.preset.name} preset to keep NumPy BPTT affordable; the "
+        "rate >> direct timestep ratio and the dense-core-off methodology "
+        "are preserved"
+    )
+    return result
+
+
+def _safe_ratio(a: float, b: float) -> float:
+    return a / b if b else 0.0

@@ -1,0 +1,213 @@
+"""Table III -- comparison to previous work.
+
+The paper lines its perf2/perf4 points against SyncNN [15] (SVHN,
+CIFAR10; ZCU102) and Gerlinghoff et al. [7] (CIFAR100; same XCVU13P),
+claiming 51x the throughput at half the power versus [7]. Baseline rows
+are the published numbers (exactly as the paper uses them); our rows
+come from the hybrid simulator.
+
+Throughput/power at *paper scale* come from the analytic path (layer
+shapes + measured sparsity profile); accuracy comes from the trained
+reduced-scale models and is reported with that caveat.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.baselines.prior_work import (
+    GERLINGHOFF_DATE22,
+    SYNCNN_CIFAR10,
+    SYNCNN_SVHN,
+)
+from repro.experiments.base import ExperimentResult
+from repro.experiments.context import ExperimentContext
+from repro.experiments.table1 import paper_scale_network
+from repro.hw.config import perf_config
+from repro.hw.simulator import HybridSimulator
+from repro.quant.schemes import INT4
+from repro.reporting.comparison import PaperComparison
+from repro.reporting.tables import Table
+from repro.snn import build_vgg9
+from repro.quant import convert
+from repro.workload.model import estimate_input_events, measured_input_density
+
+#: The paper's own rows: dataset -> (config, power W, latency ms,
+#: energy mJ, throughput FPS, accuracy %).
+PAPER_OURS = {
+    "svhn": ("perf4", 0.89, 61.0, 6.4, 110.0, 93.9),
+    "cifar10": ("perf2", 0.73, 59.0, 4.9, 120.0, 86.6),
+    "cifar100": ("perf4", 2.35, 37.0, 16.1, 218.0, 56.9),
+}
+_BASELINES = {
+    "svhn": SYNCNN_SVHN,
+    "cifar10": SYNCNN_CIFAR10,
+    "cifar100": GERLINGHOFF_DATE22,
+}
+_POPULATIONS = {"svhn": 1000, "cifar10": 1000, "cifar100": 5000}
+
+
+def run(ctx: ExperimentContext) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="table3",
+        title="Comparison to previous work",
+    )
+    table = Table(
+        title="Table III (measured)",
+        columns=[
+            "dataset",
+            "study",
+            "network",
+            "acc %",
+            "platform",
+            "power W",
+            "latency ms",
+            "energy mJ",
+            "throughput FPS",
+        ],
+    )
+    ratios = PaperComparison(name="Table III headline ratios (paper-activity rows)")
+    activity_scale = _paper_activity_scale(ctx)
+    for dataset, (config_name, *_paper) in PAPER_OURS.items():
+        baseline = _BASELINES[dataset]
+        table.add_row(
+            dataset,
+            baseline.study,
+            baseline.network,
+            baseline.accuracy_percent,
+            baseline.platform,
+            baseline.power_w,
+            baseline.latency_ms,
+            baseline.energy_mj,
+            baseline.throughput_fps,
+        )
+        for label, scale in (
+            ("measured activity", 1.0),
+            ("paper activity", activity_scale),
+        ):
+            ours = _simulate_ours(ctx, dataset, config_name, scale)
+            if ours is None:
+                continue
+            power, latency, energy, throughput, accuracy = ours
+            table.add_row(
+                dataset,
+                f"this work ({config_name}, {label})",
+                "VGG9",
+                accuracy,
+                "XCVU13P (simulated)",
+                power,
+                latency,
+                energy,
+                throughput,
+            )
+            if label != "paper activity":
+                continue
+            if dataset == "cifar100":
+                ratios.add(
+                    "throughput vs [7]",
+                    51.0,
+                    throughput / baseline.throughput_fps,
+                    "x",
+                )
+                ratios.add(
+                    "power vs [7] (lower better)",
+                    0.5,
+                    power / baseline.power_w,
+                    "x",
+                )
+            else:
+                ratios.add(
+                    f"throughput vs [15] ({dataset})",
+                    2.0,
+                    throughput / baseline.throughput_fps,
+                    "x",
+                )
+    result.tables.append(table)
+    ratios.verdict = (
+        "shape target: this work clearly faster than [7], power about "
+        "half of [7]'s and above SyncNN's small-board point"
+    )
+    result.comparisons.append(ratios)
+    result.notes.append(
+        "our rows are computed at paper-scale layer dimensions via the "
+        "analytic simulator: 'measured activity' uses the per-layer input "
+        "densities of the trained reduced-scale models (which fire ~3-6x "
+        "denser than the paper's full-scale networks), 'paper activity' "
+        "rescales that profile so the CIFAR10 total matches the paper's "
+        "reported 41K spikes/image (Table II) -- i.e. the timing model "
+        "driven by the paper's own workload; accuracy is the "
+        f"{ctx.preset.name}-scale synthetic-data accuracy"
+    )
+    return result
+
+
+def _paper_activity_scale(ctx: ExperimentContext) -> float:
+    """Global activity rescale aligning our profile to the paper's.
+
+    The paper reports 41K total spikes/image for direct-coded CIFAR10
+    (Table II); projecting our measured per-layer densities onto the
+    paper-scale network gives the event total our models *would* produce.
+    The ratio is applied to all datasets' density profiles.
+    """
+    evaluation = ctx.evaluate("cifar10", "int4")
+    small = ctx.trained("cifar10", "int4")
+    timesteps = ctx.timesteps_for("direct")
+    density = measured_input_density(
+        evaluation.input_events_per_image, small, timesteps
+    )
+    network = _paper_network("cifar10")
+    events = estimate_input_events(network, density, timesteps)
+    # Input events of the sparse layers ~ spikes emitted by the network.
+    projected = sum(
+        count for name, count in events.items() if name != "conv1_1"
+    )
+    paper_spikes = 41_000.0
+    if projected <= 0:
+        return 1.0
+    return min(1.0, paper_spikes / projected)
+
+
+def _simulate_ours(
+    ctx: ExperimentContext,
+    dataset: str,
+    config_name: str,
+    activity_scale: float = 1.0,
+) -> Optional[Tuple[float, float, float, float, float]]:
+    """(power, latency ms, energy mJ, throughput, accuracy %) at paper scale."""
+    factor = int(config_name.replace("perf", ""))
+    evaluation = ctx.evaluate(dataset, "int4")
+    small = ctx.trained(dataset, "int4")
+    timesteps = ctx.timesteps_for("direct")
+    density = measured_input_density(
+        evaluation.input_events_per_image, small, timesteps
+    )
+    density = {
+        name: min(1.0, value * activity_scale)
+        for name, value in density.items()
+    }
+    network = _paper_network(dataset)
+    # Map layer densities by name (same nine layers at both scales).
+    events = estimate_input_events(network, density, timesteps)
+    config = perf_config(dataset, factor, scheme=INT4)
+    report = HybridSimulator(network, config).run_from_counts(events, timesteps)
+    return (
+        report.dynamic_power_w,
+        report.latency_ms,
+        report.energy_mj,
+        report.throughput_fps,
+        100.0 * evaluation.accuracy,
+    )
+
+
+def _paper_network(dataset: str):
+    if dataset == "cifar100":
+        return paper_scale_network(INT4)
+    network = build_vgg9(
+        num_classes=10,
+        population=_POPULATIONS[dataset],
+        input_shape=(3, 32, 32),
+        channel_scale=1.0,
+        seed=0,
+    )
+    network.eval()
+    return convert(network, INT4)

@@ -1,0 +1,74 @@
+"""Hardware model of the paper's hybrid SNN accelerator (Sec. IV).
+
+Subsystems:
+
+* :mod:`repro.hw.device` -- the Xilinx Virtex UltraScale+ XCVU13P
+  resource envelope the design must fit in,
+* :mod:`repro.hw.config` -- accelerator configurations (LW / perf2 /
+  perf4, per-layer neural-core allocations, clock),
+* :mod:`repro.hw.compression` -- the ECU's priority-encoder spike-train
+  compression (cycle-exact and analytic),
+* :mod:`repro.hw.dense_core` -- the 27-PE weight-stationary systolic
+  dense core that handles the direct-coded input layer,
+* :mod:`repro.hw.sparse_core` -- event-driven sparse cores (ECU + neural
+  cores) for all spiking layers,
+* :mod:`repro.hw.event_sim` -- a fine-grained event-driven golden
+  simulator used to validate the analytic cycle models,
+* :mod:`repro.hw.memory` -- on-chip storage allocation (BRAM / URAM /
+  LUTRAM, spike RAM layout, clock gating),
+* :mod:`repro.hw.resources` -- per-layer LUT/FF/BRAM/URAM estimates,
+* :mod:`repro.hw.power` / :mod:`repro.hw.energy` -- power and
+  energy-per-image models,
+* :mod:`repro.hw.simulator` -- the whole-network hybrid simulator that
+  ties everything together.
+"""
+
+from repro.hw.device import XCVU13P, FpgaDevice
+from repro.hw.config import (
+    AcceleratorConfig,
+    PAPER_LW_ALLOCATIONS,
+    PAPER_TABLE1_ALLOCATION,
+    lw_config,
+    perf_config,
+)
+from repro.hw.compression import (
+    CompressionResult,
+    compress_exact,
+    compression_cycles_estimate,
+)
+from repro.hw.dense_core import DenseCoreModel
+from repro.hw.sparse_core import SparseCoreModel
+from repro.hw.event_sim import EventDrivenLayerSim
+from repro.hw.memory import MemoryPlan, plan_layer_memory
+from repro.hw.offchip import DdrConfig, StreamingReport, plan_streaming
+from repro.hw.resources import LayerResources, ResourceEstimator
+from repro.hw.power import PowerModel
+from repro.hw.energy import EnergyReport
+from repro.hw.simulator import HybridSimulator, SimulationReport
+
+__all__ = [
+    "AcceleratorConfig",
+    "CompressionResult",
+    "DdrConfig",
+    "DenseCoreModel",
+    "EnergyReport",
+    "EventDrivenLayerSim",
+    "FpgaDevice",
+    "HybridSimulator",
+    "LayerResources",
+    "MemoryPlan",
+    "PAPER_LW_ALLOCATIONS",
+    "PAPER_TABLE1_ALLOCATION",
+    "PowerModel",
+    "ResourceEstimator",
+    "SimulationReport",
+    "SparseCoreModel",
+    "StreamingReport",
+    "XCVU13P",
+    "compress_exact",
+    "compression_cycles_estimate",
+    "lw_config",
+    "perf_config",
+    "plan_layer_memory",
+    "plan_streaming",
+]

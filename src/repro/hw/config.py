@@ -1,0 +1,157 @@
+"""Accelerator configurations.
+
+The paper evaluates three hardware points per dataset (Sec. V-A):
+
+* ``LW`` -- the lightweight baseline: the smallest per-layer neural-core
+  allocation that balances layer-wise execution latency,
+* ``perf2`` / ``perf4`` -- the same allocation scaled by 2x and 4x.
+
+An allocation is a tuple with one entry per weight-bearing layer; entry 0
+is the dense core's systolic *row* count (the input layer), the remaining
+entries are sparse-core neural-core (NC) counts. The published LW tuples
+and the Table I allocation are reproduced below as calibration anchors;
+:mod:`repro.workload` can derive fresh allocations for any network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Sequence, Tuple
+
+from repro.errors import ConfigError
+from repro.hw.device import FpgaDevice, XCVU13P
+from repro.quant.schemes import FP32, QuantScheme
+
+#: Published lightweight allocations (Fig. 4 caption), one entry per layer:
+#: (conv1_1 dense rows, conv1_2, conv2_1, conv2_2, conv3_1, conv3_2,
+#:  conv3_3, fc1, fc2).
+PAPER_LW_ALLOCATIONS: Dict[str, Tuple[int, ...]] = {
+    "svhn": (1, 7, 1, 8, 2, 4, 14, 1, 2),
+    "cifar10": (1, 8, 4, 18, 6, 6, 20, 2, 1),
+    "cifar100": (1, 7, 3, 12, 4, 18, 16, 4, 1),
+}
+
+#: The CIFAR100 allocation used for Table I (Sec. V-B), described there as
+#: the most balanced execution profile (a perf2-class configuration).
+PAPER_TABLE1_ALLOCATION: Tuple[int, ...] = (1, 28, 12, 54, 16, 72, 70, 19, 4)
+
+#: Layer overheads the paper reports for that allocation (percent of
+#: total execution time, same layer order).
+PAPER_TABLE1_OVERHEADS: Tuple[float, ...] = (
+    0.9, 13.4, 13.6, 13.8, 12.8, 12.3, 12.9, 15.6, 4.8,
+)
+
+
+@dataclass(frozen=True)
+class AcceleratorConfig:
+    """A complete hardware operating point.
+
+    Attributes:
+        name: label ('lw', 'perf2', 'perf4', or custom).
+        allocation: per-layer core counts; entry 0 = dense-core rows,
+            the rest = sparse-core NC counts (execution order).
+        clock_hz: fabric clock (paper: 100 MHz).
+        scheme: weight precision the datapaths are built for.
+        compression_chunk_bits: ECU priority-encoder width n (bits
+            scanned per cycle during spike-train compression).
+        dense_pe_columns: PEs per dense-core row; 27 = 3 input channels x
+            3x3 filter, the paper's weight-stationary choice.
+        clock_gating: MSB-partition memory clock gating (Sec. IV-C).
+        device: target FPGA.
+        use_dense_core: False models the rate-coding mode where the dense
+            core is switched off and the input layer runs on sparse cores
+            (Table II methodology).
+    """
+
+    name: str
+    allocation: Tuple[int, ...]
+    clock_hz: float = 100e6
+    scheme: QuantScheme = FP32
+    compression_chunk_bits: int = 32
+    dense_pe_columns: int = 27
+    clock_gating: bool = True
+    device: FpgaDevice = field(default=XCVU13P)
+    use_dense_core: bool = True
+
+    def __post_init__(self) -> None:
+        if len(self.allocation) < 2:
+            raise ConfigError(
+                f"allocation needs >= 2 layers, got {self.allocation}"
+            )
+        if any(int(v) < 1 for v in self.allocation):
+            raise ConfigError(
+                f"allocation entries must be >= 1, got {self.allocation}"
+            )
+        if self.clock_hz <= 0:
+            raise ConfigError(f"clock must be positive, got {self.clock_hz}")
+        if self.compression_chunk_bits < 1:
+            raise ConfigError(
+                f"compression chunk width must be >= 1, got "
+                f"{self.compression_chunk_bits}"
+            )
+        object.__setattr__(self, "allocation", tuple(int(v) for v in self.allocation))
+
+    @property
+    def dense_rows(self) -> int:
+        return self.allocation[0]
+
+    @property
+    def sparse_ncs(self) -> Tuple[int, ...]:
+        return self.allocation[1:]
+
+    @property
+    def total_ncs(self) -> int:
+        return sum(self.allocation[1:])
+
+    def scaled(self, factor: int, name: str = "") -> "AcceleratorConfig":
+        """Scale every core count by an integer factor (perf2 = x2 ...)."""
+        if factor < 1:
+            raise ConfigError(f"scale factor must be >= 1, got {factor}")
+        allocation = tuple(v * factor for v in self.allocation)
+        return replace(self, name=name or f"{self.name}x{factor}", allocation=allocation)
+
+    def with_scheme(self, scheme: QuantScheme) -> "AcceleratorConfig":
+        return replace(self, scheme=scheme)
+
+    def layer_cores(self, index: int) -> int:
+        """Core count for compute-layer ``index`` (0 = input layer)."""
+        try:
+            return self.allocation[index]
+        except IndexError:
+            raise ConfigError(
+                f"config {self.name!r} has {len(self.allocation)} layers, "
+                f"asked for index {index}"
+            ) from None
+
+
+def lw_config(
+    dataset: str,
+    scheme: QuantScheme = FP32,
+    allocation: Sequence[int] = None,
+    **overrides,
+) -> AcceleratorConfig:
+    """The paper's LW configuration for a dataset (or a custom allocation)."""
+    if allocation is None:
+        try:
+            allocation = PAPER_LW_ALLOCATIONS[dataset]
+        except KeyError:
+            known = ", ".join(sorted(PAPER_LW_ALLOCATIONS))
+            raise ConfigError(
+                f"no published LW allocation for {dataset!r} (known: {known}); "
+                "pass allocation= explicitly or derive one with repro.workload"
+            ) from None
+    return AcceleratorConfig(
+        name="lw", allocation=tuple(allocation), scheme=scheme, **overrides
+    )
+
+
+def perf_config(
+    dataset: str,
+    factor: int,
+    scheme: QuantScheme = FP32,
+    allocation: Sequence[int] = None,
+    **overrides,
+) -> AcceleratorConfig:
+    """perf2 / perf4: the LW allocation scaled by ``factor``."""
+    base = lw_config(dataset, scheme=scheme, allocation=allocation, **overrides)
+    return base.scaled(factor, name=f"perf{factor}")

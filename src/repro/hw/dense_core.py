@@ -1,0 +1,145 @@
+"""Dense core model: 27-PE weight-stationary systolic array (Sec. IV-A).
+
+The dense core exists because direct coding feeds the *input layer* raw
+analog frames: there is no sparsity to exploit, so an event-driven core
+would waste its compression machinery. Instead a systolic array with a
+fixed column of 27 PEs (3 input channels x 3x3 filter taps, weight
+stationary) streams image pixels; each of the ``rows`` rows accumulates
+one output feature map at a time and tiles across output channels.
+
+The model has two faces:
+
+* :meth:`DenseCoreModel.run_layer` -- an operational simulation that
+  produces membrane potentials in the exact order the array emits them
+  (one per cycle per row after pipeline fill) plus the cycle count;
+* :meth:`DenseCoreModel.layer_cycles` -- the closed-form count used at
+  paper scale, ``tiles * (OH*OW + fill) * passes``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import HardwareModelError
+from repro.tensor.ops import im2col
+
+
+@dataclass(frozen=True)
+class DenseLayerTiming:
+    """Cycle breakdown of one dense-core layer execution (one timestep)."""
+
+    tiles: int  # output-channel tiles processed sequentially
+    cycles_per_tile: int
+    fill_cycles: int  # pipeline fill paid once per tile
+    total_cycles: int
+    passes: int  # extra passes when Cin*K*K exceeds the PE column
+
+
+class DenseCoreModel:
+    """Timing + functional model of the weight-stationary dense core.
+
+    Args:
+        rows: parameterised row count (the allocation's entry 0); each
+            row owns one output channel per tile.
+        pe_columns: PEs per row; the paper fixes 27 = 3 channels x 9 taps.
+    """
+
+    def __init__(self, rows: int, pe_columns: int = 27) -> None:
+        if rows < 1:
+            raise HardwareModelError(f"dense core needs >= 1 row, got {rows}")
+        if pe_columns < 1:
+            raise HardwareModelError(
+                f"dense core needs >= 1 PE column, got {pe_columns}"
+            )
+        self.rows = rows
+        self.pe_columns = pe_columns
+
+    # ------------------------------------------------------------------
+    # Analytic timing
+    # ------------------------------------------------------------------
+    def fill_cycles(self) -> int:
+        """Pipeline fill: the staggering shift registers delay the deepest
+        input by ``pe_columns`` cycles and partial sums ripple across the
+        column, so first valid output appears after ~2 x column depth."""
+        return 2 * self.pe_columns
+
+    def layer_cycles(
+        self,
+        out_channels: int,
+        out_height: int,
+        out_width: int,
+        in_channels: int,
+        kernel: int,
+    ) -> DenseLayerTiming:
+        """Closed-form cycles for one frame (one timestep)."""
+        taps = in_channels * kernel * kernel
+        passes = max(1, ceil(taps / self.pe_columns))
+        tiles = ceil(out_channels / self.rows)
+        pixels = out_height * out_width
+        fill = self.fill_cycles()
+        per_tile = pixels * passes + fill
+        return DenseLayerTiming(
+            tiles=tiles,
+            cycles_per_tile=per_tile,
+            fill_cycles=fill,
+            total_cycles=tiles * per_tile,
+            passes=passes,
+        )
+
+    # ------------------------------------------------------------------
+    # Operational simulation
+    # ------------------------------------------------------------------
+    def run_layer(
+        self,
+        frame: np.ndarray,
+        weight: np.ndarray,
+        bias: np.ndarray,
+        padding: int = 1,
+    ) -> Tuple[np.ndarray, DenseLayerTiming]:
+        """Stream one frame through the array.
+
+        Emulates the dataflow: for every output-channel tile, the
+        ``rows`` rows hold their filters stationary while pixels stream
+        top-down and partial sums move left-to-right; each row emits one
+        membrane potential per cycle. Functionally this is the 'same'
+        convolution, produced in (tile, pixel) raster order.
+
+        Args:
+            frame: (Cin, H, W) analog frame.
+            weight: (Cout, Cin, K, K) filters.
+            bias: (Cout,) filter biases (added by the Activ unit).
+
+        Returns:
+            (membrane, timing): membrane is (Cout, OH, OW) float32.
+        """
+        if frame.ndim != 3:
+            raise HardwareModelError(f"frame must be (C, H, W), got {frame.shape}")
+        cout, cin, kh, kw = weight.shape
+        if frame.shape[0] != cin:
+            raise HardwareModelError(
+                f"frame channels {frame.shape[0]} != weight channels {cin}"
+            )
+        if kh != kw:
+            raise HardwareModelError(f"kernel must be square, got {kh}x{kw}")
+        h, w = frame.shape[1:]
+        oh = h + 2 * padding - kh + 1
+        ow = w + 2 * padding - kw + 1
+        cols = im2col(frame[None], (kh, kw), 1, padding)[0]  # (Cin*K*K, OH*OW)
+        membrane = np.empty((cout, oh * ow), dtype=np.float32)
+        tiles = ceil(cout / self.rows)
+        for tile in range(tiles):
+            start = tile * self.rows
+            stop = min(start + self.rows, cout)
+            # Rows within the tile run in lockstep: each holds one output
+            # channel's 27 weights and MACs the same streamed pixels.
+            wmat = weight[start:stop].reshape(stop - start, -1)
+            membrane[start:stop] = wmat @ cols + bias[start:stop, None]
+        timing = self.layer_cycles(cout, oh, ow, cin, kh)
+        return membrane.reshape(cout, oh, ow), timing
+
+    def __repr__(self) -> str:
+        return f"DenseCoreModel(rows={self.rows}, pe_columns={self.pe_columns})"

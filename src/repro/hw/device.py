@@ -1,0 +1,91 @@
+"""FPGA device envelopes.
+
+The paper targets a Xilinx Virtex UltraScale+ XCVU13P; the baseline
+SyncNN numbers it compares against come from a much smaller ZCU102
+(Zynq UltraScale+ ZU9EG). Capacities below are the vendors' published
+totals for the programmable fabric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CapacityError
+
+
+@dataclass(frozen=True)
+class FpgaDevice:
+    """Programmable-fabric capacity of one device.
+
+    Attributes:
+        name: part number.
+        luts: 6-input LUT count.
+        ffs: flip-flop count.
+        bram36: 36-Kb block RAM count.
+        uram: 288-Kb UltraRAM count.
+        dsp: DSP48 slice count (unused by the paper's shift-and-add
+            design, tracked for completeness).
+        bram_kbits / uram_kbits: capacity per block, in Kbit.
+        lutram_fraction: share of LUTs usable as distributed RAM
+            (SLICEM); UltraScale+ fabric is roughly half SLICEM.
+        lutram_bits_per_lut: distributed-RAM bits one LUT6 provides.
+    """
+
+    name: str
+    luts: int
+    ffs: int
+    bram36: int
+    uram: int
+    dsp: int
+    bram_kbits: float = 36.0
+    uram_kbits: float = 288.0
+    lutram_fraction: float = 0.5
+    lutram_bits_per_lut: int = 64
+
+    def check_fit(self, luts: float, ffs: float, bram: float, uram: float) -> None:
+        """Raise :class:`CapacityError` if a design exceeds the device."""
+        over = []
+        if luts > self.luts:
+            over.append(f"LUT {luts:.0f} > {self.luts}")
+        if ffs > self.ffs:
+            over.append(f"FF {ffs:.0f} > {self.ffs}")
+        if bram > self.bram36:
+            over.append(f"BRAM {bram:.0f} > {self.bram36}")
+        if uram > self.uram:
+            over.append(f"URAM {uram:.0f} > {self.uram}")
+        if over:
+            raise CapacityError(
+                f"design does not fit {self.name}: " + "; ".join(over)
+            )
+
+    def utilization(
+        self, luts: float, ffs: float, bram: float, uram: float
+    ) -> dict:
+        """Fractional utilization per resource class."""
+        return {
+            "lut": luts / self.luts,
+            "ff": ffs / self.ffs,
+            "bram": bram / self.bram36,
+            "uram": uram / self.uram if self.uram else 0.0,
+        }
+
+
+#: The paper's implementation platform (Virtex UltraScale+ VU13P).
+XCVU13P = FpgaDevice(
+    name="XCVU13P",
+    luts=1_728_000,
+    ffs=3_456_000,
+    bram36=2_688,
+    uram=1_280,
+    dsp=12_288,
+)
+
+#: SyncNN's platform (reference [15]) -- used by the Table III baseline.
+ZCU102 = FpgaDevice(
+    name="ZCU102",
+    luts=274_080,
+    ffs=548_160,
+    bram36=912,
+    uram=0,
+    dsp=2_520,
+)

@@ -1,0 +1,106 @@
+"""Energy accounting (Sec. V-C).
+
+The paper computes energy per image by summing per-layer energy: each
+layer burns its dynamic power for the time it is busy on that image,
+
+    E_image = sum_l P_dyn(l) * t_busy(l),   t_busy(l) = cycles(l) / f.
+
+Static energy is reported separately (it depends on deployment duty
+cycle, not per-image work) -- consistent with the paper, whose Fig. 4 /
+Table II numbers are explained by dynamic power alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.errors import HardwareModelError
+
+
+@dataclass(frozen=True)
+class LayerEnergy:
+    """Per-image energy of one layer."""
+
+    name: str
+    cycles: float
+    busy_seconds: float
+    dynamic_power_w: float
+
+    @property
+    def energy_mj(self) -> float:
+        return self.dynamic_power_w * self.busy_seconds * 1e3
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Per-image energy breakdown."""
+
+    layers: List[LayerEnergy]
+    clock_hz: float
+    static_power_w: float
+
+    @property
+    def total_energy_mj(self) -> float:
+        return sum(layer.energy_mj for layer in self.layers)
+
+    @property
+    def latency_ms(self) -> float:
+        """Single-image latency: layers execute back to back."""
+        return sum(layer.busy_seconds for layer in self.layers) * 1e3
+
+    @property
+    def bottleneck_cycles(self) -> float:
+        return max(layer.cycles for layer in self.layers)
+
+    @property
+    def throughput_fps(self) -> float:
+        """Pipelined throughput: the slowest layer-stage sets the rate."""
+        return self.clock_hz / self.bottleneck_cycles
+
+    @property
+    def static_energy_mj(self) -> float:
+        """Static energy across one image's latency (for reference)."""
+        return self.static_power_w * (self.latency_ms / 1e3) * 1e3
+
+    def by_name(self) -> Dict[str, LayerEnergy]:
+        return {layer.name: layer for layer in self.layers}
+
+    def layer_overheads(self) -> Dict[str, float]:
+        """Each layer's share of total execution time, in percent -- the
+        balance metric the partitioner optimises (Sec. V-B)."""
+        total = sum(layer.busy_seconds for layer in self.layers)
+        if total <= 0:
+            raise HardwareModelError("energy report has zero total time")
+        return {
+            layer.name: 100.0 * layer.busy_seconds / total
+            for layer in self.layers
+        }
+
+
+def build_energy_report(
+    names: List[str],
+    cycles: List[float],
+    dynamic_power_w: List[float],
+    clock_hz: float,
+    static_power_w: float,
+) -> EnergyReport:
+    """Assemble an :class:`EnergyReport` from parallel per-layer lists."""
+    if not (len(names) == len(cycles) == len(dynamic_power_w)):
+        raise HardwareModelError(
+            "names, cycles and power lists must have equal length"
+        )
+    if clock_hz <= 0:
+        raise HardwareModelError(f"clock must be positive, got {clock_hz}")
+    layers = [
+        LayerEnergy(
+            name=name,
+            cycles=cyc,
+            busy_seconds=cyc / clock_hz,
+            dynamic_power_w=power,
+        )
+        for name, cyc, power in zip(names, cycles, dynamic_power_w)
+    ]
+    return EnergyReport(
+        layers=layers, clock_hz=clock_hz, static_power_w=static_power_w
+    )

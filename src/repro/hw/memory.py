@@ -1,0 +1,202 @@
+"""On-chip memory planning (Sec. IV-C).
+
+The design keeps *everything* on chip -- model parameters, membrane
+potentials and inter-layer spike trains -- in a mix of:
+
+* **LUTRAM** (distributed RAM) for small early-layer weights; flexible
+  but scarce, and the reason the fp32 build's CONV1_2 explodes to
+  hundreds of thousands of LUTs (every neural core needs parallel read
+  ports, so the weight store is replicated per NC),
+* **BRAM** (36-Kb blocks) for most weights, membranes and spike trains;
+  int4 weights pay a width/padding overhead because BRAM primitives
+  bottom out at 8-bit data widths,
+* **URAM** (288-Kb blocks) for the large fp32 fully-connected weights.
+
+Spike trains live in a timestep-major layout: a layer with N output maps
+over T timesteps occupies N*T contiguous train slots (Fig. 2), charged
+to the producing layer. Clock gating partitions each memory by the
+address MSB so only the active half burns clock power; that effect lives
+in :mod:`repro.hw.power`.
+
+Calibration note: constants below were chosen so the paper-scale CIFAR100
+VGG9 reproduces Table I's structure (which layers use which storage
+class, int4 ~3x fewer BRAM-equivalents, fp32 CONV1_2 LUTRAM blow-up).
+The paper's FC storage rows are not self-consistent with storing the full
+fp32 FC weights on chip (475 Mb vs the ~106 Mb its URAM count provides);
+we charge full storage and document the difference in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+from repro.errors import HardwareModelError
+from repro.quant.schemes import QuantScheme
+
+#: Bits of distributed RAM per LUT6 in UltraScale+.
+LUTRAM_BITS_PER_LUT = 64
+#: 36-Kb block RAM capacity in bits.
+BRAM_BITS = 36 * 1024
+#: 288-Kb UltraRAM capacity in bits.
+URAM_BITS = 288 * 1024
+#: Weights at or below this effective size go to LUTRAM.
+LUTRAM_WEIGHT_THRESHOLD_BITS = 512 * 1024
+#: BRAM packing overhead (8-bit minimum width, partition padding).
+BRAM_PACKING_OVERHEAD = 1.3
+#: Parallel-port replication efficiency for LUTRAM weight stores
+#: (calibrated to the paper's fp32 CONV1_2: ~670K LUTs at 28 NCs).
+LUTRAM_REPLICATION_EFFICIENCY = 0.75
+#: Membrane word width: potentials stay floating point (Sec. II-B).
+MEMBRANE_BITS = 32
+
+
+@dataclass(frozen=True)
+class MemoryPlan:
+    """Storage assignment for one layer.
+
+    Attributes:
+        weight_store: 'lutram' | 'bram' | 'uram' | 'ff' (dense core
+            weight registers).
+        lutram_luts: LUTs consumed as distributed RAM.
+        weight_bram / weight_uram: blocks holding weights.
+        membrane_bram: blocks holding the NCs' membrane working set.
+        spike_bram: blocks holding this layer's *output* spike trains
+            (timestep-major, N*T trains).
+        total_bram / total_uram: convenience sums.
+    """
+
+    weight_store: str
+    lutram_luts: int
+    weight_bram: int
+    weight_uram: int
+    membrane_bram: int
+    spike_bram: int
+
+    @property
+    def total_bram(self) -> int:
+        return self.weight_bram + self.membrane_bram + self.spike_bram
+
+    @property
+    def total_uram(self) -> int:
+        return self.weight_uram
+
+
+def effective_weight_bits(weight_count: int, scheme: QuantScheme) -> int:
+    """Raw storage bits for ``weight_count`` parameters under ``scheme``."""
+    bits = 32 if scheme.is_float else scheme.bits
+    return weight_count * bits
+
+
+def plan_layer_memory(
+    kind: str,
+    weight_count: int,
+    scheme: QuantScheme,
+    nc_count: int,
+    out_spatial: int,
+    out_channels: int,
+    timesteps: int,
+    is_input_layer: bool = False,
+    block_index: int = 1,
+) -> MemoryPlan:
+    """Assign storage for one layer.
+
+    Args:
+        kind: 'conv' or 'fc'.
+        weight_count: parameters (weights + biases).
+        scheme: deployed precision.
+        nc_count: neural cores (dense rows for the input layer).
+        out_spatial: OH*OW for conv (1 for fc).
+        out_channels: output maps / neurons.
+        timesteps: spike-train depth T (layout is N*T trains).
+        is_input_layer: dense-core layer; weights live in PE registers
+            (FFs), image buffers in flip-flops -- no block RAM at all,
+            matching Table I's CONV1_1 row (0 BRAM).
+        block_index: VGG block (1 = before the first pool); the paper
+            keeps block-1 weights in LUTRAM.
+    """
+    if kind not in ("conv", "fc"):
+        raise HardwareModelError(f"unknown layer kind {kind!r}")
+    if nc_count < 1:
+        raise HardwareModelError(f"nc_count must be >= 1, got {nc_count}")
+    bits = effective_weight_bits(weight_count, scheme)
+
+    if is_input_layer:
+        # Weight-stationary PE registers + FF image buffers; spikes of the
+        # input layer still go to BRAM for the next layer to consume.
+        spike_bram = _spike_blocks(out_channels, out_spatial, timesteps)
+        return MemoryPlan(
+            weight_store="ff",
+            lutram_luts=0,
+            weight_bram=0,
+            weight_uram=0,
+            membrane_bram=0,
+            spike_bram=spike_bram,
+        )
+
+    membrane_bram = nc_count * max(
+        1, ceil(out_spatial * MEMBRANE_BITS / BRAM_BITS)
+    )
+    spike_bram = _spike_blocks(out_channels, out_spatial, timesteps)
+
+    # LUTRAM stores are replicated per NC for parallel read ports, so the
+    # size test applies to the replicated footprint; fp32 block-1 convs
+    # stay in LUTRAM regardless (the paper's design choice, and the cause
+    # of its CONV1_2 LUT blow-up).
+    replication = max(1.0, nc_count * LUTRAM_REPLICATION_EFFICIENCY)
+    use_lutram = bits * replication <= LUTRAM_WEIGHT_THRESHOLD_BITS or (
+        scheme.is_float and kind == "conv" and block_index == 1
+    )
+    if use_lutram:
+        luts = ceil(bits / LUTRAM_BITS_PER_LUT * replication)
+        return MemoryPlan(
+            weight_store="lutram",
+            lutram_luts=luts,
+            weight_bram=0,
+            weight_uram=0,
+            membrane_bram=membrane_bram,
+            spike_bram=spike_bram,
+        )
+
+    if kind == "fc" and scheme.is_float:
+        # Large fp32 FC weights use UltraRAM for density (Sec. IV-B).
+        uram = ceil(bits / URAM_BITS)
+        return MemoryPlan(
+            weight_store="uram",
+            lutram_luts=0,
+            weight_bram=0,
+            weight_uram=uram,
+            membrane_bram=membrane_bram,
+            spike_bram=spike_bram,
+        )
+
+    padded = bits * BRAM_PACKING_OVERHEAD
+    weight_bram = max(ceil(padded / BRAM_BITS), ceil(nc_count / 2))
+    weight_uram = 0
+    if scheme.is_float and kind == "conv":
+        # fp32 conv layers beyond ~8 Mb spill into URAM (Table I's
+        # CONV2_2..CONV3_3 pattern).
+        spill_threshold = 8 * 1024 * 1024
+        if padded > spill_threshold:
+            weight_bram = max(
+                ceil(spill_threshold / BRAM_BITS), ceil(nc_count / 2)
+            )
+            weight_uram = ceil((padded - spill_threshold) / URAM_BITS)
+    return MemoryPlan(
+        weight_store="bram" if not weight_uram else "bram+uram",
+        lutram_luts=0,
+        weight_bram=weight_bram,
+        weight_uram=weight_uram,
+        membrane_bram=membrane_bram,
+        spike_bram=spike_bram,
+    )
+
+
+def _spike_blocks(out_channels: int, out_spatial: int, timesteps: int) -> int:
+    """Blocks for the timestep-major output spike store (N*T trains)."""
+    bits = out_channels * timesteps * max(1, out_spatial)
+    return max(1, ceil(bits / BRAM_BITS))
+
+
+def spike_ram_words(out_channels: int, timesteps: int) -> int:
+    """Address space of the spike RAM: N*T train slots (Fig. 2)."""
+    return out_channels * timesteps

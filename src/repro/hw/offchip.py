@@ -1,0 +1,195 @@
+"""Off-chip (DDR) weight-streaming model -- the paper's stated future work.
+
+Sec. VI: *"additional studies are needed to analyze performance impacts
+when incorporating off-chip memory access for broader model support"*.
+This module provides that analysis for the same architecture: when a
+layer's weights exceed the on-chip budget, they stream from DDR, and the
+layer's effective cycle count becomes
+
+    max(compute_cycles, streamed_bits / bytes_per_cycle / 8)
+
+with a per-burst latency overhead. The model answers the design
+questions the paper raises: which layers become bandwidth-bound, how much
+throughput is lost, and how much on-chip memory buys it back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import HardwareModelError
+from repro.hw.memory import BRAM_BITS, effective_weight_bits
+from repro.quant.convert import DeployableNetwork
+from repro.quant.schemes import QuantScheme
+
+
+@dataclass(frozen=True)
+class DdrConfig:
+    """External memory interface parameters.
+
+    Defaults approximate one DDR4-2400 x64 channel as seen from a
+    100 MHz fabric: ~19.2 GB/s peak, ~70% achievable efficiency,
+    ~200 ns per burst setup.
+    """
+
+    peak_bandwidth_gbps: float = 19.2  # gigabytes per second
+    efficiency: float = 0.70
+    burst_latency_cycles: int = 20
+    burst_bytes: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.peak_bandwidth_gbps <= 0:
+            raise HardwareModelError(
+                f"bandwidth must be positive, got {self.peak_bandwidth_gbps}"
+            )
+        if not 0.0 < self.efficiency <= 1.0:
+            raise HardwareModelError(
+                f"efficiency must be in (0, 1], got {self.efficiency}"
+            )
+
+    def bytes_per_cycle(self, clock_hz: float) -> float:
+        """Sustained bytes deliverable per fabric cycle."""
+        per_second = self.peak_bandwidth_gbps * 1e9 * self.efficiency
+        return per_second / clock_hz
+
+
+@dataclass(frozen=True)
+class LayerStreamingPlan:
+    """Streaming decision and cost for one layer."""
+
+    name: str
+    weight_bits: int
+    resident: bool  # True = fits on chip, no streaming
+    stream_cycles_per_image: float
+    bursts_per_image: int
+
+    @property
+    def streamed_bytes(self) -> float:
+        return 0.0 if self.resident else self.weight_bits / 8.0
+
+
+@dataclass
+class StreamingReport:
+    """Whole-network off-chip analysis."""
+
+    plans: List[LayerStreamingPlan]
+    onchip_budget_bits: float
+    ddr: DdrConfig
+
+    @property
+    def resident_layers(self) -> List[str]:
+        return [p.name for p in self.plans if p.resident]
+
+    @property
+    def streamed_layers(self) -> List[str]:
+        return [p.name for p in self.plans if not p.resident]
+
+    @property
+    def total_streamed_mbytes(self) -> float:
+        return sum(p.streamed_bytes for p in self.plans) / 1e6
+
+    def by_name(self) -> Dict[str, LayerStreamingPlan]:
+        return {p.name: p for p in self.plans}
+
+
+def plan_streaming(
+    network: DeployableNetwork,
+    scheme: QuantScheme,
+    clock_hz: float,
+    onchip_budget_bits: Optional[float] = None,
+    ddr: Optional[DdrConfig] = None,
+    timesteps: int = 2,
+) -> StreamingReport:
+    """Decide which layers stream and what each transfer costs.
+
+    Layers are kept on chip greedily in execution order (early layers are
+    reused every timestep and benefit most) until the budget runs out;
+    the rest stream their weights once per image (weights are reused
+    across timesteps from a streaming buffer, so T does not multiply
+    traffic -- the same assumption the paper's on-chip design makes).
+
+    Args:
+        network: the deployed model.
+        scheme: weight precision (storage bits).
+        clock_hz: fabric clock for cycle conversion.
+        onchip_budget_bits: weight storage available on chip; default is
+            80% of the XCVU13P's BRAM capacity.
+        ddr: interface model; default DDR4-2400 x64.
+        timesteps: kept for interface symmetry / future per-timestep
+            streaming policies.
+    """
+    if onchip_budget_bits is None:
+        onchip_budget_bits = 0.8 * 2688 * BRAM_BITS
+    ddr = ddr or DdrConfig()
+    bytes_per_cycle = ddr.bytes_per_cycle(clock_hz)
+
+    plans: List[LayerStreamingPlan] = []
+    remaining = float(onchip_budget_bits)
+    for layer in network.layers:
+        bits = effective_weight_bits(
+            layer.weight_count + layer.bias_q.size, scheme
+        )
+        if bits <= remaining:
+            remaining -= bits
+            plans.append(
+                LayerStreamingPlan(
+                    name=layer.name,
+                    weight_bits=bits,
+                    resident=True,
+                    stream_cycles_per_image=0.0,
+                    bursts_per_image=0,
+                )
+            )
+            continue
+        stream_bytes = bits / 8.0
+        bursts = max(1, int(round(stream_bytes / ddr.burst_bytes)))
+        cycles = (
+            stream_bytes / bytes_per_cycle
+            + bursts * ddr.burst_latency_cycles
+        )
+        plans.append(
+            LayerStreamingPlan(
+                name=layer.name,
+                weight_bits=bits,
+                resident=False,
+                stream_cycles_per_image=cycles,
+                bursts_per_image=bursts,
+            )
+        )
+    return StreamingReport(
+        plans=plans, onchip_budget_bits=onchip_budget_bits, ddr=ddr
+    )
+
+
+def apply_streaming_to_cycles(
+    layer_cycles: Dict[str, float], report: StreamingReport
+) -> Dict[str, float]:
+    """Merge streaming cost into per-layer compute cycles.
+
+    Weight fetch overlaps compute (double buffering), so a layer's busy
+    time is the max of the two, not the sum.
+    """
+    plans = report.by_name()
+    merged: Dict[str, float] = {}
+    for name, cycles in layer_cycles.items():
+        plan = plans.get(name)
+        if plan is None or plan.resident:
+            merged[name] = cycles
+        else:
+            merged[name] = max(cycles, plan.stream_cycles_per_image)
+    return merged
+
+
+def bandwidth_bound_layers(
+    layer_cycles: Dict[str, float], report: StreamingReport
+) -> List[str]:
+    """Layers whose streaming time exceeds their compute time."""
+    plans = report.by_name()
+    bound = []
+    for name, cycles in layer_cycles.items():
+        plan = plans.get(name)
+        if plan is not None and not plan.resident:
+            if plan.stream_cycles_per_image > cycles:
+                bound.append(name)
+    return bound

@@ -1,0 +1,186 @@
+"""Per-layer FPGA resource estimation (LUT / FF / BRAM / URAM).
+
+Logic cost is linear in the core count with per-precision coefficients
+calibrated against Table I of the paper (least-squares over its eight
+layer rows, per precision):
+
+* sparse layer logic: ``base + per_nc * ncs`` for both LUTs and FFs --
+  the base covers the ECU (compression + address generation state
+  machines), the slope one neural core's accumulate/activate datapath
+  (float units for fp32, shift-and-add de-quantizers for int4);
+* dense core logic: per-PE MAC cost times the 27-PE column times rows,
+  plus flip-flop image buffers.
+
+Memory cost comes from :mod:`repro.hw.memory`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.errors import ConfigError, HardwareModelError
+from repro.hw.config import AcceleratorConfig
+from repro.hw.memory import MemoryPlan, plan_layer_memory
+from repro.quant.convert import DeployableNetwork
+from repro.quant.schemes import QuantScheme
+
+# Calibrated logic coefficients (Table I least-squares, see module doc).
+_SPARSE_LUT_BASE = {"int": 900.0, "fp32": 4800.0}
+_SPARSE_LUT_PER_NC = {"int": 67.0, "fp32": 548.0}
+_SPARSE_FF_BASE = {"int": 1200.0, "fp32": 3900.0}
+_SPARSE_FF_PER_NC = {"int": 71.0, "fp32": 114.0}
+_DENSE_LUT_PER_PE = {"int": 70.0, "fp32": 430.0}
+_DENSE_FF_PER_PE = {"int": 70.0, "fp32": 70.0}
+#: Image-buffer flip-flops per input pixel column (staggering registers).
+_DENSE_BUFFER_FF_PER_PIXEL = 1.0
+
+
+def _precision_key(scheme: QuantScheme) -> str:
+    return "fp32" if scheme.is_float else "int"
+
+
+@dataclass(frozen=True)
+class LayerResources:
+    """Resource bundle for one layer."""
+
+    name: str
+    luts: float
+    ffs: float
+    bram: float
+    uram: float
+    memory: MemoryPlan
+    cores: int
+
+    def scaled_sum(self, other: "LayerResources") -> "LayerResources":
+        raise NotImplementedError  # totals are built in ResourceEstimate
+
+
+@dataclass(frozen=True)
+class ResourceEstimate:
+    """Whole-design estimate with per-layer breakdown."""
+
+    layers: List[LayerResources]
+    extra_luts: float  # top-level interconnect / control share
+    extra_ffs: float
+
+    @property
+    def total_luts(self) -> float:
+        return sum(layer.luts for layer in self.layers) + self.extra_luts
+
+    @property
+    def total_ffs(self) -> float:
+        return sum(layer.ffs for layer in self.layers) + self.extra_ffs
+
+    @property
+    def total_bram(self) -> float:
+        return sum(layer.bram for layer in self.layers)
+
+    @property
+    def total_uram(self) -> float:
+        return sum(layer.uram for layer in self.layers)
+
+    def by_name(self) -> Dict[str, LayerResources]:
+        return {layer.name: layer for layer in self.layers}
+
+
+class ResourceEstimator:
+    """Estimates a deployable network's footprint under a configuration."""
+
+    #: top-level infrastructure as a fraction of per-layer logic
+    #: (Table I's per-layer LUTs sum to ~40K of the 110K int4 total).
+    INFRASTRUCTURE_FACTOR = 0.35
+
+    def __init__(self, config: AcceleratorConfig) -> None:
+        self.config = config
+
+    def estimate(
+        self, network: DeployableNetwork, timesteps: int
+    ) -> ResourceEstimate:
+        """Per-layer + total resources for ``network`` on this config."""
+        layers = network.layers
+        if len(layers) != len(self.config.allocation):
+            raise ConfigError(
+                f"config {self.config.name!r} allocates "
+                f"{len(self.config.allocation)} layers but the network has "
+                f"{len(layers)}"
+            )
+        scheme = self.config.scheme
+        key = _precision_key(scheme)
+        results: List[LayerResources] = []
+        block = 1
+        for index, layer in enumerate(layers):
+            cores = self.config.allocation[index]
+            dense = (
+                index == 0
+                and self.config.use_dense_core
+                and layer.is_input_layer
+            )
+            out_spatial = (
+                int(layer.output_shape[1] * layer.output_shape[2])
+                if layer.kind == "conv"
+                else 1
+            )
+            plan = plan_layer_memory(
+                kind=layer.kind,
+                weight_count=layer.weight_count + layer.bias_q.size,
+                scheme=scheme,
+                nc_count=cores,
+                out_spatial=out_spatial,
+                out_channels=layer.out_channels,
+                timesteps=timesteps,
+                is_input_layer=dense,
+                block_index=block,
+            )
+            if dense:
+                pes = self.config.dense_pe_columns * cores
+                luts = pes * _DENSE_LUT_PER_PE[key]
+                in_c, in_h, in_w = layer.input_shape
+                ffs = (
+                    pes * _DENSE_FF_PER_PE[key]
+                    + in_c * in_w * _DENSE_BUFFER_FF_PER_PIXEL * in_h
+                )
+            else:
+                luts = _SPARSE_LUT_BASE[key] + cores * _SPARSE_LUT_PER_NC[key]
+                ffs = _SPARSE_FF_BASE[key] + cores * _SPARSE_FF_PER_NC[key]
+            luts += plan.lutram_luts
+            results.append(
+                LayerResources(
+                    name=layer.name,
+                    luts=luts,
+                    ffs=ffs,
+                    bram=plan.total_bram,
+                    uram=plan.total_uram,
+                    memory=plan,
+                    cores=cores,
+                )
+            )
+            if layer.pool_after > 1:
+                block += 1
+        logic_luts = sum(r.luts - r.memory.lutram_luts for r in results)
+        logic_ffs = sum(r.ffs for r in results)
+        return ResourceEstimate(
+            layers=results,
+            extra_luts=logic_luts * self.INFRASTRUCTURE_FACTOR,
+            extra_ffs=logic_ffs * self.INFRASTRUCTURE_FACTOR,
+        )
+
+    def utilization(
+        self, estimate: ResourceEstimate
+    ) -> Dict[str, float]:
+        """Fractional device utilization of an estimate."""
+        return self.config.device.utilization(
+            estimate.total_luts,
+            estimate.total_ffs,
+            estimate.total_bram,
+            estimate.total_uram,
+        )
+
+    def check_fit(self, estimate: ResourceEstimate) -> None:
+        """Raise if the estimate exceeds the target device."""
+        self.config.device.check_fit(
+            estimate.total_luts,
+            estimate.total_ffs,
+            estimate.total_bram,
+            estimate.total_uram,
+        )

@@ -1,0 +1,369 @@
+"""Whole-network hybrid simulator.
+
+:class:`HybridSimulator` binds a deployed network to an accelerator
+configuration and produces, for a batch of images:
+
+* functional outputs (logits / accuracy) via the
+  :class:`~repro.quant.convert.DeployableNetwork` golden model,
+* exact per-layer cycle counts -- the dense core serves the direct-coded
+  input layer, sparse cores replay every recorded spike train through the
+  compression + accumulation pipeline models,
+* resource, power, energy, latency and throughput reports.
+
+Two timing modes:
+
+* **exact** (:meth:`run`): replays recorded spike trains; used whenever
+  the network is small enough to execute functionally.
+* **analytic** (:meth:`run_from_counts`): needs only per-layer event
+  counts (e.g. the paper-scale workload profile); used by the Table I /
+  Table III harnesses where only cycle/power structure matters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import ceil
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError, HardwareModelError
+from repro.hw.compression import (
+    compression_cycles_batch,
+    compression_cycles_estimate,
+)
+from repro.hw.config import AcceleratorConfig
+from repro.hw.dense_core import DenseCoreModel
+from repro.hw.energy import EnergyReport, build_energy_report
+from repro.hw.power import PowerModel, PowerReport
+from repro.hw.resources import ResourceEstimate, ResourceEstimator
+from repro.quant.convert import DeployableNetwork
+from repro.snn.encoding import DirectEncoder, Encoder
+
+
+@dataclass(frozen=True)
+class LayerSimStats:
+    """Per-image averages for one layer."""
+
+    name: str
+    cores: int
+    engine: str  # 'dense' | 'sparse'
+    cycles: float
+    compression_cycles: float
+    accumulation_cycles: float
+    activation_cycles: float
+    input_events: float
+    output_spikes: float
+
+
+@dataclass
+class SimulationReport:
+    """Everything one simulation run produces."""
+
+    config_name: str
+    scheme_name: str
+    timesteps: int
+    samples: int
+    layers: List[LayerSimStats]
+    resources: ResourceEstimate
+    utilization: Dict[str, float]
+    power: PowerReport
+    energy: EnergyReport
+    accuracy: Optional[float] = None
+    logits: Optional[np.ndarray] = None
+    total_spikes_per_image: float = 0.0
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def latency_ms(self) -> float:
+        return self.energy.latency_ms
+
+    @property
+    def throughput_fps(self) -> float:
+        return self.energy.throughput_fps
+
+    @property
+    def energy_mj(self) -> float:
+        return self.energy.total_energy_mj
+
+    @property
+    def dynamic_power_w(self) -> float:
+        return self.power.dynamic_w
+
+    def summary(self) -> str:
+        lines = [
+            f"config {self.config_name} ({self.scheme_name}), T={self.timesteps}, "
+            f"{self.samples} image(s)",
+            f"  latency {self.latency_ms:.3f} ms | throughput "
+            f"{self.throughput_fps:.1f} FPS | energy {self.energy_mj:.3f} mJ/img",
+            f"  dynamic power {self.dynamic_power_w:.3f} W | static "
+            f"{self.power.static_w:.2f} W | spikes/img "
+            f"{self.total_spikes_per_image:.0f}",
+        ]
+        if self.accuracy is not None:
+            lines.append(f"  accuracy {self.accuracy * 100.0:.2f}%")
+        overheads = self.energy.layer_overheads()
+        lines.append("  layer overheads: " + ", ".join(
+            f"{name} {overheads[name]:.1f}%" for name in overheads
+        ))
+        return "\n".join(lines)
+
+
+class HybridSimulator:
+    """Simulates a deployable network on the hybrid accelerator."""
+
+    def __init__(
+        self, network: DeployableNetwork, config: AcceleratorConfig
+    ) -> None:
+        if len(network.layers) != len(config.allocation):
+            raise ConfigError(
+                f"config {config.name!r} allocates {len(config.allocation)} "
+                f"layers; network has {len(network.layers)}"
+            )
+        self.network = network
+        self.config = config
+        self._resource_estimator = ResourceEstimator(config)
+        self._power_model = PowerModel(config)
+
+    # ------------------------------------------------------------------
+    # Exact mode
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        images: np.ndarray,
+        timesteps: int,
+        encoder: Optional[Encoder] = None,
+        labels: Optional[np.ndarray] = None,
+    ) -> SimulationReport:
+        """Functionally execute a batch and time every recorded train."""
+        encoder = encoder or DirectEncoder()
+        self._check_encoder(encoder)
+        out = self.network.forward(images, timesteps, encoder, record=True)
+        samples = len(images)
+        layer_stats: List[LayerSimStats] = []
+        for index, layer in enumerate(self.network.layers):
+            trains = out.spike_trains[layer.name]
+            cores = self.config.allocation[index]
+            if self._runs_on_dense(index, encoder):
+                stats = self._dense_layer_stats(layer, cores, timesteps, samples)
+            else:
+                stats = self._sparse_layer_stats(
+                    layer, cores, trains, samples
+                )
+            layer_stats.append(stats)
+        report = self._finalize(layer_stats, timesteps, samples, out.stats)
+        report.logits = out.logits
+        if labels is not None:
+            report.accuracy = float(
+                (out.logits.argmax(axis=1) == np.asarray(labels)).mean()
+            )
+        return report
+
+    # ------------------------------------------------------------------
+    # Analytic mode
+    # ------------------------------------------------------------------
+    def run_from_counts(
+        self,
+        input_events_per_layer: Dict[str, float],
+        timesteps: int,
+        output_spikes_per_layer: Optional[Dict[str, float]] = None,
+    ) -> SimulationReport:
+        """Time the network from per-layer event counts alone.
+
+        Args:
+            input_events_per_layer: per layer name, total input events per
+                image across all timesteps (sparse layers). The dense
+                input layer ignores its entry (its work is activity-
+                independent).
+            timesteps: T.
+            output_spikes_per_layer: optional, only feeds the report's
+                spike totals.
+        """
+        layer_stats: List[LayerSimStats] = []
+        for index, layer in enumerate(self.network.layers):
+            cores = self.config.allocation[index]
+            if index == 0 and self.config.use_dense_core:
+                stats = self._dense_layer_stats(layer, cores, timesteps, 1)
+            else:
+                events = input_events_per_layer.get(layer.name)
+                if events is None:
+                    raise HardwareModelError(
+                        f"no event count supplied for layer {layer.name!r}"
+                    )
+                stats = self._sparse_layer_stats_analytic(
+                    layer, cores, float(events), timesteps
+                )
+            layer_stats.append(stats)
+        report = self._finalize(layer_stats, timesteps, samples=1, stats=None)
+        if output_spikes_per_layer:
+            report.total_spikes_per_image = float(
+                sum(output_spikes_per_layer.values())
+            )
+        return report
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _check_encoder(self, encoder: Encoder) -> None:
+        if encoder.analog_input and not self.config.use_dense_core:
+            raise HardwareModelError(
+                "direct (analog) coding requires the dense core; "
+                "rate-coded inputs are needed when use_dense_core=False "
+                "(Table II methodology)"
+            )
+
+    def _runs_on_dense(self, index: int, encoder: Encoder) -> bool:
+        return index == 0 and self.config.use_dense_core
+
+    def _dense_layer_stats(
+        self, layer, rows: int, timesteps: int, samples: int
+    ) -> LayerSimStats:
+        model = DenseCoreModel(rows, self.config.dense_pe_columns)
+        out_c, out_h, out_w = layer.output_shape
+        in_c = layer.input_shape[0]
+        timing = model.layer_cycles(out_c, out_h, out_w, in_c, layer.kernel)
+        cycles = float(timing.total_cycles * timesteps)
+        return LayerSimStats(
+            name=layer.name,
+            cores=rows,
+            engine="dense",
+            cycles=cycles,
+            compression_cycles=0.0,
+            accumulation_cycles=cycles,
+            activation_cycles=0.0,
+            input_events=float(np.prod(layer.input_shape)) * timesteps,
+            output_spikes=0.0,
+        )
+
+    def _sparse_layer_stats(
+        self,
+        layer,
+        cores: int,
+        trains: List[np.ndarray],
+        samples: int,
+    ) -> LayerSimStats:
+        """Exact timing from recorded per-timestep input trains."""
+        chunk = self.config.compression_chunk_bits
+        owned = ceil(layer.out_channels / cores)
+        if layer.kind == "conv":
+            taps = layer.kernel * layer.kernel
+            activation = (
+                layer.output_shape[1] * layer.output_shape[2] * owned
+            ) * len(trains)
+        else:
+            activation = owned * len(trains)
+        total_compr = 0.0
+        total_accum = 0.0
+        total_events = 0.0
+        busy = 0.0
+        for train in trains:  # one array (N, ...) per timestep
+            if layer.kind == "conv":
+                maps = train.reshape(train.shape[0], layer.input_shape[0], -1)
+                compr = compression_cycles_batch(maps, chunk).sum(axis=1)
+                events = maps.sum(axis=(1, 2))
+                accum = events * taps * owned
+            else:
+                binary = train.reshape(train.shape[0], -1)
+                compr = compression_cycles_batch(binary, chunk)
+                events = binary.sum(axis=1)
+                accum = events * owned
+            total_compr += float(compr.mean())
+            total_accum += float(accum.mean())
+            total_events += float(events.mean())
+            # Compression and accumulation overlap (Sec. IV-B): per
+            # timestep the layer is busy for the slower of the two.
+            busy += float(np.maximum(compr, accum).mean())
+        cycles = busy + activation
+        return LayerSimStats(
+            name=layer.name,
+            cores=cores,
+            engine="sparse",
+            cycles=cycles,
+            compression_cycles=total_compr,
+            accumulation_cycles=total_accum,
+            activation_cycles=float(activation),
+            input_events=total_events,
+            output_spikes=0.0,
+        )
+
+    def _sparse_layer_stats_analytic(
+        self, layer, cores: int, events: float, timesteps: int
+    ) -> LayerSimStats:
+        chunk = self.config.compression_chunk_bits
+        owned = ceil(layer.out_channels / cores)
+        events_per_t = events / timesteps
+        if layer.kind == "conv":
+            cin, height, width = layer.input_shape
+            bits = height * width
+            per_map = min(events_per_t / cin, bits)
+            compr_t = cin * compression_cycles_estimate(bits, per_map, chunk)
+            taps = layer.kernel * layer.kernel
+            accum_t = events_per_t * taps * owned
+            activation = layer.output_shape[1] * layer.output_shape[2] * owned
+        else:
+            nin = int(np.prod(layer.input_shape))
+            per = min(events_per_t, nin)
+            compr_t = compression_cycles_estimate(nin, per, chunk)
+            accum_t = events_per_t * owned
+            activation = owned
+        busy = max(compr_t, accum_t) * timesteps
+        cycles = busy + activation * timesteps
+        return LayerSimStats(
+            name=layer.name,
+            cores=cores,
+            engine="sparse",
+            cycles=cycles,
+            compression_cycles=compr_t * timesteps,
+            accumulation_cycles=accum_t * timesteps,
+            activation_cycles=float(activation * timesteps),
+            input_events=events,
+            output_spikes=0.0,
+        )
+
+    def _finalize(
+        self,
+        layer_stats: List[LayerSimStats],
+        timesteps: int,
+        samples: int,
+        stats,
+    ) -> SimulationReport:
+        resources = self._resource_estimator.estimate(self.network, timesteps)
+        power = self._power_model.estimate(resources)
+        power_by_name = power.by_name()
+        energy = build_energy_report(
+            names=[s.name for s in layer_stats],
+            cycles=[s.cycles for s in layer_stats],
+            dynamic_power_w=[power_by_name[s.name].total_w for s in layer_stats],
+            clock_hz=self.config.clock_hz,
+            static_power_w=power.static_w,
+        )
+        if stats is not None:
+            spikes_per_image = stats.spikes_per_image()
+            layer_stats = [
+                LayerSimStats(
+                    name=s.name,
+                    cores=s.cores,
+                    engine=s.engine,
+                    cycles=s.cycles,
+                    compression_cycles=s.compression_cycles,
+                    accumulation_cycles=s.accumulation_cycles,
+                    activation_cycles=s.activation_cycles,
+                    input_events=s.input_events,
+                    output_spikes=stats.layer_spikes_per_image(s.name),
+                )
+                for s in layer_stats
+            ]
+        else:
+            spikes_per_image = 0.0
+        return SimulationReport(
+            config_name=self.config.name,
+            scheme_name=self.config.scheme.name,
+            timesteps=timesteps,
+            samples=samples,
+            layers=layer_stats,
+            resources=resources,
+            utilization=self._resource_estimator.utilization(resources),
+            power=power,
+            energy=energy,
+            total_spikes_per_image=spikes_per_image,
+        )

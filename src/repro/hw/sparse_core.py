@@ -1,0 +1,194 @@
+"""Sparse core model: ECU + neural cores (Sec. IV-B, Fig. 3).
+
+Each sparse layer is served by one ECU (spike-train compression + address
+generation) and ``nc_count`` neural cores (NCs). The output channels are
+unrolled by the NC count: NC ``i`` strides through output feature maps
+``i, i+N, i+2N, ...``. Per input spike event the address generator walks
+the F = K*K filter taps and every NC updates the F membrane values of
+each output channel it owns -- both routines are fully pipelined at one
+neuron update per cycle (paper text), so
+
+    accumulation cycles = events * F * ceil(Cout / N)         (CONV)
+    accumulation cycles = events * ceil(Nout / N)             (FC)
+
+which is exactly the paper's workload model (Eq. 3) divided by the
+parallelism. Compression (Sec. IV-B) runs concurrently with
+accumulation, so a layer-timestep costs ``max(compression, accumulation)``
+plus the final activation sweep (one cycle per owned neuron).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import HardwareModelError
+from repro.hw.compression import compress_exact, compression_cycles_estimate
+
+
+@dataclass(frozen=True)
+class SparseLayerTiming:
+    """Cycle breakdown of one sparse layer over all timesteps."""
+
+    compression_cycles: int
+    accumulation_cycles: int
+    activation_cycles: int
+    total_cycles: int
+    input_events: int
+    #: cycles one phase waited on the other (overlap imbalance)
+    stall_cycles: int
+
+    @property
+    def bottleneck(self) -> str:
+        if self.compression_cycles >= self.accumulation_cycles:
+            return "compression"
+        return "accumulation"
+
+
+class SparseCoreModel:
+    """Timing model for one event-driven sparse layer.
+
+    Args:
+        nc_count: neural cores allocated to the layer (output-channel
+            unroll factor N).
+        chunk_bits: ECU priority-encoder width.
+    """
+
+    def __init__(self, nc_count: int, chunk_bits: int = 32) -> None:
+        if nc_count < 1:
+            raise HardwareModelError(f"nc_count must be >= 1, got {nc_count}")
+        if chunk_bits < 1:
+            raise HardwareModelError(f"chunk_bits must be >= 1, got {chunk_bits}")
+        self.nc_count = nc_count
+        self.chunk_bits = chunk_bits
+
+    # ------------------------------------------------------------------
+    # CONV layers
+    # ------------------------------------------------------------------
+    def conv_timestep_cycles(
+        self,
+        spike_maps: Optional[np.ndarray],
+        in_shape: Sequence[int],
+        out_channels: int,
+        kernel: int,
+        spike_count: Optional[float] = None,
+    ) -> SparseLayerTiming:
+        """Cycles for one timestep of a CONV layer.
+
+        Args:
+            spike_maps: (Cin, H, W) binary input for exact mode, or None
+                for analytic mode (then ``spike_count`` is required).
+            in_shape: (Cin, H, W) of the input.
+            out_channels: Cout.
+            kernel: K (filter is K x K, F = K*K taps).
+            spike_count: total input events when no maps are given.
+        """
+        cin, height, width = (int(v) for v in in_shape)
+        bits_per_map = height * width
+        if spike_maps is not None:
+            spike_maps = np.asarray(spike_maps)
+            if spike_maps.shape != (cin, height, width):
+                raise HardwareModelError(
+                    f"spike maps shape {spike_maps.shape} != {(cin, height, width)}"
+                )
+            compression = 0
+            events = 0
+            for fm in range(cin):
+                result = compress_exact(spike_maps[fm].reshape(-1), self.chunk_bits)
+                compression += result.cycles
+                events += result.spike_count
+        else:
+            if spike_count is None:
+                raise HardwareModelError(
+                    "analytic mode needs spike_count when spike_maps is None"
+                )
+            events = float(spike_count)
+            per_map = events / cin
+            compression = cin * compression_cycles_estimate(
+                bits_per_map, min(per_map, bits_per_map), self.chunk_bits
+            )
+        owned = ceil(out_channels / self.nc_count)
+        taps = kernel * kernel
+        accumulation = int(round(events * taps * owned))
+        activation = height * width * owned  # output spatial == input (same pad)
+        compression = int(round(compression))
+        busy = max(compression, accumulation)
+        return SparseLayerTiming(
+            compression_cycles=compression,
+            accumulation_cycles=accumulation,
+            activation_cycles=activation,
+            total_cycles=busy + activation,
+            input_events=int(round(events)),
+            stall_cycles=abs(compression - accumulation),
+        )
+
+    # ------------------------------------------------------------------
+    # FC layers
+    # ------------------------------------------------------------------
+    def fc_timestep_cycles(
+        self,
+        spike_vector: Optional[np.ndarray],
+        in_features: int,
+        out_features: int,
+        spike_count: Optional[float] = None,
+    ) -> SparseLayerTiming:
+        """Cycles for one timestep of a fully connected layer.
+
+        Every input event touches all ``out_features`` neurons; NCs split
+        them, giving ``events * ceil(Nout / N)`` accumulation cycles --
+        the W_FC = N * S workload of Eq. 3 divided by the unroll.
+        """
+        if spike_vector is not None:
+            flat = np.asarray(spike_vector).reshape(-1)
+            if flat.size != in_features:
+                raise HardwareModelError(
+                    f"spike vector size {flat.size} != in_features {in_features}"
+                )
+            result = compress_exact(flat, self.chunk_bits)
+            compression = result.cycles
+            events = result.spike_count
+        else:
+            if spike_count is None:
+                raise HardwareModelError(
+                    "analytic mode needs spike_count when spike_vector is None"
+                )
+            events = float(spike_count)
+            compression = compression_cycles_estimate(
+                in_features, min(events, in_features), self.chunk_bits
+            )
+        owned = ceil(out_features / self.nc_count)
+        accumulation = int(round(events * owned))
+        activation = owned
+        compression = int(round(compression))
+        busy = max(compression, accumulation)
+        return SparseLayerTiming(
+            compression_cycles=compression,
+            accumulation_cycles=accumulation,
+            activation_cycles=activation,
+            total_cycles=busy + activation,
+            input_events=int(round(events)),
+            stall_cycles=abs(compression - accumulation),
+        )
+
+    @staticmethod
+    def merge(timings: List[SparseLayerTiming]) -> SparseLayerTiming:
+        """Sum per-timestep timings into a whole-inference figure."""
+        if not timings:
+            raise HardwareModelError("cannot merge an empty timing list")
+        return SparseLayerTiming(
+            compression_cycles=sum(t.compression_cycles for t in timings),
+            accumulation_cycles=sum(t.accumulation_cycles for t in timings),
+            activation_cycles=sum(t.activation_cycles for t in timings),
+            total_cycles=sum(t.total_cycles for t in timings),
+            input_events=sum(t.input_events for t in timings),
+            stall_cycles=sum(t.stall_cycles for t in timings),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"SparseCoreModel(nc_count={self.nc_count}, "
+            f"chunk_bits={self.chunk_bits})"
+        )

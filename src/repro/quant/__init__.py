@@ -1,0 +1,49 @@
+"""Quantization-aware training and integer deployment (Sec. II-B / III).
+
+The paper trains with QAT (Jacob et al., 2018): weights and biases see
+quantization noise during training through fake-quant operators with a
+straight-through gradient estimator; at deployment they are true integers
+with per-layer (or per-channel) scales, while neuronal state (membrane
+potential) stays floating point -- exactly the paper's arrangement, where
+the accelerator de-quantizes weights with shift-and-add constant
+multipliers and accumulates float membranes.
+
+Workflow::
+
+    net = snn.build_vgg9(...)
+    quant.prepare_qat(net, quant.INT4)     # wrap layers with fake-quant
+    Trainer(net, cfg).fit(...)             # QAT
+    deployable = quant.convert(net, quant.INT4)   # fold BN + integer weights
+    # deployable runs on repro.hw.HybridSimulator
+"""
+
+from repro.quant.schemes import FP32, INT4, INT8, QuantScheme
+from repro.quant.quantizer import (
+    dequantize_array,
+    fake_quant,
+    quantize_array,
+)
+from repro.quant.qat import QATConv2d, QATLinear, prepare_qat, strip_qat
+from repro.quant.fold import fold_batchnorm
+from repro.quant.convert import (
+    DeployableLayer,
+    DeployableNetwork,
+    convert,
+)
+
+__all__ = [
+    "DeployableLayer",
+    "DeployableNetwork",
+    "FP32",
+    "INT4",
+    "INT8",
+    "QATConv2d",
+    "QATLinear",
+    "QuantScheme",
+    "convert",
+    "dequantize_array",
+    "fake_quant",
+    "fold_batchnorm",
+    "prepare_qat",
+    "quantize_array",
+]

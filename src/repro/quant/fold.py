@@ -1,0 +1,59 @@
+"""Batch-norm folding.
+
+The accelerator has no batch-norm unit: at deployment BN's affine
+transform is folded into the preceding convolution's weights and bias,
+
+    w' = w * gamma / sqrt(var + eps)
+    b' = beta + (b - mu) * gamma / sqrt(var + eps)
+
+using the *running* statistics, which is exactly what evaluation-mode BN
+applies -- so folding is mathematically lossless for inference.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.snn.layers import BatchNorm2d
+from repro.snn.network import SpikingNetwork
+
+
+def fold_batchnorm(
+    network: SpikingNetwork,
+) -> Dict[str, Tuple[np.ndarray, np.ndarray]]:
+    """Return per-layer ``(weight, bias)`` with BN folded in.
+
+    Layers without BN pass through unchanged (bias may be synthesised as
+    zeros so every deployable layer has one). QAT wrappers are looked
+    through: folding operates on the latent float weights; the conversion
+    step re-quantizes afterwards.
+    """
+    folded: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+    for stage in network.compute_stages():
+        layer = getattr(stage.layer, "inner", stage.layer)
+        weight = layer.weight.data.copy()
+        if layer.bias is not None:
+            bias = layer.bias.data.copy()
+        else:
+            bias = np.zeros(weight.shape[0], dtype=np.float32)
+        folded[stage.name] = _fold_one(weight, bias, stage.bn)
+    return folded
+
+
+def _fold_one(
+    weight: np.ndarray,
+    bias: np.ndarray,
+    bn: Optional[BatchNorm2d],
+) -> Tuple[np.ndarray, np.ndarray]:
+    if bn is None:
+        return weight, bias
+    inv_std = 1.0 / np.sqrt(bn.running_var + bn.eps)
+    gamma = bn.gamma.data
+    beta = bn.beta.data
+    factor = (gamma * inv_std).astype(np.float32)
+    shape = (weight.shape[0],) + (1,) * (weight.ndim - 1)
+    folded_weight = weight * factor.reshape(shape)
+    folded_bias = beta + (bias - bn.running_mean) * factor
+    return folded_weight.astype(np.float32), folded_bias.astype(np.float32)

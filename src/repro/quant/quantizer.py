@@ -1,0 +1,76 @@
+"""Uniform quantize / dequantize primitives and the fake-quant operator."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import QuantizationError
+from repro.quant.schemes import QuantScheme
+from repro.tensor import Tensor, ops
+
+
+def _scales(weights: np.ndarray, scheme: QuantScheme) -> np.ndarray:
+    """Symmetric scale(s): max|w| / qmax, per tensor or per out-channel.
+
+    A zero scale (all-zero channel) maps to 1.0 so the quantized values
+    are simply zeros instead of NaNs.
+    """
+    if scheme.per_channel and weights.ndim >= 2:
+        flat = np.abs(weights).reshape(weights.shape[0], -1)
+        max_abs = flat.max(axis=1)
+    else:
+        max_abs = np.asarray(np.abs(weights).max())
+    scale = max_abs / scheme.qmax
+    return np.where(scale > 0, scale, 1.0).astype(np.float32)
+
+
+def _broadcast_scale(scale: np.ndarray, ndim: int) -> np.ndarray:
+    """Reshape per-channel scales to broadcast over trailing axes."""
+    if scale.ndim == 0:
+        return scale
+    return scale.reshape(scale.shape + (1,) * (ndim - 1))
+
+
+def quantize_array(
+    weights: np.ndarray, scheme: QuantScheme
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Quantize to integers.
+
+    Returns:
+        (q, scale): ``q`` is an int32 array of round(w/scale) clipped to
+        [-qmax, qmax]; ``scale`` is scalar or (out_channels,).
+    """
+    if scheme.is_float:
+        raise QuantizationError("cannot integer-quantize with the fp32 scheme")
+    weights = np.asarray(weights, dtype=np.float32)
+    scale = _scales(weights, scheme)
+    q = np.round(weights / _broadcast_scale(scale, weights.ndim))
+    q = np.clip(q, -scheme.qmax, scheme.qmax).astype(np.int32)
+    return q, scale
+
+
+def dequantize_array(q: np.ndarray, scale: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`quantize_array` (up to rounding error)."""
+    q = np.asarray(q)
+    return (q * _broadcast_scale(np.asarray(scale, dtype=np.float32), q.ndim)).astype(
+        np.float32
+    )
+
+
+def fake_quant(weight: Tensor, scheme: QuantScheme) -> Tensor:
+    """Quantize-dequantize with a straight-through gradient (QAT core).
+
+    Forward emits the dequantized integer approximation of ``weight`` so
+    the loss *sees* quantization noise; backward passes the gradient
+    through unmodified inside the representable range and zero outside it
+    (the saturated region cannot be improved by nudging the latent float).
+    """
+    if scheme.is_float:
+        return weight
+    q, scale = quantize_array(weight.data, scheme)
+    value = dequantize_array(q, scale)
+    limit = _broadcast_scale(np.asarray(scale), weight.data.ndim) * scheme.qmax
+    pass_mask = (np.abs(weight.data) <= limit).astype(np.float32)
+    return ops.straight_through(weight, value, pass_mask)

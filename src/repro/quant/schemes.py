@@ -1,0 +1,74 @@
+"""Quantization schemes (bit width, symmetry, granularity)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import QuantizationError
+
+
+@dataclass(frozen=True)
+class QuantScheme:
+    """A uniform integer quantization recipe.
+
+    Attributes:
+        bits: integer width; ``None`` denotes full precision (the fp32
+            reference arm of every paper experiment).
+        symmetric: symmetric (zero-point = 0) quantization; the paper's
+            shift-and-add de-quantizer implies symmetric scales.
+        per_channel: one scale per output channel (row) instead of one per
+            tensor; preserves accuracy after batch-norm folding.
+    """
+
+    bits: Optional[int] = 4
+    symmetric: bool = True
+    per_channel: bool = True
+
+    def __post_init__(self) -> None:
+        if self.bits is not None and not 2 <= self.bits <= 16:
+            raise QuantizationError(
+                f"bits must be in [2, 16] or None for fp32, got {self.bits}"
+            )
+        if self.bits is not None and not self.symmetric:
+            raise QuantizationError(
+                "asymmetric quantization is not supported by the "
+                "shift-and-add hardware model"
+            )
+
+    @property
+    def is_float(self) -> bool:
+        return self.bits is None
+
+    @property
+    def qmax(self) -> int:
+        """Largest representable magnitude, e.g. 7 for int4."""
+        if self.bits is None:
+            raise QuantizationError("fp32 scheme has no integer range")
+        return 2 ** (self.bits - 1) - 1
+
+    @property
+    def name(self) -> str:
+        return "fp32" if self.bits is None else f"int{self.bits}"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+#: The two precisions compared throughout the paper plus an int8 midpoint.
+INT4 = QuantScheme(bits=4)
+INT8 = QuantScheme(bits=8)
+FP32 = QuantScheme(bits=None)
+
+
+def scheme_by_name(name: str) -> QuantScheme:
+    """Look up 'fp32' / 'int4' / 'int8' / 'intN'."""
+    normalized = name.strip().lower()
+    if normalized == "fp32":
+        return FP32
+    if normalized.startswith("int"):
+        try:
+            return QuantScheme(bits=int(normalized[3:]))
+        except ValueError:
+            pass
+    raise QuantizationError(f"unknown quantization scheme {name!r}")

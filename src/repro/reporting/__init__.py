@@ -1,0 +1,6 @@
+"""Result tables, figure series, and paper-vs-measured comparisons."""
+
+from repro.reporting.tables import Series, Table
+from repro.reporting.comparison import ComparisonRow, PaperComparison
+
+__all__ = ["ComparisonRow", "PaperComparison", "Series", "Table"]

@@ -1,0 +1,89 @@
+"""Paper-vs-measured comparisons.
+
+EXPERIMENTS.md is generated from these: each row pairs a metric the paper
+reports with our measured value, and the verdict records whether the
+*shape* of the result holds (direction / rough factor), which is the
+reproduction target -- absolute numbers differ because the substrate is a
+simulator and the datasets are synthetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.reporting.tables import Table
+
+
+@dataclass
+class ComparisonRow:
+    """One metric compared between paper and reproduction."""
+
+    metric: str
+    paper_value: Optional[float]
+    measured_value: Optional[float]
+    unit: str = ""
+    higher_is_better: Optional[bool] = None
+
+    @property
+    def ratio(self) -> Optional[float]:
+        if (
+            self.paper_value in (None, 0)
+            or self.measured_value is None
+        ):
+            return None
+        return self.measured_value / self.paper_value
+
+    def direction_matches(self, reference: "ComparisonRow") -> bool:
+        """True when this row beats/loses to ``reference`` the same way in
+        paper and in measurement (sign of the comparison agrees)."""
+        if None in (
+            self.paper_value,
+            self.measured_value,
+            reference.paper_value,
+            reference.measured_value,
+        ):
+            return False
+        paper_sign = self.paper_value - reference.paper_value
+        measured_sign = self.measured_value - reference.measured_value
+        return (paper_sign >= 0) == (measured_sign >= 0)
+
+
+@dataclass
+class PaperComparison:
+    """A named set of comparison rows with an overall verdict."""
+
+    name: str
+    rows: List[ComparisonRow] = field(default_factory=list)
+    verdict: str = ""
+
+    def add(
+        self,
+        metric: str,
+        paper: Optional[float],
+        measured: Optional[float],
+        unit: str = "",
+    ) -> None:
+        self.rows.append(
+            ComparisonRow(
+                metric=metric,
+                paper_value=paper,
+                measured_value=measured,
+                unit=unit,
+            )
+        )
+
+    def as_table(self) -> Table:
+        table = Table(
+            title=self.name,
+            columns=["metric", "paper", "measured", "measured/paper"],
+        )
+        for row in self.rows:
+            label = f"{row.metric} [{row.unit}]" if row.unit else row.metric
+            table.add_row(label, row.paper_value, row.measured_value, row.ratio)
+        if self.verdict:
+            table.add_note(f"verdict: {self.verdict}")
+        return table
+
+    def render(self) -> str:
+        return self.as_table().render()

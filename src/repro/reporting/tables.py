@@ -1,0 +1,110 @@
+"""Lightweight table / series containers with text renderers.
+
+Every experiment harness returns these instead of printing directly, so
+benches, the CLI and the EXPERIMENTS.md generator all share one path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.errors import ReproError
+
+
+def _format(value: Any) -> str:
+    if value is None:
+        return "--"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1000 or magnitude < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A titled table with named columns."""
+
+    title: str
+    columns: List[str]
+    rows: List[List[Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *values: Any) -> None:
+        if len(values) != len(self.columns):
+            raise ReproError(
+                f"row has {len(values)} values, table {self.title!r} has "
+                f"{len(self.columns)} columns"
+            )
+        self.rows.append(list(values))
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def column(self, name: str) -> List[Any]:
+        try:
+            index = self.columns.index(name)
+        except ValueError:
+            raise ReproError(
+                f"table {self.title!r} has no column {name!r}"
+            ) from None
+        return [row[index] for row in self.rows]
+
+    def render(self) -> str:
+        """Markdown-style rendering with aligned columns."""
+        cells = [[_format(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(self.columns[i]), *(len(r[i]) for r in cells)) if cells else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        header = " | ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        divider = "-|-".join("-" * w for w in widths)
+        lines = [f"### {self.title}", "", f"| {header} |", f"|-{divider}-|"]
+        for row in cells:
+            lines.append(
+                "| " + " | ".join(v.ljust(w) for v, w in zip(row, widths)) + " |"
+            )
+        for note in self.notes:
+            lines.append(f"\n*{note}*")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+@dataclass
+class Series:
+    """One named data series of a figure (x -> y)."""
+
+    name: str
+    x_label: str
+    y_label: str
+    x: List[Any] = field(default_factory=list)
+    y: List[float] = field(default_factory=list)
+
+    def add_point(self, x: Any, y: float) -> None:
+        self.x.append(x)
+        self.y.append(float(y))
+
+    def as_table(self) -> Table:
+        table = Table(
+            title=self.name, columns=[self.x_label, self.y_label]
+        )
+        for x, y in zip(self.x, self.y):
+            table.add_row(x, y)
+        return table
+
+    def render(self) -> str:
+        return self.as_table().render()
+
+
+def render_figure(title: str, series: Sequence[Series]) -> str:
+    """Render several series of one figure as stacked tables."""
+    parts = [f"## {title}"]
+    for one in series:
+        parts.append(one.render())
+    return "\n\n".join(parts)

@@ -1,0 +1,50 @@
+"""Spiking neural network framework: neurons, layers, coding, training.
+
+Implements the algorithmic side of the paper: LIF dynamics (Eq. 1-2),
+surrogate-gradient BPTT training, direct and rate input coding, the
+population-coded readout, and the VGG9 network used in the evaluation.
+"""
+
+from repro.snn.arch import LayerSpec, parse_architecture, VGG9_ARCH
+from repro.snn.encoding import DirectEncoder, Encoder, RateEncoder, make_encoder
+from repro.snn.layers import (
+    BatchNorm2d,
+    Module,
+    SpikingConv2d,
+    SpikingLinear,
+    SpikeMaxPool2d,
+)
+from repro.snn.metrics import SpikeStats, accuracy
+from repro.snn.network import NetworkOutput, SpikingNetwork, build_network, build_vgg9
+from repro.snn.neuron import LIFConfig, LIFNeuron
+from repro.snn.surrogate import ATanSurrogate, FastSigmoidSurrogate, Surrogate
+from repro.snn.training import Trainer, TrainingConfig, TrainingResult
+
+__all__ = [
+    "ATanSurrogate",
+    "BatchNorm2d",
+    "DirectEncoder",
+    "Encoder",
+    "FastSigmoidSurrogate",
+    "LIFConfig",
+    "LIFNeuron",
+    "LayerSpec",
+    "Module",
+    "NetworkOutput",
+    "RateEncoder",
+    "SpikeMaxPool2d",
+    "SpikeStats",
+    "SpikingConv2d",
+    "SpikingLinear",
+    "SpikingNetwork",
+    "Surrogate",
+    "Trainer",
+    "TrainingConfig",
+    "TrainingResult",
+    "VGG9_ARCH",
+    "accuracy",
+    "build_network",
+    "build_vgg9",
+    "make_encoder",
+    "parse_architecture",
+]

@@ -1,0 +1,156 @@
+"""Architecture-string parser.
+
+The paper describes its network compactly (Sec. V-A)::
+
+    64C3-112C3-MP2-192C3-216C3-MP2-480C3-504C3-560C3-MP2-1064-P
+
+where ``XCY`` is a convolution with X filters of size YxY, ``MPZ`` is ZxZ
+max-pooling, a bare integer is a fully connected layer with that many
+neurons, and ``P`` is the population-coded output layer whose size is a
+free parameter (1000 for SVHN/CIFAR10, 5000 for CIFAR100).
+
+This module parses such strings into :class:`LayerSpec` lists and supports
+uniform channel scaling, which the experiment harness uses to run reduced
+networks with identical structure.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, replace
+from typing import List, Optional
+
+from repro.errors import ArchitectureError
+
+#: The exact network evaluated in the paper.
+VGG9_ARCH = "64C3-112C3-MP2-192C3-216C3-MP2-480C3-504C3-560C3-MP2-1064-P"
+
+_CONV_RE = re.compile(r"^(\d+)C(\d+)$")
+_POOL_RE = re.compile(r"^MP(\d+)$")
+_FC_RE = re.compile(r"^(\d+)$")
+
+
+@dataclass(frozen=True)
+class LayerSpec:
+    """One token of an architecture string.
+
+    Attributes:
+        kind: 'conv' | 'pool' | 'fc' | 'population'.
+        units: filters (conv) or neurons (fc/population); 0 for pool.
+        kernel: filter size for conv, pool window for pool, else 0.
+        name: human-readable layer name assigned by the parser
+            ('conv1_1', 'conv1_2', ..., 'fc1', 'fc2'); pools are named
+            after their position ('pool1', ...).
+    """
+
+    kind: str
+    units: int = 0
+    kernel: int = 0
+    name: str = ""
+
+    @property
+    def is_compute(self) -> bool:
+        """True for layers that own weights (conv / fc / population)."""
+        return self.kind in ("conv", "fc", "population")
+
+
+def parse_architecture(
+    arch: str,
+    population: Optional[int] = None,
+    channel_scale: float = 1.0,
+) -> List[LayerSpec]:
+    """Parse an architecture string into layer specs.
+
+    Args:
+        arch: string such as :data:`VGG9_ARCH`.
+        population: number of neurons substituted for the ``P`` token;
+            required when the string contains one.
+        channel_scale: multiply conv channel counts and fc widths by this
+            factor (each rounded, floor of 4) to build reduced networks.
+
+    Raises:
+        ArchitectureError: on malformed tokens, a missing population size,
+            or a network with no compute layers.
+    """
+    if channel_scale <= 0:
+        raise ArchitectureError(f"channel_scale must be positive, got {channel_scale}")
+    tokens = [token for token in arch.strip().split("-") if token]
+    if not tokens:
+        raise ArchitectureError("empty architecture string")
+
+    specs: List[LayerSpec] = []
+    for token in tokens:
+        conv = _CONV_RE.match(token)
+        pool = _POOL_RE.match(token)
+        fc = _FC_RE.match(token)
+        if conv:
+            units = _scaled(int(conv.group(1)), channel_scale)
+            specs.append(LayerSpec("conv", units=units, kernel=int(conv.group(2))))
+        elif pool:
+            specs.append(LayerSpec("pool", kernel=int(pool.group(1))))
+        elif fc:
+            units = _scaled(int(fc.group(1)), channel_scale)
+            specs.append(LayerSpec("fc", units=units))
+        elif token == "P":
+            if population is None:
+                raise ArchitectureError(
+                    "architecture contains a population layer 'P' but no "
+                    "population size was given"
+                )
+            specs.append(LayerSpec("population", units=int(population)))
+        else:
+            raise ArchitectureError(f"unrecognised architecture token {token!r}")
+
+    if not any(spec.is_compute for spec in specs):
+        raise ArchitectureError(f"architecture {arch!r} has no compute layers")
+    return _assign_names(specs)
+
+
+def _scaled(value: int, scale: float) -> int:
+    return max(4, int(round(value * scale)))
+
+
+def _assign_names(specs: List[LayerSpec]) -> List[LayerSpec]:
+    """Name layers VGG-style: conv<block>_<index within block>, fc<n>.
+
+    A new block starts after every pool, mirroring the paper's Table I
+    naming (CONV1_1, CONV1_2, CONV2_1, ...).
+    """
+    named: List[LayerSpec] = []
+    block = 1
+    conv_in_block = 0
+    fc_count = 0
+    pool_count = 0
+    for spec in specs:
+        if spec.kind == "conv":
+            conv_in_block += 1
+            named.append(replace(spec, name=f"conv{block}_{conv_in_block}"))
+        elif spec.kind == "pool":
+            pool_count += 1
+            named.append(replace(spec, name=f"pool{pool_count}"))
+            block += 1
+            conv_in_block = 0
+        else:  # fc / population
+            fc_count += 1
+            named.append(replace(spec, name=f"fc{fc_count}"))
+    return named
+
+
+def compute_layer_names(specs: List[LayerSpec]) -> List[str]:
+    """Names of weight-bearing layers, in execution order."""
+    return [spec.name for spec in specs if spec.is_compute]
+
+
+def describe(specs: List[LayerSpec]) -> str:
+    """Re-render specs in the paper's compact notation (for logging)."""
+    parts = []
+    for spec in specs:
+        if spec.kind == "conv":
+            parts.append(f"{spec.units}C{spec.kernel}")
+        elif spec.kind == "pool":
+            parts.append(f"MP{spec.kernel}")
+        elif spec.kind == "fc":
+            parts.append(str(spec.units))
+        else:
+            parts.append(f"P{spec.units}")
+    return "-".join(parts)

@@ -1,0 +1,113 @@
+"""Input encodings: direct coding and rate coding (Sec. I / Sec. V-D).
+
+*Direct coding* feeds the raw analog image into the first convolution at
+every timestep; the first LIF layer converts the resulting currents into
+spikes. The input layer therefore sees dense, non-binary data -- the
+reason the paper pairs it with a dedicated dense core.
+
+*Rate coding* converts each pixel into a Bernoulli spike train whose rate
+is the (normalised) intensity, so every layer -- including the first --
+receives binary, sparse inputs and can run on sparse cores alone.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.tensor import Tensor
+from repro.utils.rng import SeedLike, new_rng
+
+
+class Encoder:
+    """Produces the network input for timestep ``t`` from an image batch."""
+
+    #: True when the first layer receives analog (non-binary) values.
+    analog_input = False
+    name = "base"
+
+    def encode(self, images: np.ndarray, t: int) -> Tensor:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Called once per forward pass, before timestep 0."""
+
+
+class DirectEncoder(Encoder):
+    """Direct coding: the same analog frame is presented every timestep."""
+
+    analog_input = True
+    name = "direct"
+
+    def encode(self, images: np.ndarray, t: int) -> Tensor:
+        return Tensor(images)
+
+
+class RateEncoder(Encoder):
+    """Rate coding: pixel intensity -> Bernoulli firing probability.
+
+    Intensities are clipped to [0, 1] (our synthetic datasets already live
+    there); ``gain`` rescales the probability, trading spike density
+    against information per timestep.
+    """
+
+    analog_input = False
+    name = "rate"
+
+    def __init__(self, gain: float = 1.0, seed: SeedLike = None) -> None:
+        if not 0.0 < gain <= 1.0:
+            raise ConfigError(f"gain must be in (0, 1], got {gain}")
+        self.gain = gain
+        self._rng = new_rng(seed)
+
+    def encode(self, images: np.ndarray, t: int) -> Tensor:
+        probabilities = np.clip(images, 0.0, 1.0) * self.gain
+        spikes = (
+            self._rng.random(images.shape) < probabilities
+        ).astype(np.float32)
+        return Tensor(spikes)
+
+
+class TtfsEncoder(Encoder):
+    """Time-to-first-spike coding: brighter pixels fire *earlier*.
+
+    An extension beyond the paper's direct/rate comparison (its Sec. VI
+    calls for evaluating more encodings): each pixel emits exactly one
+    spike across the ``timesteps`` horizon, at
+    ``t = floor((1 - intensity) * timesteps)``. The resulting trains are
+    even sparser than rate coding (one spike per pixel total), at the
+    cost of needing enough timesteps to resolve intensity.
+    """
+
+    analog_input = False
+    name = "ttfs"
+
+    def __init__(self, timesteps: int) -> None:
+        if timesteps < 1:
+            raise ConfigError(f"timesteps must be >= 1, got {timesteps}")
+        self.timesteps = timesteps
+
+    def encode(self, images: np.ndarray, t: int) -> Tensor:
+        intensity = np.clip(images, 0.0, 1.0)
+        fire_step = np.minimum(
+            (1.0 - intensity) * self.timesteps, self.timesteps - 1
+        ).astype(np.int64)
+        return Tensor((fire_step == t).astype(np.float32))
+
+
+def make_encoder(
+    name: str,
+    seed: SeedLike = None,
+    gain: float = 1.0,
+    timesteps: int = 8,
+) -> Encoder:
+    """Instantiate an encoder by name ('direct', 'rate' or 'ttfs')."""
+    if name == "direct":
+        return DirectEncoder()
+    if name == "rate":
+        return RateEncoder(gain=gain, seed=seed)
+    if name == "ttfs":
+        return TtfsEncoder(timesteps=timesteps)
+    raise ConfigError(
+        f"unknown encoder {name!r}; expected 'direct', 'rate' or 'ttfs'"
+    )

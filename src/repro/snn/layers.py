@@ -1,0 +1,287 @@
+"""Trainable spiking layers: conv, linear, batch norm, spike max-pool.
+
+Layers expose a tiny ``Module`` protocol (parameters / train-mode /
+state-dict) sufficient for the trainer, the quantizer, and serialization
+without dragging in a full framework.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.tensor import Tensor, ops, parameter
+from repro.utils.rng import SeedLike, new_rng
+
+
+class Module:
+    """Minimal module protocol shared by all trainable components."""
+
+    training: bool = True
+
+    def parameters(self) -> List[Tensor]:
+        """All trainable tensors owned (directly) by this module."""
+        return []
+
+    def train(self, mode: bool = True) -> "Module":
+        self.training = mode
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Copy of every persistent array, keyed by attribute name."""
+        return {}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        own = self.state_dict()
+        missing = sorted(set(own) - set(state))
+        if missing:
+            raise KeyError(f"missing keys in state dict: {missing}")
+        for key in own:
+            self._assign_state(key, np.asarray(state[key]))
+
+    def _assign_state(self, key: str, value: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def named_parameters(self) -> Iterator:
+        for index, tensor in enumerate(self.parameters()):
+            yield f"{type(self).__name__.lower()}.{index}", tensor
+
+
+def _kaiming_normal(
+    rng: np.random.Generator, shape: tuple, fan_in: int
+) -> np.ndarray:
+    """He-normal initialisation, the standard choice for ReLU-like nets and
+    the default snnTorch setup the paper trains with."""
+    std = np.sqrt(2.0 / max(fan_in, 1))
+    return rng.normal(0.0, std, size=shape).astype(np.float32)
+
+
+class SpikingConv2d(Module):
+    """3x3-style convolution producing input *current* for a LIF layer.
+
+    The weight layout is (out_channels, in_channels, k, k); stride is fixed
+    at 1 and 'same' padding = k // 2 follows the paper's VGG9 (all 3x3,
+    spatial size preserved; downsampling happens only in max-pool).
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int = 3,
+        bias: bool = True,
+        seed: SeedLike = None,
+    ) -> None:
+        if in_channels < 1 or out_channels < 1:
+            raise ShapeError(
+                f"channel counts must be >= 1, got ({in_channels}, {out_channels})"
+            )
+        rng = new_rng(seed)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.padding = kernel_size // 2
+        fan_in = in_channels * kernel_size * kernel_size
+        self.weight = parameter(
+            _kaiming_normal(rng, (out_channels, in_channels, kernel_size, kernel_size), fan_in),
+            name="conv.weight",
+        )
+        self.bias: Optional[Tensor]
+        if bias:
+            self.bias = parameter(np.zeros(out_channels, dtype=np.float32), name="conv.bias")
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.conv2d(x, self.weight, self.bias, stride=1, padding=self.padding)
+
+    __call__ = forward
+
+    def parameters(self) -> List[Tensor]:
+        params = [self.weight]
+        if self.bias is not None:
+            params.append(self.bias)
+        return params
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        state = {"weight": self.weight.data.copy()}
+        if self.bias is not None:
+            state["bias"] = self.bias.data.copy()
+        return state
+
+    def _assign_state(self, key: str, value: np.ndarray) -> None:
+        target = {"weight": self.weight, "bias": self.bias}[key]
+        if target is None:
+            raise KeyError(f"layer has no {key!r}")
+        if target.data.shape != value.shape:
+            raise ShapeError(
+                f"state {key!r} shape {value.shape} != expected {target.data.shape}"
+            )
+        target.data = value.astype(np.float32)
+
+    def __repr__(self) -> str:
+        return (
+            f"SpikingConv2d({self.in_channels}, {self.out_channels}, "
+            f"k={self.kernel_size})"
+        )
+
+
+class SpikingLinear(Module):
+    """Fully connected layer producing LIF input current."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        seed: SeedLike = None,
+    ) -> None:
+        if in_features < 1 or out_features < 1:
+            raise ShapeError(
+                f"feature counts must be >= 1, got ({in_features}, {out_features})"
+            )
+        rng = new_rng(seed)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = parameter(
+            _kaiming_normal(rng, (out_features, in_features), in_features),
+            name="linear.weight",
+        )
+        self.bias: Optional[Tensor]
+        if bias:
+            self.bias = parameter(np.zeros(out_features, dtype=np.float32), name="linear.bias")
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 2:
+            x = x.reshape(x.shape[0], -1)
+        if x.shape[1] != self.in_features:
+            raise ShapeError(
+                f"linear layer expects {self.in_features} features, got {x.shape[1]}"
+            )
+        return ops.linear(x, self.weight, self.bias)
+
+    __call__ = forward
+
+    def parameters(self) -> List[Tensor]:
+        params = [self.weight]
+        if self.bias is not None:
+            params.append(self.bias)
+        return params
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        state = {"weight": self.weight.data.copy()}
+        if self.bias is not None:
+            state["bias"] = self.bias.data.copy()
+        return state
+
+    def _assign_state(self, key: str, value: np.ndarray) -> None:
+        target = {"weight": self.weight, "bias": self.bias}[key]
+        if target is None:
+            raise KeyError(f"layer has no {key!r}")
+        if target.data.shape != value.shape:
+            raise ShapeError(
+                f"state {key!r} shape {value.shape} != expected {target.data.shape}"
+            )
+        target.data = value.astype(np.float32)
+
+    def __repr__(self) -> str:
+        return f"SpikingLinear({self.in_features}, {self.out_features})"
+
+
+class BatchNorm2d(Module):
+    """Per-channel batch normalisation over (N, H, W).
+
+    The paper uses layer-wise batch norm to prevent overfitting (Sec. V-A).
+    In an SNN the same BN layer is applied at every timestep; running
+    statistics therefore accumulate across timesteps as well as batches.
+    At deployment BN folds into the preceding convolution
+    (:func:`repro.quant.fold.fold_batchnorm`), which is how the hardware
+    (which has no BN unit) realises it.
+    """
+
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1) -> None:
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.gamma = parameter(np.ones(num_features, dtype=np.float32), name="bn.gamma")
+        self.beta = parameter(np.zeros(num_features, dtype=np.float32), name="bn.beta")
+        self.running_mean = np.zeros(num_features, dtype=np.float32)
+        self.running_var = np.ones(num_features, dtype=np.float32)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 4 or x.shape[1] != self.num_features:
+            raise ShapeError(
+                f"BatchNorm2d({self.num_features}) got input shape {x.shape}"
+            )
+        if self.training:
+            mu = ops.mean(x, axis=(0, 2, 3), keepdims=True)
+            var = ops.mean((x - mu) ** 2.0, axis=(0, 2, 3), keepdims=True)
+            m = self.momentum
+            self.running_mean = (1 - m) * self.running_mean + m * mu.data.reshape(-1)
+            self.running_var = (1 - m) * self.running_var + m * var.data.reshape(-1)
+        else:
+            mu = Tensor(self.running_mean.reshape(1, -1, 1, 1))
+            var = Tensor(self.running_var.reshape(1, -1, 1, 1))
+        inv_std = ops.sqrt(var + Tensor(np.float32(self.eps))) ** -1.0
+        normalised = (x - mu) * inv_std
+        shape = (1, self.num_features, 1, 1)
+        return normalised * self.gamma.reshape(shape) + self.beta.reshape(shape)
+
+    __call__ = forward
+
+    def parameters(self) -> List[Tensor]:
+        return [self.gamma, self.beta]
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        return {
+            "gamma": self.gamma.data.copy(),
+            "beta": self.beta.data.copy(),
+            "running_mean": self.running_mean.copy(),
+            "running_var": self.running_var.copy(),
+        }
+
+    def _assign_state(self, key: str, value: np.ndarray) -> None:
+        if key == "gamma":
+            self.gamma.data = value.astype(np.float32)
+        elif key == "beta":
+            self.beta.data = value.astype(np.float32)
+        elif key == "running_mean":
+            self.running_mean = value.astype(np.float32)
+        elif key == "running_var":
+            self.running_var = value.astype(np.float32)
+        else:
+            raise KeyError(key)
+
+    def __repr__(self) -> str:
+        return f"BatchNorm2d({self.num_features})"
+
+
+class SpikeMaxPool2d(Module):
+    """Max pooling on binary spike maps == sliding an OR gate (Sec. IV-B).
+
+    The paper pools *spikes* rather than membrane potentials, which matches
+    SNN temporal dynamics and is free in hardware (an OR reduction over the
+    N x N window). On {0, 1} inputs max equals logical OR exactly.
+    """
+
+    def __init__(self, window: int = 2) -> None:
+        if window < 1:
+            raise ShapeError(f"pool window must be >= 1, got {window}")
+        self.window = window
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.window == 1:
+            return x
+        return ops.maxpool2d(x, self.window)
+
+    __call__ = forward
+
+    def __repr__(self) -> str:
+        return f"SpikeMaxPool2d({self.window})"

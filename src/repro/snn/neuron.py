@@ -1,0 +1,100 @@
+"""Leaky integrate-and-fire neuron (Eq. 1 and 2 of the paper).
+
+Membrane update with reset-by-subtraction::
+
+    u[t+1] = beta * u[t] + I[t] - s[t] * theta        (Eq. 1)
+    s[t]   = 1 if u[t] > theta else 0                 (Eq. 2)
+
+where ``beta`` is the leak (decay) factor and ``theta`` the firing
+threshold. The paper tunes ``beta = 0.15`` and ``theta = 0.5``; a *lower*
+beta forgets faster (sparser temporal integration), a *lower* theta fires
+more easily.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.tensor import Tensor, ops
+from repro.snn.surrogate import ATanSurrogate, Surrogate
+
+#: Hyper-parameters used throughout the paper's evaluation (Sec. V-A).
+PAPER_BETA = 0.15
+PAPER_THETA = 0.5
+
+
+@dataclass(frozen=True)
+class LIFConfig:
+    """LIF hyper-parameters.
+
+    Attributes:
+        beta: membrane leak factor in [0, 1]; 1 keeps the full previous
+            potential, 0 integrates only the instantaneous input.
+        threshold: firing threshold theta (> 0).
+    """
+
+    beta: float = PAPER_BETA
+    threshold: float = PAPER_THETA
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.beta <= 1.0:
+            raise ConfigError(f"beta must be in [0, 1], got {self.beta}")
+        if self.threshold <= 0.0:
+            raise ConfigError(f"threshold must be positive, got {self.threshold}")
+
+
+class LIFNeuron:
+    """A layer of LIF neurons sharing one (beta, theta) configuration.
+
+    The neuron is *stateless at the object level*: membrane potential is
+    threaded through :meth:`step` explicitly so one instance can serve
+    several batches/timesteps and BPTT can unroll cleanly.
+    """
+
+    def __init__(
+        self,
+        config: Optional[LIFConfig] = None,
+        surrogate: Optional[Surrogate] = None,
+    ) -> None:
+        self.config = config or LIFConfig()
+        # ATan keeps gradient magnitudes flat through the nine layers of
+        # the paper's VGG9 (the fast sigmoid's tighter bump vanishes over
+        # depth); it is the surrogate of the paper's reference [10].
+        self.surrogate = surrogate or ATanSurrogate()
+
+    def initial_state(self, current: Tensor) -> Tensor:
+        """Zero membrane potential matching the input's shape."""
+        import numpy as np
+
+        return Tensor(np.zeros(current.shape, dtype=current.data.dtype))
+
+    def step(self, current: Tensor, membrane: Optional[Tensor]) -> Tuple[Tensor, Tensor]:
+        """One timestep of Eq. 1/2.
+
+        Args:
+            current: weighted input current I[t] (conv/linear output).
+            membrane: u[t] from the previous step, or None for u[0] = 0.
+
+        Returns:
+            (spikes, new_membrane): the binary spike tensor s[t] and the
+            post-reset membrane potential u[t+1].
+        """
+        cfg = self.config
+        if membrane is None:
+            integrated = current
+        else:
+            integrated = membrane * cfg.beta + current
+        spikes = ops.heaviside_surrogate(
+            integrated - cfg.threshold, self.surrogate
+        )
+        new_membrane = integrated - spikes * cfg.threshold
+        return spikes, new_membrane
+
+    def __repr__(self) -> str:
+        return (
+            f"LIFNeuron(beta={self.config.beta}, "
+            f"threshold={self.config.threshold}, "
+            f"surrogate={self.surrogate.name})"
+        )

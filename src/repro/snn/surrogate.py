@@ -1,0 +1,96 @@
+"""Surrogate gradient functions for the non-differentiable spike.
+
+The forward spike is a Heaviside step; its derivative is zero almost
+everywhere, which would kill backpropagation. Surrogate-gradient training
+(Neftci et al., 2019 -- reference [13] of the paper) replaces the backward
+derivative with a smooth bump centred on the threshold. The paper trains
+with snnTorch, whose default is the fast-sigmoid surrogate; we provide that
+plus the arctangent variant for ablations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Surrogate:
+    """Base class: a callable returning d(spike)/d(membrane - threshold)."""
+
+    name = "base"
+
+    def __call__(self, v: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class FastSigmoidSurrogate(Surrogate):
+    """Derivative of the fast sigmoid: ``1 / (1 + slope*|v|)^2``.
+
+    snnTorch's default surrogate (``surrogate.fast_sigmoid``); ``slope``
+    controls how sharply the gradient is concentrated at the threshold.
+    """
+
+    name = "fast_sigmoid"
+
+    def __init__(self, slope: float = 25.0) -> None:
+        if slope <= 0:
+            raise ValueError(f"slope must be positive, got {slope}")
+        self.slope = float(slope)
+
+    def __call__(self, v: np.ndarray) -> np.ndarray:
+        return 1.0 / (1.0 + self.slope * np.abs(v)) ** 2
+
+
+class ATanSurrogate(Surrogate):
+    """Derivative of a scaled arctangent: ``a / (2 * (1 + (pi/2 * a * v)^2))``.
+
+    The surrogate used by SpikingJelly and reference [10] of the paper.
+    """
+
+    name = "atan"
+
+    def __init__(self, alpha: float = 2.0) -> None:
+        if alpha <= 0:
+            raise ValueError(f"alpha must be positive, got {alpha}")
+        self.alpha = float(alpha)
+
+    def __call__(self, v: np.ndarray) -> np.ndarray:
+        scaled = (np.pi / 2.0) * self.alpha * v
+        return (self.alpha / 2.0) / (1.0 + scaled**2)
+
+
+class BoxcarSurrogate(Surrogate):
+    """Rectangular window: 1/(2*width) for |v| < width, else 0.
+
+    The simplest straight-through-style estimator; useful as an ablation
+    of surrogate shape sensitivity.
+    """
+
+    name = "boxcar"
+
+    def __init__(self, width: float = 0.5) -> None:
+        if width <= 0:
+            raise ValueError(f"width must be positive, got {width}")
+        self.width = float(width)
+
+    def __call__(self, v: np.ndarray) -> np.ndarray:
+        return (np.abs(v) < self.width).astype(v.dtype) / (2.0 * self.width)
+
+
+_REGISTRY = {
+    FastSigmoidSurrogate.name: FastSigmoidSurrogate,
+    ATanSurrogate.name: ATanSurrogate,
+    BoxcarSurrogate.name: BoxcarSurrogate,
+}
+
+
+def make_surrogate(name: str, **kwargs: float) -> Surrogate:
+    """Instantiate a surrogate by registry name (``fast_sigmoid`` etc.)."""
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ValueError(f"unknown surrogate {name!r}; known: {known}") from None
+    return cls(**kwargs)

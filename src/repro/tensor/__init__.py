@@ -1,0 +1,29 @@
+"""A small reverse-mode automatic differentiation engine on NumPy.
+
+This subpackage is the training substrate for the reproduction: the paper
+trains its SNNs with surrogate-gradient backpropagation-through-time using
+snnTorch; here the same mathematics runs on a self-contained tape-based
+autograd engine.
+
+Public surface:
+
+* :class:`~repro.tensor.tensor.Tensor` -- the differentiable array type,
+* :mod:`repro.tensor.ops` -- functional primitives (conv2d, matmul, ...),
+* :func:`~repro.tensor.tensor.parameter` -- convenience constructor for
+  trainable tensors,
+* :func:`~repro.tensor.grad_check.numeric_gradient` -- finite-difference
+  checker used by the test suite.
+"""
+
+from repro.tensor.tensor import Tensor, no_grad, parameter
+from repro.tensor import ops
+from repro.tensor.grad_check import gradient_error, numeric_gradient
+
+__all__ = [
+    "Tensor",
+    "gradient_error",
+    "no_grad",
+    "numeric_gradient",
+    "ops",
+    "parameter",
+]

@@ -1,0 +1,67 @@
+"""Finite-difference gradient checking used throughout the test suite.
+
+Surrogate-gradient ops intentionally have "wrong" (non-Heaviside)
+derivatives, so gradcheck is applied only to the smooth primitives.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor
+
+
+def numeric_gradient(
+    func: Callable[..., Tensor],
+    inputs: Sequence[Tensor],
+    wrt: int = 0,
+    eps: float = 1e-3,
+) -> np.ndarray:
+    """Central finite-difference gradient of ``sum(func(*inputs))``.
+
+    Uses float64 perturbation arithmetic to fight the float32 engine's
+    rounding, which is the dominant error source at small ``eps``.
+    """
+    target = inputs[wrt]
+    base = target.data.astype(np.float64).copy()
+    grad = np.zeros_like(base)
+    flat_grad = grad.reshape(-1)
+    flat_base = base.reshape(-1)
+    for index in range(flat_base.size):
+        original = flat_base[index]
+        flat_base[index] = original + eps
+        target.data = base.astype(np.float32)
+        high = float(func(*inputs).data.sum())
+        flat_base[index] = original - eps
+        target.data = base.astype(np.float32)
+        low = float(func(*inputs).data.sum())
+        flat_base[index] = original
+        flat_grad[index] = (high - low) / (2.0 * eps)
+    target.data = base.astype(np.float32)
+    return grad
+
+
+def gradient_error(
+    func: Callable[..., Tensor],
+    inputs: Sequence[Tensor],
+    wrt: int = 0,
+    eps: float = 1e-3,
+) -> float:
+    """Relative error between autograd and numeric gradients.
+
+    Returns ``max |g_auto - g_num| / (max |g_num| + 1)``; values below
+    ~1e-2 are considered a pass for float32.
+    """
+    for tensor in inputs:
+        tensor.zero_grad()
+    out = func(*inputs)
+    out.backward(np.ones_like(out.data))
+    target = inputs[wrt]
+    if target.grad is None:
+        raise AssertionError("autograd produced no gradient for the target input")
+    auto = target.grad.astype(np.float64)
+    num = numeric_gradient(func, inputs, wrt=wrt, eps=eps)
+    scale = np.abs(num).max() + 1.0
+    return float(np.abs(auto - num).max() / scale)

@@ -1,0 +1,589 @@
+"""Differentiable primitives for the autograd engine.
+
+Every function takes and returns :class:`~repro.tensor.tensor.Tensor`
+objects, computes its forward result eagerly with NumPy, and -- when
+gradients are enabled and any input requires them -- attaches a backward
+closure that scatters the output gradient back to the inputs.
+
+Conventions:
+
+* image tensors are NCHW: ``(batch, channels, height, width)``;
+* convolution is implemented with im2col/col2im, the standard reshaping
+  trick that turns it into one large matmul (fast in NumPy);
+* broadcasting in elementwise ops is supported and undone in backward by
+  summing over the broadcast axes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.tensor.tensor import DTYPE, Tensor, grad_enabled
+
+Axis = Optional[Union[int, Tuple[int, ...]]]
+
+
+# ---------------------------------------------------------------------------
+# Graph-construction helper
+# ---------------------------------------------------------------------------
+
+def _make(
+    data: np.ndarray,
+    parents: Tuple[Tensor, ...],
+    backward: Callable[[np.ndarray], None],
+) -> Tensor:
+    """Build the output tensor, recording the tape edge only when needed."""
+    requires = grad_enabled() and any(p.requires_grad for p in parents)
+    if not requires:
+        return Tensor(data)
+    out = Tensor(data, requires_grad=True, parents=parents, backward=backward)
+    return out
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape`` (inverse of NumPy broadcasting)."""
+    if grad.shape == shape:
+        return grad
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    axes = tuple(i for i, dim in enumerate(shape) if dim == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+# ---------------------------------------------------------------------------
+# Elementwise arithmetic
+# ---------------------------------------------------------------------------
+
+def add(a: Tensor, b: Tensor) -> Tensor:
+    data = a.data + b.data
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a.accumulate_grad(_unbroadcast(grad, a.shape))
+        if b.requires_grad:
+            b.accumulate_grad(_unbroadcast(grad, b.shape))
+
+    return _make(data, (a, b), backward)
+
+
+def sub(a: Tensor, b: Tensor) -> Tensor:
+    data = a.data - b.data
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a.accumulate_grad(_unbroadcast(grad, a.shape))
+        if b.requires_grad:
+            b.accumulate_grad(_unbroadcast(-grad, b.shape))
+
+    return _make(data, (a, b), backward)
+
+
+def mul(a: Tensor, b: Tensor) -> Tensor:
+    data = a.data * b.data
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a.accumulate_grad(_unbroadcast(grad * b.data, a.shape))
+        if b.requires_grad:
+            b.accumulate_grad(_unbroadcast(grad * a.data, b.shape))
+
+    return _make(data, (a, b), backward)
+
+
+def div(a: Tensor, b: Tensor) -> Tensor:
+    data = a.data / b.data
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a.accumulate_grad(_unbroadcast(grad / b.data, a.shape))
+        if b.requires_grad:
+            b.accumulate_grad(_unbroadcast(-grad * a.data / (b.data**2), b.shape))
+
+    return _make(data, (a, b), backward)
+
+
+def neg(a: Tensor) -> Tensor:
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a.accumulate_grad(-grad)
+
+    return _make(-a.data, (a,), backward)
+
+
+def power(a: Tensor, exponent: float) -> Tensor:
+    data = a.data**exponent
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a.accumulate_grad(grad * exponent * a.data ** (exponent - 1))
+
+    return _make(data, (a,), backward)
+
+
+def exp(a: Tensor) -> Tensor:
+    data = np.exp(a.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a.accumulate_grad(grad * data)
+
+    return _make(data, (a,), backward)
+
+
+def log(a: Tensor, eps: float = 1e-12) -> Tensor:
+    """Natural log with a small clamp for numerical safety."""
+    clamped = np.maximum(a.data, eps)
+    data = np.log(clamped)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a.accumulate_grad(grad / clamped)
+
+    return _make(data, (a,), backward)
+
+
+def sqrt(a: Tensor, eps: float = 0.0) -> Tensor:
+    data = np.sqrt(a.data + eps)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a.accumulate_grad(grad * 0.5 / np.maximum(data, 1e-12))
+
+    return _make(data, (a,), backward)
+
+
+def sigmoid(a: Tensor) -> Tensor:
+    data = 1.0 / (1.0 + np.exp(-a.data))
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a.accumulate_grad(grad * data * (1.0 - data))
+
+    return _make(data, (a,), backward)
+
+
+def relu(a: Tensor) -> Tensor:
+    mask = a.data > 0
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a.accumulate_grad(grad * mask)
+
+    return _make(a.data * mask, (a,), backward)
+
+
+def clip(a: Tensor, low: float, high: float) -> Tensor:
+    """Clamp values; gradient flows only through the un-clipped region."""
+    data = np.clip(a.data, low, high)
+    mask = (a.data >= low) & (a.data <= high)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a.accumulate_grad(grad * mask)
+
+    return _make(data, (a,), backward)
+
+
+# ---------------------------------------------------------------------------
+# Shape manipulation
+# ---------------------------------------------------------------------------
+
+def reshape(a: Tensor, shape: Sequence[int]) -> Tensor:
+    original = a.shape
+    data = a.data.reshape(shape)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a.accumulate_grad(grad.reshape(original))
+
+    return _make(data, (a,), backward)
+
+
+def transpose(a: Tensor, axes: Optional[Sequence[int]] = None) -> Tensor:
+    data = np.transpose(a.data, axes)
+    if axes is None:
+        inverse: Optional[Sequence[int]] = None
+    else:
+        inverse = np.argsort(np.asarray(axes))
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a.accumulate_grad(np.transpose(grad, inverse))
+
+    return _make(data, (a,), backward)
+
+
+def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad: np.ndarray) -> None:
+        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            if tensor.requires_grad:
+                index = [slice(None)] * grad.ndim
+                index[axis] = slice(start, stop)
+                tensor.accumulate_grad(grad[tuple(index)])
+
+    return _make(data, tuple(tensors), backward)
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad: np.ndarray) -> None:
+        slabs = np.moveaxis(grad, axis, 0)
+        for tensor, slab in zip(tensors, slabs):
+            if tensor.requires_grad:
+                tensor.accumulate_grad(slab)
+
+    return _make(data, tuple(tensors), backward)
+
+
+def pad2d(a: Tensor, padding: int) -> Tensor:
+    """Zero-pad the two trailing (spatial) axes of an NCHW tensor."""
+    if padding == 0:
+        return a
+    p = int(padding)
+    data = np.pad(a.data, ((0, 0), (0, 0), (p, p), (p, p)))
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a.accumulate_grad(grad[:, :, p:-p, p:-p])
+
+    return _make(data, (a,), backward)
+
+
+# ---------------------------------------------------------------------------
+# Reductions
+# ---------------------------------------------------------------------------
+
+def sum_(a: Tensor, axis: Axis = None, keepdims: bool = False) -> Tensor:
+    data = a.data.sum(axis=axis, keepdims=keepdims)
+
+    def backward(grad: np.ndarray) -> None:
+        if not a.requires_grad:
+            return
+        g = grad
+        if not keepdims and axis is not None:
+            axes = (axis,) if isinstance(axis, int) else tuple(axis)
+            axes = tuple(ax % a.data.ndim for ax in axes)
+            for ax in sorted(axes):
+                g = np.expand_dims(g, ax)
+        a.accumulate_grad(np.broadcast_to(g, a.shape).astype(DTYPE))
+
+    return _make(np.asarray(data, dtype=DTYPE), (a,), backward)
+
+
+def mean(a: Tensor, axis: Axis = None, keepdims: bool = False) -> Tensor:
+    if axis is None:
+        count = a.data.size
+    else:
+        axes = (axis,) if isinstance(axis, int) else tuple(axis)
+        count = int(np.prod([a.shape[ax % a.data.ndim] for ax in axes]))
+    total = sum_(a, axis=axis, keepdims=keepdims)
+    return mul(total, Tensor(np.asarray(1.0 / count, dtype=DTYPE)))
+
+
+def max_(a: Tensor, axis: int, keepdims: bool = False) -> Tensor:
+    """Maximum along one axis; ties share the gradient equally."""
+    data = a.data.max(axis=axis, keepdims=True)
+    mask = (a.data == data).astype(DTYPE)
+    mask /= np.maximum(mask.sum(axis=axis, keepdims=True), 1.0)
+    out = data if keepdims else np.squeeze(data, axis=axis)
+
+    def backward(grad: np.ndarray) -> None:
+        if not a.requires_grad:
+            return
+        g = grad if keepdims else np.expand_dims(grad, axis)
+        a.accumulate_grad(mask * g)
+
+    return _make(out, (a,), backward)
+
+
+# ---------------------------------------------------------------------------
+# Linear algebra
+# ---------------------------------------------------------------------------
+
+def matmul(a: Tensor, b: Tensor) -> Tensor:
+    if a.data.ndim != 2 or b.data.ndim != 2:
+        raise ShapeError(
+            f"matmul expects 2-D operands, got {a.shape} and {b.shape}"
+        )
+    data = a.data @ b.data
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a.accumulate_grad(grad @ b.data.T)
+        if b.requires_grad:
+            b.accumulate_grad(a.data.T @ grad)
+
+    return _make(data, (a, b), backward)
+
+
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Affine map ``x @ weight.T + bias`` for ``x``: (N, in), ``weight``: (out, in)."""
+    out = matmul(x, transpose(weight))
+    if bias is not None:
+        out = add(out, bias)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Convolution (im2col) and pooling
+# ---------------------------------------------------------------------------
+
+def _conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    return (size + 2 * padding - kernel) // stride + 1
+
+
+def im2col(
+    x: np.ndarray, kernel: Tuple[int, int], stride: int, padding: int
+) -> np.ndarray:
+    """Unfold NCHW ``x`` into columns of shape (N, C*kh*kw, OH*OW)."""
+    n, c, h, w = x.shape
+    kh, kw = kernel
+    oh = _conv_output_size(h, kh, stride, padding)
+    ow = _conv_output_size(w, kw, stride, padding)
+    if oh <= 0 or ow <= 0:
+        raise ShapeError(
+            f"convolution output would be empty for input {x.shape}, "
+            f"kernel {kernel}, stride {stride}, padding {padding}"
+        )
+    if padding:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    cols = np.empty((n, c, kh, kw, oh, ow), dtype=x.dtype)
+    for i in range(kh):
+        i_end = i + stride * oh
+        for j in range(kw):
+            j_end = j + stride * ow
+            cols[:, :, i, j, :, :] = x[:, :, i:i_end:stride, j:j_end:stride]
+    return cols.reshape(n, c * kh * kw, oh * ow)
+
+
+def col2im(
+    cols: np.ndarray,
+    input_shape: Tuple[int, int, int, int],
+    kernel: Tuple[int, int],
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Fold columns back (adjoint of :func:`im2col`; overlaps accumulate)."""
+    n, c, h, w = input_shape
+    kh, kw = kernel
+    oh = _conv_output_size(h, kh, stride, padding)
+    ow = _conv_output_size(w, kw, stride, padding)
+    cols = cols.reshape(n, c, kh, kw, oh, ow)
+    padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=cols.dtype)
+    for i in range(kh):
+        i_end = i + stride * oh
+        for j in range(kw):
+            j_end = j + stride * ow
+            padded[:, :, i:i_end:stride, j:j_end:stride] += cols[:, :, i, j, :, :]
+    if padding:
+        return padded[:, :, padding:-padding, padding:-padding]
+    return padded
+
+
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> Tensor:
+    """2-D cross-correlation over NCHW input.
+
+    Args:
+        x: input of shape (N, Cin, H, W).
+        weight: filters of shape (Cout, Cin, KH, KW).
+        bias: optional per-output-channel bias of shape (Cout,).
+    """
+    n, cin, h, w = x.shape
+    cout, cin_w, kh, kw = weight.shape
+    if cin != cin_w:
+        raise ShapeError(
+            f"conv2d channel mismatch: input has {cin}, weight expects {cin_w}"
+        )
+    oh = _conv_output_size(h, kh, stride, padding)
+    ow = _conv_output_size(w, kw, stride, padding)
+    cols = im2col(x.data, (kh, kw), stride, padding)  # (N, Cin*KH*KW, OH*OW)
+    wmat = weight.data.reshape(cout, -1)  # (Cout, Cin*KH*KW)
+    out = np.einsum("ok,nkp->nop", wmat, cols, optimize=True)
+    out = out.reshape(n, cout, oh, ow)
+    if bias is not None:
+        out = out + bias.data.reshape(1, cout, 1, 1)
+
+    def backward(grad: np.ndarray) -> None:
+        grad_mat = grad.reshape(n, cout, oh * ow)  # (N, Cout, P)
+        if weight.requires_grad:
+            grad_w = np.einsum("nop,nkp->ok", grad_mat, cols, optimize=True)
+            weight.accumulate_grad(grad_w.reshape(weight.shape))
+        if bias is not None and bias.requires_grad:
+            bias.accumulate_grad(grad.sum(axis=(0, 2, 3)))
+        if x.requires_grad:
+            grad_cols = np.einsum("ok,nop->nkp", wmat, grad_mat, optimize=True)
+            x.accumulate_grad(
+                col2im(grad_cols, (n, cin, h, w), (kh, kw), stride, padding)
+            )
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    return _make(out.astype(DTYPE), parents, backward)
+
+
+def maxpool2d(x: Tensor, window: int = 2) -> Tensor:
+    """Non-overlapping max pooling with a square window.
+
+    On binary spike maps this equals the paper's OR-gate pooling (sec IV-B).
+    Ties (common with spikes) split the gradient evenly, keeping the total
+    gradient magnitude conserved.
+    """
+    n, c, h, w = x.shape
+    if h % window or w % window:
+        raise ShapeError(
+            f"maxpool2d window {window} must evenly divide spatial dims {(h, w)}"
+        )
+    oh, ow = h // window, w // window
+    tiles = x.data.reshape(n, c, oh, window, ow, window)
+    out = tiles.max(axis=(3, 5))
+    mask = (tiles == out[:, :, :, None, :, None]).astype(DTYPE)
+    mask /= np.maximum(mask.sum(axis=(3, 5), keepdims=True), 1.0)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            g = mask * grad[:, :, :, None, :, None]
+            x.accumulate_grad(g.reshape(n, c, h, w))
+
+    return _make(out, (x,), backward)
+
+
+def avgpool2d(x: Tensor, window: int = 2) -> Tensor:
+    """Non-overlapping average pooling (provided for ablation baselines)."""
+    n, c, h, w = x.shape
+    if h % window or w % window:
+        raise ShapeError(
+            f"avgpool2d window {window} must evenly divide spatial dims {(h, w)}"
+        )
+    oh, ow = h // window, w // window
+    tiles = x.data.reshape(n, c, oh, window, ow, window)
+    out = tiles.mean(axis=(3, 5))
+    scale = 1.0 / (window * window)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            g = np.broadcast_to(
+                grad[:, :, :, None, :, None] * scale,
+                (n, c, oh, window, ow, window),
+            )
+            x.accumulate_grad(np.ascontiguousarray(g).reshape(n, c, h, w))
+
+    return _make(out.astype(DTYPE), (x,), backward)
+
+
+# ---------------------------------------------------------------------------
+# Custom-gradient ops (spikes, straight-through estimators)
+# ---------------------------------------------------------------------------
+
+def heaviside_surrogate(
+    v: Tensor, surrogate_derivative: Callable[[np.ndarray], np.ndarray]
+) -> Tensor:
+    """Forward: Heaviside step of ``v``. Backward: the supplied surrogate.
+
+    This is the core trick of surrogate-gradient SNN training (Neftci et
+    al. 2019): the true derivative of the spike function is zero almost
+    everywhere, so a smooth stand-in is used on the backward pass.
+    """
+    data = (v.data > 0).astype(DTYPE)
+
+    def backward(grad: np.ndarray) -> None:
+        if v.requires_grad:
+            v.accumulate_grad(grad * surrogate_derivative(v.data))
+
+    return _make(data, (v,), backward)
+
+
+def straight_through(
+    x: Tensor,
+    forward_value: np.ndarray,
+    pass_mask: Optional[np.ndarray] = None,
+) -> Tensor:
+    """Return ``forward_value`` while passing gradients straight to ``x``.
+
+    Used by fake-quantization: the forward value is the quantize-dequantize
+    result, the gradient flows through unchanged (optionally masked to the
+    non-saturated region, the standard QAT clipping rule).
+    """
+    if forward_value.shape != x.shape:
+        raise ShapeError(
+            f"straight_through value shape {forward_value.shape} "
+            f"must match input shape {x.shape}"
+        )
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            if pass_mask is None:
+                x.accumulate_grad(grad)
+            else:
+                x.accumulate_grad(grad * pass_mask)
+
+    return _make(forward_value.astype(DTYPE), (x,), backward)
+
+
+# ---------------------------------------------------------------------------
+# Losses
+# ---------------------------------------------------------------------------
+
+def log_softmax(logits: Tensor, axis: int = 1) -> Tensor:
+    shifted = logits.data - logits.data.max(axis=axis, keepdims=True)
+    log_z = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    data = shifted - log_z
+    softmax = np.exp(data)
+
+    def backward(grad: np.ndarray) -> None:
+        if logits.requires_grad:
+            g = grad - softmax * grad.sum(axis=axis, keepdims=True)
+            logits.accumulate_grad(g)
+
+    return _make(data.astype(DTYPE), (logits,), backward)
+
+
+def cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Mean cross-entropy of (N, C) logits against integer labels (N,)."""
+    labels = np.asarray(labels)
+    n = logits.shape[0]
+    if labels.shape != (n,):
+        raise ShapeError(
+            f"labels shape {labels.shape} does not match batch size {n}"
+        )
+    log_probs = log_softmax(logits, axis=1)
+    rows = np.arange(n)
+    picked = log_probs.data[rows, labels]
+    data = np.asarray(-picked.mean(), dtype=DTYPE)
+
+    def backward(grad: np.ndarray) -> None:
+        if log_probs.requires_grad:
+            g = np.zeros_like(log_probs.data)
+            g[rows, labels] = -1.0 / n
+            log_probs.accumulate_grad(g * grad)
+
+    return _make(data, (log_probs,), backward)
+
+
+def mse(prediction: Tensor, target: np.ndarray) -> Tensor:
+    """Mean squared error against a constant target."""
+    target = np.asarray(target, dtype=DTYPE)
+    diff = prediction.data - target
+    data = np.asarray((diff**2).mean(), dtype=DTYPE)
+    scale = 2.0 / prediction.data.size
+
+    def backward(grad: np.ndarray) -> None:
+        if prediction.requires_grad:
+            prediction.accumulate_grad(grad * scale * diff)
+
+    return _make(data, (prediction,), backward)

@@ -1,0 +1,123 @@
+"""Gradient-descent optimizers for the autograd engine.
+
+The paper trains with snnTorch's default Adam; we provide Adam plus plain
+SGD (with optional momentum) for ablations. Optimizers hold references to
+parameter tensors and update ``tensor.data`` in place.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.tensor.tensor import Tensor
+
+
+class Optimizer:
+    """Base class: parameter bookkeeping and ``zero_grad``."""
+
+    def __init__(self, params: Iterable[Tensor]) -> None:
+        self.params: List[Tensor] = [p for p in params]
+        if not self.params:
+            raise ConfigError("optimizer received no parameters")
+        for param in self.params:
+            if not param.requires_grad:
+                raise ConfigError(
+                    f"parameter {param!r} does not require gradients"
+                )
+
+    def zero_grad(self) -> None:
+        for param in self.params:
+            param.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional classical momentum."""
+
+    def __init__(
+        self,
+        params: Iterable[Tensor],
+        lr: float = 0.1,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params)
+        if lr <= 0:
+            raise ConfigError(f"learning rate must be positive, got {lr}")
+        if not 0.0 <= momentum < 1.0:
+            raise ConfigError(f"momentum must be in [0, 1), got {momentum}")
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity: Dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        for param in self.params:
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self.momentum:
+                vel = self._velocity.get(id(param))
+                if vel is None:
+                    vel = np.zeros_like(param.data)
+                vel = self.momentum * vel + grad
+                self._velocity[id(param)] = vel
+                grad = vel
+            param.data -= self.lr * grad
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2015) with bias correction."""
+
+    def __init__(
+        self,
+        params: Iterable[Tensor],
+        lr: float = 1e-3,
+        betas: tuple = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params)
+        if lr <= 0:
+            raise ConfigError(f"learning rate must be positive, got {lr}")
+        beta1, beta2 = betas
+        if not (0.0 <= beta1 < 1.0 and 0.0 <= beta2 < 1.0):
+            raise ConfigError(f"betas must each be in [0, 1), got {betas}")
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m: Dict[int, np.ndarray] = {}
+        self._v: Dict[int, np.ndarray] = {}
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        bias1 = 1.0 - self.beta1**self._t
+        bias2 = 1.0 - self.beta2**self._t
+        for param in self.params:
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            m = self._m.get(id(param))
+            v = self._v.get(id(param))
+            if m is None:
+                m = np.zeros_like(param.data)
+                v = np.zeros_like(param.data)
+            m = self.beta1 * m + (1.0 - self.beta1) * grad
+            v = self.beta2 * v + (1.0 - self.beta2) * grad**2
+            self._m[id(param)] = m
+            self._v[id(param)] = v
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

@@ -1,0 +1,269 @@
+"""The :class:`Tensor` type: a NumPy array with a gradient tape.
+
+The engine is deliberately minimal -- dynamic graph, reverse mode only,
+float32 -- but complete enough to train the paper's VGG9 SNN with
+backpropagation through time. Operations live in
+:mod:`repro.tensor.ops`; the class forwards operators there so that the
+graph-building logic stays in one place.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+import numpy as np
+
+from repro.errors import GraphError
+
+DTYPE = np.float32
+
+_GRAD_ENABLED = [True]
+
+
+@contextlib.contextmanager
+def no_grad() -> Iterator[None]:
+    """Context manager that disables graph construction (inference mode)."""
+    _GRAD_ENABLED.append(False)
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED.pop()
+
+
+def grad_enabled() -> bool:
+    """True when new operations should be recorded on the tape."""
+    return _GRAD_ENABLED[-1]
+
+
+class Tensor:
+    """A differentiable n-dimensional array.
+
+    Attributes:
+        data: the underlying ``numpy.ndarray`` (float32).
+        grad: accumulated gradient, same shape as ``data`` (or None).
+        requires_grad: whether backward should reach this tensor.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+
+    def __init__(
+        self,
+        data: Union[np.ndarray, float, int, Sequence],
+        requires_grad: bool = False,
+        parents: Tuple["Tensor", ...] = (),
+        backward: Optional[Callable[[np.ndarray], None]] = None,
+        name: str = "",
+    ) -> None:
+        self.data = np.asarray(data, dtype=DTYPE)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = bool(requires_grad)
+        self._backward = backward
+        self._parents = parents if grad_enabled() else ()
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        flag = ", requires_grad=True" if self.requires_grad else ""
+        label = f", name={self.name!r}" if self.name else ""
+        return f"Tensor(shape={self.shape}{flag}{label})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the raw array (shared memory; copy before mutating)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else _raise_item()
+
+    # ------------------------------------------------------------------
+    # Graph manipulation
+    # ------------------------------------------------------------------
+    def detach(self) -> "Tensor":
+        """Return a view of the same data cut off from the tape."""
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def accumulate_grad(self, grad: np.ndarray) -> None:
+        """Add ``grad`` into ``self.grad``, validating the shape."""
+        grad = np.asarray(grad, dtype=DTYPE)
+        if grad.shape != self.data.shape:
+            raise GraphError(
+                f"gradient shape {grad.shape} does not match tensor shape {self.data.shape}"
+            )
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad += grad
+
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Run reverse-mode accumulation from this tensor.
+
+        Args:
+            grad: seed gradient; defaults to ones (required implicitly for
+                scalar losses, where it is the conventional ``dL/dL = 1``).
+        """
+        if grad is None:
+            if self.data.size != 1:
+                raise GraphError(
+                    "backward() without an explicit gradient requires a scalar tensor"
+                )
+            grad = np.ones_like(self.data)
+        order = _topological_order(self)
+        self.accumulate_grad(np.broadcast_to(grad, self.data.shape).astype(DTYPE))
+        for node in reversed(order):
+            if node._backward is None or node.grad is None:
+                continue
+            node._backward(node.grad)
+
+    # ------------------------------------------------------------------
+    # Operators (implementations in repro.tensor.ops)
+    # ------------------------------------------------------------------
+    def __add__(self, other: "TensorLike") -> "Tensor":
+        from repro.tensor import ops
+
+        return ops.add(self, _wrap(other))
+
+    __radd__ = __add__
+
+    def __sub__(self, other: "TensorLike") -> "Tensor":
+        from repro.tensor import ops
+
+        return ops.sub(self, _wrap(other))
+
+    def __rsub__(self, other: "TensorLike") -> "Tensor":
+        from repro.tensor import ops
+
+        return ops.sub(_wrap(other), self)
+
+    def __mul__(self, other: "TensorLike") -> "Tensor":
+        from repro.tensor import ops
+
+        return ops.mul(self, _wrap(other))
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: "TensorLike") -> "Tensor":
+        from repro.tensor import ops
+
+        return ops.div(self, _wrap(other))
+
+    def __rtruediv__(self, other: "TensorLike") -> "Tensor":
+        from repro.tensor import ops
+
+        return ops.div(_wrap(other), self)
+
+    def __neg__(self) -> "Tensor":
+        from repro.tensor import ops
+
+        return ops.neg(self)
+
+    def __matmul__(self, other: "Tensor") -> "Tensor":
+        from repro.tensor import ops
+
+        return ops.matmul(self, other)
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        from repro.tensor import ops
+
+        return ops.power(self, exponent)
+
+    # Convenience methods mirroring the functional API -----------------
+    def reshape(self, *shape: int) -> "Tensor":
+        from repro.tensor import ops
+
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        return ops.reshape(self, shape)
+
+    def transpose(self, axes: Optional[Sequence[int]] = None) -> "Tensor":
+        from repro.tensor import ops
+
+        return ops.transpose(self, axes)
+
+    def sum(self, axis: Optional[Union[int, Tuple[int, ...]]] = None, keepdims: bool = False) -> "Tensor":
+        from repro.tensor import ops
+
+        return ops.sum_(self, axis=axis, keepdims=keepdims)
+
+    def mean(self, axis: Optional[Union[int, Tuple[int, ...]]] = None, keepdims: bool = False) -> "Tensor":
+        from repro.tensor import ops
+
+        return ops.mean(self, axis=axis, keepdims=keepdims)
+
+
+TensorLike = Union[Tensor, np.ndarray, float, int]
+
+
+def _wrap(value: TensorLike) -> Tensor:
+    return value if isinstance(value, Tensor) else Tensor(value)
+
+
+def parameter(
+    data: Union[np.ndarray, Sequence, float],
+    name: str = "",
+) -> Tensor:
+    """Create a trainable tensor (``requires_grad=True``)."""
+    return Tensor(np.asarray(data, dtype=DTYPE), requires_grad=True, name=name)
+
+
+def _topological_order(root: Tensor) -> List[Tensor]:
+    """Iterative DFS post-order over the tape (recursion-free: BPTT graphs
+    for many timesteps would overflow Python's recursion limit)."""
+    order: List[Tensor] = []
+    visited: Set[int] = set()
+    stack: List[Tuple[Tensor, bool]] = [(root, False)]
+    while stack:
+        node, processed = stack.pop()
+        if processed:
+            order.append(node)
+            continue
+        if id(node) in visited:
+            continue
+        visited.add(id(node))
+        stack.append((node, True))
+        for parent in node._parents:
+            if id(parent) not in visited:
+                stack.append((parent, False))
+    return order
+
+
+def collect_parameters(items: Iterable[object]) -> List[Tensor]:
+    """Flatten an iterable of tensors/modules into unique trainable tensors."""
+    seen: Set[int] = set()
+    params: List[Tensor] = []
+    for item in items:
+        candidates: Iterable[Tensor]
+        if isinstance(item, Tensor):
+            candidates = [item]
+        elif hasattr(item, "parameters"):
+            candidates = item.parameters()  # type: ignore[attr-defined]
+        else:
+            raise TypeError(f"cannot collect parameters from {type(item)!r}")
+        for tensor in candidates:
+            if tensor.requires_grad and id(tensor) not in seen:
+                seen.add(id(tensor))
+                params.append(tensor)
+    return params
+
+
+def _raise_item() -> float:
+    raise GraphError("item() requires a tensor with exactly one element")

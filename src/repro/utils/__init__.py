@@ -1,0 +1,14 @@
+"""Shared utilities: seeded RNG management, logging, serialization, timing."""
+
+from repro.utils.rng import RngMixin, fork_rng, new_rng
+from repro.utils.serialization import load_npz, save_npz
+from repro.utils.timing import Stopwatch
+
+__all__ = [
+    "RngMixin",
+    "Stopwatch",
+    "fork_rng",
+    "load_npz",
+    "new_rng",
+    "save_npz",
+]

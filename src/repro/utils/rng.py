@@ -1,0 +1,65 @@
+"""Deterministic random-number management.
+
+Every stochastic component in this package (dataset generators, weight
+initialisation, rate-coding spike samplers) takes an explicit
+``numpy.random.Generator``. These helpers make it easy to derive
+independent, reproducible streams from one master seed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+SeedLike = Union[int, np.random.Generator, None]
+
+
+def new_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a ``numpy.random.Generator`` from a seed, generator, or None.
+
+    Passing an existing generator returns it unchanged, which lets APIs
+    accept either a seed or a shared stream.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def fork_rng(rng: np.random.Generator, key: str) -> np.random.Generator:
+    """Derive an independent child stream from ``rng`` tagged by ``key``.
+
+    The child is seeded from the parent stream plus a stable hash of the
+    key, so two forks with different keys are decorrelated while remaining
+    reproducible for a fixed parent state.
+    """
+    base = int(rng.integers(0, 2**31 - 1))
+    tag = _stable_hash(key)
+    return np.random.default_rng((base, tag))
+
+
+def _stable_hash(text: str) -> int:
+    """A process-independent 32-bit FNV-1a hash (``hash()`` is salted)."""
+    value = 2166136261
+    for ch in text.encode("utf-8"):
+        value ^= ch
+        value = (value * 16777619) & 0xFFFFFFFF
+    return value
+
+
+class RngMixin:
+    """Mixin giving a class a lazily created, seedable ``self.rng``."""
+
+    _rng: Optional[np.random.Generator] = None
+    _seed: SeedLike = None
+
+    @property
+    def rng(self) -> np.random.Generator:
+        if self._rng is None:
+            self._rng = new_rng(self._seed)
+        return self._rng
+
+    def reseed(self, seed: SeedLike) -> None:
+        """Reset the stream; subsequent draws restart from ``seed``."""
+        self._seed = seed
+        self._rng = new_rng(seed)

@@ -1,0 +1,60 @@
+"""Tiny npz-based persistence for model parameters and experiment artifacts.
+
+The format is deliberately simple: a flat mapping of string keys to numpy
+arrays plus a JSON-encoded metadata blob under the reserved key
+``__meta__``. It is enough to round-trip trained networks and cached
+experiment results without pulling in pickle (fragile across refactors).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any, Dict, Mapping, Tuple
+
+import numpy as np
+
+_META_KEY = "__meta__"
+
+
+def save_npz(
+    path: str,
+    arrays: Mapping[str, np.ndarray],
+    meta: Mapping[str, Any] = None,
+) -> None:
+    """Atomically save ``arrays`` (+ optional JSON-able ``meta``) to ``path``.
+
+    The write goes through a temporary file in the same directory followed
+    by ``os.replace`` so a crash cannot leave a truncated artifact that a
+    later cache lookup would trust.
+    """
+    if _META_KEY in arrays:
+        raise ValueError(f"key {_META_KEY!r} is reserved for metadata")
+    payload: Dict[str, np.ndarray] = dict(arrays)
+    payload[_META_KEY] = np.frombuffer(
+        json.dumps(dict(meta or {}), sort_keys=True).encode("utf-8"),
+        dtype=np.uint8,
+    )
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".npz.tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            np.savez(handle, **payload)
+        os.replace(tmp_path, path)
+    except BaseException:
+        if os.path.exists(tmp_path):
+            os.remove(tmp_path)
+        raise
+
+
+def load_npz(path: str) -> Tuple[Dict[str, np.ndarray], Dict[str, Any]]:
+    """Load ``(arrays, meta)`` previously written by :func:`save_npz`."""
+    with np.load(path, allow_pickle=False) as data:
+        arrays = {key: data[key] for key in data.files if key != _META_KEY}
+        if _META_KEY in data.files:
+            meta = json.loads(bytes(data[_META_KEY].tobytes()).decode("utf-8"))
+        else:
+            meta = {}
+    return arrays, meta

@@ -1,0 +1,59 @@
+"""Wall-clock timing helper used by the trainer and experiment harness."""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List
+
+
+class Stopwatch:
+    """Accumulates named wall-clock intervals.
+
+    Usage::
+
+        watch = Stopwatch()
+        with watch.section("train"):
+            ...
+        print(watch.total("train"))
+    """
+
+    def __init__(self) -> None:
+        self._totals: Dict[str, float] = {}
+        self._counts: Dict[str, int] = {}
+
+    def section(self, name: str) -> "_Section":
+        return _Section(self, name)
+
+    def add(self, name: str, seconds: float) -> None:
+        self._totals[name] = self._totals.get(name, 0.0) + seconds
+        self._counts[name] = self._counts.get(name, 0) + 1
+
+    def total(self, name: str) -> float:
+        return self._totals.get(name, 0.0)
+
+    def count(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def names(self) -> List[str]:
+        return sorted(self._totals)
+
+    def summary(self) -> str:
+        lines = [
+            f"{name}: {self._totals[name]:.3f}s over {self._counts[name]} call(s)"
+            for name in self.names()
+        ]
+        return "\n".join(lines)
+
+
+class _Section:
+    def __init__(self, watch: Stopwatch, name: str) -> None:
+        self._watch = watch
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_Section":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._watch.add(self._name, time.perf_counter() - self._start)

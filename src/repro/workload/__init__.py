@@ -1,0 +1,38 @@
+"""Layer-wise workload modelling and neural-core partitioning (Sec. V-A).
+
+The paper sizes each layer's hardware from a fine-grained workload model
+(Eq. 3) fed with empirically measured spike counts, then partitions the
+neural-core budget to minimise the latency gap between the most and least
+loaded layers. This package reproduces that design-time flow.
+"""
+
+from repro.workload.model import (
+    LayerWorkload,
+    dense_workload,
+    estimate_input_events,
+    workloads_from_network,
+)
+from repro.workload.partition import (
+    AllocationResult,
+    balanced_allocation,
+    imbalance,
+    layer_overheads,
+    proportional_allocation,
+    uniform_allocation,
+)
+from repro.workload.sweep import BudgetSweepPoint, sweep_budgets
+
+__all__ = [
+    "AllocationResult",
+    "BudgetSweepPoint",
+    "LayerWorkload",
+    "balanced_allocation",
+    "dense_workload",
+    "estimate_input_events",
+    "imbalance",
+    "layer_overheads",
+    "proportional_allocation",
+    "sweep_budgets",
+    "uniform_allocation",
+    "workloads_from_network",
+]

@@ -1,0 +1,154 @@
+"""The paper's layer-wise workload model (Eq. 3).
+
+For an event-driven CONV layer the work is one membrane update per
+(input event, filter tap, output channel):
+
+    W_CONV = F x C_out x sum_i S_i
+
+with F the filter-coefficient count (9 for 3x3), C_out output channels
+and S_i the spike count of input feature map i -- so ``sum_i S_i`` is the
+layer's total input events. For a fully connected layer each event
+touches every output neuron:
+
+    W_FC = N x S.
+
+The dense input layer has activity-independent work: the systolic array
+touches every output pixel of every output channel once per pass,
+
+    W_dense = C_out x OH x OW x ceil(C_in*K*K / PE_columns).
+
+Dividing a workload by the cores allocated to the layer gives its
+execution latency in cycles (up to the compression/activation terms the
+full :mod:`repro.hw.sparse_core` model adds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.quant.convert import DeployableNetwork
+
+
+@dataclass(frozen=True)
+class LayerWorkload:
+    """Workload of one compute layer for one inference."""
+
+    name: str
+    kind: str  # 'conv' | 'fc' | 'dense'
+    work: float  # Eq. 3 value (membrane updates / PE operations)
+    input_events: float  # events consumed (pixels for the dense layer)
+    out_channels: int
+
+    def latency_cycles(self, cores: int) -> float:
+        """Execution latency when ``cores`` NCs (or rows) serve the layer."""
+        if cores < 1:
+            raise WorkloadError(f"cores must be >= 1, got {cores}")
+        return self.work / cores
+
+
+def dense_workload(
+    out_channels: int,
+    out_height: int,
+    out_width: int,
+    in_channels: int,
+    kernel: int,
+    pe_columns: int = 27,
+    timesteps: int = 1,
+) -> float:
+    """W_dense: systolic-array slots per inference (see module doc)."""
+    passes = max(1, ceil(in_channels * kernel * kernel / pe_columns))
+    return float(out_channels * out_height * out_width * passes * timesteps)
+
+
+def workloads_from_network(
+    network: DeployableNetwork,
+    input_events: Mapping[str, float],
+    timesteps: int,
+    use_dense_core: bool = True,
+    pe_columns: int = 27,
+) -> List[LayerWorkload]:
+    """Eq. 3 workloads for every layer of a deployable network.
+
+    Args:
+        network: the deployed model (defines F, C_out, shapes).
+        input_events: measured total input events per layer per image
+            (all timesteps) -- 'acquired empirically by running the
+            network once' as the paper does.
+        timesteps: T, needed for the dense layer's per-timestep replay.
+        use_dense_core: when False (rate coding) the input layer is
+            treated as a sparse layer like the rest.
+    """
+    workloads: List[LayerWorkload] = []
+    for index, layer in enumerate(network.layers):
+        if index == 0 and use_dense_core:
+            out_c, out_h, out_w = layer.output_shape
+            work = dense_workload(
+                out_c,
+                out_h,
+                out_w,
+                layer.input_shape[0],
+                layer.kernel,
+                pe_columns,
+                timesteps,
+            )
+            events = float(np.prod(layer.input_shape)) * timesteps
+            workloads.append(
+                LayerWorkload(layer.name, "dense", work, events, out_c)
+            )
+            continue
+        events = float(input_events.get(layer.name, 0.0))
+        if events < 0:
+            raise WorkloadError(
+                f"negative event count for layer {layer.name}: {events}"
+            )
+        if layer.kind == "conv":
+            taps = layer.kernel * layer.kernel
+            work = taps * layer.out_channels * events
+        else:
+            work = layer.out_channels * events
+        workloads.append(
+            LayerWorkload(layer.name, layer.kind, work, events, layer.out_channels)
+        )
+    return workloads
+
+
+def estimate_input_events(
+    network: DeployableNetwork,
+    input_density: Mapping[str, float],
+    timesteps: int,
+) -> Dict[str, float]:
+    """Turn per-layer input *densities* into event counts at this scale.
+
+    Density is the fraction of active neuron-timesteps (1 - sparsity);
+    multiplying by the layer's input size and T gives events. Used to
+    extrapolate small-scale measured sparsity to paper-scale dimensions.
+    """
+    events: Dict[str, float] = {}
+    for layer in network.layers:
+        density = float(input_density.get(layer.name, 0.0))
+        if not 0.0 <= density <= 1.0:
+            raise WorkloadError(
+                f"density for {layer.name} must be in [0, 1], got {density}"
+            )
+        size = float(np.prod(layer.input_shape))
+        events[layer.name] = density * size * timesteps
+    return events
+
+
+def measured_input_density(
+    input_events: Mapping[str, float],
+    network: DeployableNetwork,
+    timesteps: int,
+) -> Dict[str, float]:
+    """Inverse of :func:`estimate_input_events`: events -> density."""
+    densities: Dict[str, float] = {}
+    for layer in network.layers:
+        size = float(np.prod(layer.input_shape)) * timesteps
+        events = float(input_events.get(layer.name, 0.0))
+        densities[layer.name] = min(1.0, events / size) if size else 0.0
+    return densities

@@ -1,0 +1,177 @@
+"""Neural-core partitioning: the design-time DSE of Sec. V-A/V-B.
+
+Given per-layer workloads, find core allocations that (a) balance
+layer-wise latency -- the pipeline's throughput is set by its slowest
+stage, so imbalance is wasted silicon -- and (b) respect a total core
+budget. Three strategies are provided:
+
+* :func:`proportional_allocation` -- the LW recipe: cores proportional to
+  workload with a floor of one, normalised so the lightest sparse layer
+  gets exactly the floor (minimal resources, balanced latency);
+* :func:`balanced_allocation` -- optimal for a fixed budget: the smallest
+  achievable bottleneck latency via binary search over latency targets
+  (allocating ``ceil(W_l / L)`` cores per layer is the cheapest way to
+  meet target L, so feasibility is monotone in L);
+* :func:`uniform_allocation` -- the naive same-cores-everywhere baseline
+  used by the partitioning ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import WorkloadError
+from repro.workload.model import LayerWorkload
+
+
+@dataclass(frozen=True)
+class AllocationResult:
+    """An allocation plus its quality metrics."""
+
+    allocation: Tuple[int, ...]
+    latencies: Tuple[float, ...]
+    total_cores: int
+    bottleneck_cycles: float
+    imbalance: float  # bottleneck / mean latency (1.0 = perfectly even)
+
+    def overhead_percent(self) -> Tuple[float, ...]:
+        total = sum(self.latencies)
+        if total <= 0:
+            raise WorkloadError("allocation has zero total latency")
+        return tuple(100.0 * lat / total for lat in self.latencies)
+
+
+def _result(
+    workloads: Sequence[LayerWorkload], allocation: Sequence[int]
+) -> AllocationResult:
+    if len(allocation) != len(workloads):
+        raise WorkloadError(
+            f"allocation length {len(allocation)} != workloads {len(workloads)}"
+        )
+    latencies = tuple(
+        wl.latency_cycles(cores) for wl, cores in zip(workloads, allocation)
+    )
+    positive = [lat for lat in latencies if lat > 0]
+    bottleneck = max(latencies) if latencies else 0.0
+    mean = sum(positive) / len(positive) if positive else 1.0
+    return AllocationResult(
+        allocation=tuple(int(c) for c in allocation),
+        latencies=latencies,
+        total_cores=int(sum(allocation)),
+        bottleneck_cycles=bottleneck,
+        imbalance=bottleneck / mean if mean > 0 else 1.0,
+    )
+
+
+def proportional_allocation(
+    workloads: Sequence[LayerWorkload],
+    floor: int = 1,
+    dense_rows: int = 1,
+) -> AllocationResult:
+    """The LW recipe: cores proportional to workload, lightest layer = floor.
+
+    The dense input layer keeps a fixed row count (``dense_rows``): its
+    workload is activity-independent and small, which is why the paper's
+    LW tuples all start with 1.
+    """
+    if floor < 1:
+        raise WorkloadError(f"floor must be >= 1, got {floor}")
+    sparse = [wl for wl in workloads if wl.kind != "dense"]
+    if not sparse:
+        raise WorkloadError("no sparse layers to allocate")
+    reference = min(wl.work for wl in sparse if wl.work > 0)
+    allocation: List[int] = []
+    for wl in workloads:
+        if wl.kind == "dense":
+            allocation.append(dense_rows)
+        elif wl.work <= 0:
+            allocation.append(floor)
+        else:
+            allocation.append(max(floor, round(floor * wl.work / reference)))
+    return _result(workloads, allocation)
+
+
+def balanced_allocation(
+    workloads: Sequence[LayerWorkload],
+    budget: int,
+    dense_rows: int = 1,
+) -> AllocationResult:
+    """Minimise the bottleneck latency under a total sparse-core budget.
+
+    Binary-searches the smallest latency target L for which
+    ``sum(ceil(W_l / L)) <= budget``; the dense layer keeps its fixed
+    rows and does not consume budget.
+    """
+    sparse = [wl for wl in workloads if wl.kind != "dense"]
+    if not sparse:
+        raise WorkloadError("no sparse layers to allocate")
+    if budget < len(sparse):
+        raise WorkloadError(
+            f"budget {budget} cannot give each of {len(sparse)} layers a core"
+        )
+
+    def cores_needed(target: float) -> int:
+        return sum(max(1, ceil(wl.work / target)) for wl in sparse)
+
+    low = max(wl.work / budget for wl in sparse if wl.work > 0)
+    low = max(low, 1.0)
+    high = max(wl.work for wl in sparse) + 1.0
+    for _ in range(64):
+        mid = (low + high) / 2.0
+        if cores_needed(mid) <= budget:
+            high = mid
+        else:
+            low = mid
+    target = high
+    allocation: List[int] = []
+    for wl in workloads:
+        if wl.kind == "dense":
+            allocation.append(dense_rows)
+        else:
+            allocation.append(max(1, ceil(wl.work / target)))
+    return _result(workloads, allocation)
+
+
+def uniform_allocation(
+    workloads: Sequence[LayerWorkload],
+    budget: int,
+    dense_rows: int = 1,
+) -> AllocationResult:
+    """Naive baseline: split the budget evenly across sparse layers."""
+    sparse_count = sum(1 for wl in workloads if wl.kind != "dense")
+    if sparse_count == 0:
+        raise WorkloadError("no sparse layers to allocate")
+    if budget < sparse_count:
+        raise WorkloadError(
+            f"budget {budget} below one core per layer ({sparse_count})"
+        )
+    share = budget // sparse_count
+    remainder = budget - share * sparse_count
+    allocation: List[int] = []
+    sparse_seen = 0
+    for wl in workloads:
+        if wl.kind == "dense":
+            allocation.append(dense_rows)
+        else:
+            extra = 1 if sparse_seen < remainder else 0
+            allocation.append(share + extra)
+            sparse_seen += 1
+    return _result(workloads, allocation)
+
+
+def layer_overheads(
+    workloads: Sequence[LayerWorkload], allocation: Sequence[int]
+) -> Dict[str, float]:
+    """Percent of total execution time per layer (the Sec. V-B metric)."""
+    result = _result(workloads, allocation)
+    percents = result.overhead_percent()
+    return {wl.name: pct for wl, pct in zip(workloads, percents)}
+
+
+def imbalance(
+    workloads: Sequence[LayerWorkload], allocation: Sequence[int]
+) -> float:
+    """Bottleneck-to-mean latency ratio of an allocation (1.0 = ideal)."""
+    return _result(workloads, allocation).imbalance

@@ -1,0 +1,55 @@
+"""Budget sweeps: the resource/latency trade-off curve behind LW -> perf4."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.errors import WorkloadError
+from repro.workload.model import LayerWorkload
+from repro.workload.partition import AllocationResult, balanced_allocation
+
+
+@dataclass(frozen=True)
+class BudgetSweepPoint:
+    """One point of the budget/latency Pareto curve."""
+
+    budget: int
+    result: AllocationResult
+
+    @property
+    def bottleneck_cycles(self) -> float:
+        return self.result.bottleneck_cycles
+
+    @property
+    def total_cores(self) -> int:
+        return self.result.total_cores
+
+
+def sweep_budgets(
+    workloads: Sequence[LayerWorkload],
+    budgets: Sequence[int],
+    dense_rows: int = 1,
+) -> List[BudgetSweepPoint]:
+    """Balanced allocations across a list of sparse-core budgets."""
+    if not budgets:
+        raise WorkloadError("no budgets supplied")
+    points = [
+        BudgetSweepPoint(
+            budget=int(budget),
+            result=balanced_allocation(workloads, int(budget), dense_rows),
+        )
+        for budget in sorted(budgets)
+    ]
+    return points
+
+
+def pareto_front(points: Sequence[BudgetSweepPoint]) -> List[BudgetSweepPoint]:
+    """Non-dominated (cores, bottleneck) points, ascending in cores."""
+    best: List[BudgetSweepPoint] = []
+    lowest = float("inf")
+    for point in sorted(points, key=lambda p: p.total_cores):
+        if point.bottleneck_cycles < lowest:
+            best.append(point)
+            lowest = point.bottleneck_cycles
+    return best

@@ -1,0 +1,51 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_dataset, train_test_split
+from repro.snn import Trainer, TrainingConfig, build_network
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """A small 8x8 texture dataset shared across tests."""
+    data = make_dataset("cifar10", 300, image_size=8, seed=7)
+    return train_test_split(data, test_fraction=0.2, seed=8)
+
+
+@pytest.fixture(scope="session")
+def tiny_trained_network(tiny_dataset):
+    """A briefly trained tiny SNN (deterministic; ~10 s once per session)."""
+    train, _test = tiny_dataset
+    net = build_network(
+        "8C3-MP2-16C3-MP2-40",
+        input_shape=(3, 8, 8),
+        num_classes=10,
+        seed=11,
+    )
+    config = TrainingConfig(epochs=3, batch_size=32, lr=3e-3, timesteps=2, seed=11)
+    Trainer(net, config).fit(train.images, train.labels)
+    net.eval()
+    return net
+
+
+@pytest.fixture(scope="session")
+def tiny_deployable(tiny_trained_network):
+    from repro.quant import FP32, convert
+
+    return convert(tiny_trained_network, FP32)
+
+
+@pytest.fixture(scope="session")
+def tiny_deployable_int4(tiny_trained_network):
+    from repro.quant import INT4, convert
+
+    return convert(tiny_trained_network, INT4)

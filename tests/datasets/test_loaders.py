@@ -1,0 +1,93 @@
+"""Dataset container / split / batching tests."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import Dataset, train_test_split
+from repro.errors import DatasetError
+
+
+def _dataset(n=20, classes=4):
+    rng = np.random.default_rng(0)
+    return Dataset(
+        rng.random((n, 3, 8, 8)).astype(np.float32),
+        np.arange(n) % classes,
+        num_classes=classes,
+        name="test",
+    )
+
+
+class TestDataset:
+    def test_len_and_shape(self):
+        data = _dataset()
+        assert len(data) == 20
+        assert data.image_shape == (3, 8, 8)
+
+    def test_validates_rank(self):
+        with pytest.raises(DatasetError):
+            Dataset(np.zeros((4, 8, 8)), np.zeros(4), num_classes=2)
+
+    def test_validates_lengths(self):
+        with pytest.raises(DatasetError):
+            Dataset(np.zeros((4, 3, 8, 8)), np.zeros(3), num_classes=2)
+
+    def test_validates_classes(self):
+        with pytest.raises(DatasetError):
+            Dataset(np.zeros((4, 3, 8, 8)), np.zeros(4), num_classes=1)
+
+    def test_batches_cover_everything(self):
+        data = _dataset()
+        seen = 0
+        for images, labels in data.batches(6):
+            assert len(images) == len(labels)
+            seen += len(images)
+        assert seen == 20
+
+    def test_batches_shuffle_deterministic(self):
+        data = _dataset()
+        a = [l for _, l in data.batches(5, shuffle=True, seed=3)]
+        b = [l for _, l in data.batches(5, shuffle=True, seed=3)]
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+    def test_batches_bad_size(self):
+        with pytest.raises(DatasetError):
+            list(_dataset().batches(0))
+
+    def test_subset(self):
+        sub = _dataset().subset(8)
+        assert len(sub) == 8
+
+    def test_subset_out_of_range(self):
+        with pytest.raises(DatasetError):
+            _dataset().subset(0)
+        with pytest.raises(DatasetError):
+            _dataset().subset(21)
+
+
+class TestSplit:
+    def test_sizes(self):
+        train, test = train_test_split(_dataset(), 0.25, seed=0)
+        assert len(test) == 5
+        assert len(train) == 15
+
+    def test_disjoint_and_complete(self):
+        data = _dataset()
+        train, test = train_test_split(data, 0.3, seed=0)
+        combined = np.concatenate([train.images, test.images])
+        assert combined.shape[0] == len(data)
+        # All original rows appear exactly once (match by content).
+        original = {d.tobytes() for d in data.images}
+        split = {d.tobytes() for d in combined}
+        assert original == split
+
+    def test_bad_fraction(self):
+        with pytest.raises(DatasetError):
+            train_test_split(_dataset(), 0.0)
+        with pytest.raises(DatasetError):
+            train_test_split(_dataset(), 1.0)
+
+    def test_deterministic(self):
+        a_train, _ = train_test_split(_dataset(), 0.2, seed=9)
+        b_train, _ = train_test_split(_dataset(), 0.2, seed=9)
+        np.testing.assert_array_equal(a_train.images, b_train.images)

@@ -1,0 +1,106 @@
+"""Synthetic dataset generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    cifar10_like,
+    cifar100_like,
+    make_dataset,
+    svhn_like,
+)
+from repro.errors import DatasetError
+
+
+class TestCommonProperties:
+    @pytest.mark.parametrize("name", ["svhn", "cifar10", "cifar100"])
+    def test_shapes_and_range(self, name):
+        data = make_dataset(name, 50, image_size=16, seed=0)
+        assert data.images.shape == (50, 3, 16, 16)
+        assert data.images.dtype == np.float32
+        assert data.images.min() >= 0.0
+        assert data.images.max() <= 1.0
+
+    @pytest.mark.parametrize("name", ["svhn", "cifar10", "cifar100"])
+    def test_deterministic(self, name):
+        a = make_dataset(name, 20, image_size=8, seed=5)
+        b = make_dataset(name, 20, image_size=8, seed=5)
+        np.testing.assert_array_equal(a.images, b.images)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    @pytest.mark.parametrize("name", ["svhn", "cifar10", "cifar100"])
+    def test_seed_changes_data(self, name):
+        a = make_dataset(name, 20, image_size=8, seed=1)
+        b = make_dataset(name, 20, image_size=8, seed=2)
+        assert not np.array_equal(a.images, b.images)
+
+    def test_labels_interleaved(self):
+        data = make_dataset("cifar10", 25, image_size=8, seed=0)
+        np.testing.assert_array_equal(data.labels, np.arange(25) % 10)
+
+    def test_unknown_name(self):
+        with pytest.raises(DatasetError):
+            make_dataset("imagenet", 10)
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(DatasetError):
+            svhn_like(0)
+        with pytest.raises(DatasetError):
+            svhn_like(10, image_size=7)
+        with pytest.raises(DatasetError):
+            svhn_like(10, image_size=6)
+
+
+class TestClassCounts:
+    def test_svhn_ten_classes(self):
+        assert svhn_like(10, image_size=8).num_classes == 10
+
+    def test_cifar100_hundred_classes(self):
+        assert cifar100_like(10, image_size=8).num_classes == 100
+
+
+class TestSeparability:
+    """The generators must be class-separable: a nearest-centroid
+    classifier on raw pixels should beat chance comfortably."""
+
+    def _centroid_accuracy(self, data, classes):
+        images = data.images.reshape(len(data), -1)
+        centroids = np.stack([
+            images[data.labels == c].mean(axis=0) for c in range(classes)
+        ])
+        distance = ((images[:, None, :] - centroids[None]) ** 2).sum(axis=2)
+        return float((distance.argmin(axis=1) == data.labels).mean())
+
+    def test_svhn_separable(self):
+        data = svhn_like(200, image_size=16, seed=0)
+        assert self._centroid_accuracy(data, 10) > 0.5
+
+    def test_cifar10_separable(self):
+        data = cifar10_like(200, image_size=16, seed=0)
+        assert self._centroid_accuracy(data, 10) > 0.3
+
+    def test_cifar100_harder_than_cifar10(self):
+        c10 = cifar10_like(400, image_size=16, seed=0)
+        c100 = cifar100_like(2000, image_size=16, seed=0)
+        acc10 = self._centroid_accuracy(c10, 10)
+        acc100 = self._centroid_accuracy(c100, 100)
+        assert acc100 < acc10
+
+    def test_cifar100_above_chance(self):
+        data = cifar100_like(2000, image_size=16, seed=0)
+        assert self._centroid_accuracy(data, 100) > 0.05
+
+
+class TestSvhnStructure:
+    def test_glyph_roughly_centred(self):
+        data = svhn_like(40, image_size=32, seed=0)
+        # Ink (bright pixels) mass should sit near the image centre.
+        bright = (data.images.max(axis=1) > 0.6).astype(np.float32)
+        ys, xs = np.meshgrid(np.arange(32), np.arange(32), indexing="ij")
+        for frame in bright[:10]:
+            if frame.sum() == 0:
+                continue
+            cy = (frame * ys).sum() / frame.sum()
+            cx = (frame * xs).sum() / frame.sum()
+            assert 8 <= cy <= 24
+            assert 8 <= cx <= 24

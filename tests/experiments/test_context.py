@@ -1,0 +1,99 @@
+"""Experiment context tests (tiny scale -- fast end-to-end training)."""
+
+import os
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.context import ExperimentContext
+from repro.experiments.presets import PRESETS, get_preset
+
+
+@pytest.fixture(scope="module")
+def ctx(tmp_path_factory):
+    workspace = str(tmp_path_factory.mktemp("artifacts"))
+    return ExperimentContext(scale="tiny", workspace=workspace, seed=0)
+
+
+class TestPresets:
+    def test_known_presets(self):
+        assert set(PRESETS) == {"tiny", "small", "paper"}
+
+    def test_population_divisible(self):
+        preset = get_preset("small")
+        assert preset.population(10) % 10 == 0
+        assert preset.population(100) % 100 == 0
+
+    def test_unknown_preset(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            get_preset("huge")
+
+    def test_scale_ordering(self):
+        assert (
+            PRESETS["tiny"].image_size
+            < PRESETS["small"].image_size
+            < PRESETS["paper"].image_size
+        )
+
+    def test_rate_timesteps_exceed_direct(self):
+        for preset in PRESETS.values():
+            assert preset.rate_timesteps > preset.direct_timesteps
+
+
+class TestContext:
+    def test_dataset_split_sizes(self, ctx):
+        train, test = ctx.dataset("cifar10")
+        assert len(test) == ctx.preset.test_samples
+        assert len(train) >= 10
+
+    def test_dataset_memoised(self, ctx):
+        a = ctx.dataset("cifar10")
+        b = ctx.dataset("cifar10")
+        assert a is b
+
+    def test_unknown_dataset(self, ctx):
+        with pytest.raises(ExperimentError):
+            ctx.dataset("mnist")
+
+    def test_trained_model_cached_on_disk(self, ctx):
+        model = ctx.trained("cifar10", "fp32")
+        path = ctx.model_path(ctx.model_key("cifar10", "fp32", "direct"))
+        assert os.path.exists(path)
+        # Second call loads from memory cache.
+        assert ctx.trained("cifar10", "fp32") is model
+
+    def test_disk_cache_survives_new_context(self, ctx):
+        ctx.trained("cifar10", "fp32")
+        fresh = ExperimentContext(
+            scale="tiny", workspace=ctx.workspace, seed=0
+        )
+        model = fresh.trained("cifar10", "fp32")
+        assert model.layers[0].name == "conv1_1"
+
+    def test_evaluate_returns_metrics(self, ctx):
+        result = ctx.evaluate("cifar10", "fp32", max_samples=40)
+        assert 0.0 <= result.accuracy <= 1.0
+        assert result.spikes_per_image > 0
+        assert "conv2_1" in result.per_layer_spikes
+        assert "conv2_1" in result.input_events_per_image
+        assert result.samples == 40
+
+    def test_evaluate_memoised(self, ctx):
+        a = ctx.evaluate("cifar10", "fp32", max_samples=40)
+        b = ctx.evaluate("cifar10", "fp32", max_samples=40)
+        assert a is b
+
+    def test_int4_model_trains(self, ctx):
+        model = ctx.trained("cifar10", "int4")
+        assert model.scheme.name == "int4"
+
+    def test_sim_images_bounded(self, ctx):
+        images, labels = ctx.sim_images("cifar10")
+        assert len(images) <= ctx.preset.sim_samples
+        assert len(images) == len(labels)
+
+    def test_timesteps_for(self, ctx):
+        assert ctx.timesteps_for("direct") == ctx.preset.direct_timesteps
+        assert ctx.timesteps_for("rate") == ctx.preset.rate_timesteps

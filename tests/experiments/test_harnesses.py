@@ -1,0 +1,143 @@
+"""Experiment harness tests at tiny scale.
+
+These validate that every table/figure harness runs end to end and emits
+well-formed output; scientific shape checks live in the benches, where
+the trained small-scale models are available.
+"""
+
+import pytest
+
+from repro.experiments import fig1, fig4, table1, table2, table3
+from repro.experiments.context import ExperimentContext
+from repro.experiments.runall import RUNNERS, render_experiments_md
+
+
+@pytest.fixture(scope="module")
+def ctx(tmp_path_factory):
+    workspace = str(tmp_path_factory.mktemp("artifacts"))
+    return ExperimentContext(scale="tiny", workspace=workspace, seed=0)
+
+
+class TestFig1:
+    @pytest.fixture(scope="class")
+    def result(self, ctx):
+        return fig1.run(ctx)
+
+    def test_table_rows(self, result):
+        table = result.tables[0]
+        assert table.column("dataset") == ["svhn", "cifar10", "cifar100"]
+
+    def test_series_lengths(self, result):
+        assert len(result.series) == 2
+        assert len(result.series[0].x) == 3
+
+    def test_comparisons_per_dataset(self, result):
+        names = [c.name for c in result.comparisons]
+        assert len(names) == 3
+        assert all("Fig. 1" in n for n in names)
+
+    def test_render(self, result):
+        text = result.render()
+        assert "fig1" in text
+        assert "spike reduction" in text
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def result(self, ctx):
+        return table1.run(ctx)
+
+    def test_two_precision_tables(self, result):
+        titles = [t.title for t in result.tables]
+        assert any("int4" in t for t in titles)
+        assert any("fp32" in t for t in titles)
+
+    def test_fc_rows_merged(self, result):
+        table = result.tables[0]
+        layers = table.column("layer")
+        assert "fc" in layers
+        assert "fc1" not in layers
+
+    def test_headline_ratio_comparison(self, result):
+        ratios = [c for c in result.comparisons if "ratio" in c.name.lower()]
+        assert ratios
+        lut_row = ratios[0].rows[0]
+        assert lut_row.measured_value > 1.0  # fp32 bigger than int4
+
+    def test_overheads_table_present(self, result):
+        titles = [t.title for t in result.tables]
+        assert any("overhead" in t.lower() for t in titles)
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def result(self, ctx):
+        return fig4.run(ctx)
+
+    def test_three_dataset_tables(self, result):
+        assert len(result.tables) == 3
+        for table in result.tables:
+            assert table.column("config") == ["lw", "perf2", "perf4"]
+
+    def test_energies_positive(self, result):
+        for table in result.tables:
+            assert all(v > 0 for v in table.column("fp32"))
+            assert all(v > 0 for v in table.column("int4"))
+
+    def test_improvement_comparisons(self, result):
+        names = [c.name for c in result.comparisons]
+        assert any("cifar10" in n for n in names)
+        assert any("cifar100" in n for n in names)
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def result(self, ctx):
+        return table2.run(ctx)
+
+    def test_two_rows(self, result):
+        table = result.tables[0]
+        assert table.column("coding") == ["rate", "direct"]
+
+    def test_timestep_ratio_preserved(self, result, ctx):
+        table = result.tables[0]
+        steps = table.column("timesteps")
+        assert steps[0] > steps[1]  # rate uses more timesteps
+
+    def test_comparison_includes_energy(self, result):
+        metrics = [r.metric for r in result.comparisons[0].rows]
+        assert any("energy improvement" in m for m in metrics)
+
+
+class TestTable3:
+    @pytest.fixture(scope="class")
+    def result(self, ctx):
+        return table3.run(ctx)
+
+    def test_nine_rows(self, result):
+        table = result.tables[0]
+        # 3 baselines + 3 measured-activity + 3 paper-activity rows.
+        assert len(table.rows) == 9
+
+    def test_baseline_values_verbatim(self, result):
+        table = result.tables[0]
+        studies = table.column("study")
+        assert "SyncNN [15]" in studies
+        assert "Gerlinghoff [7]" in studies
+
+    def test_ratio_comparison_present(self, result):
+        assert result.comparisons
+        metrics = [r.metric for r in result.comparisons[0].rows]
+        assert any("throughput vs [7]" in m for m in metrics)
+
+
+class TestRunAll:
+    def test_registry_complete(self):
+        assert set(RUNNERS) == {"fig1", "table1", "fig4", "table2", "table3"}
+
+    def test_render_experiments_md(self, ctx):
+        results = [fig1.run(ctx), table2.run(ctx)]
+        text = render_experiments_md(results, ctx)
+        assert text.startswith("# EXPERIMENTS")
+        assert "tiny" in text
+        assert "## fig1" in text

@@ -1,0 +1,95 @@
+"""Accelerator configuration tests."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hw.config import (
+    AcceleratorConfig,
+    PAPER_LW_ALLOCATIONS,
+    PAPER_TABLE1_ALLOCATION,
+    PAPER_TABLE1_OVERHEADS,
+    lw_config,
+    perf_config,
+)
+from repro.quant.schemes import INT4
+
+
+class TestPaperConstants:
+    def test_lw_tuples_have_nine_layers(self):
+        for allocation in PAPER_LW_ALLOCATIONS.values():
+            assert len(allocation) == 9
+
+    def test_lw_dense_rows_are_one(self):
+        for allocation in PAPER_LW_ALLOCATIONS.values():
+            assert allocation[0] == 1
+
+    def test_table1_allocation_matches_paper(self):
+        assert PAPER_TABLE1_ALLOCATION == (1, 28, 12, 54, 16, 72, 70, 19, 4)
+
+    def test_overheads_sum_to_about_100(self):
+        assert sum(PAPER_TABLE1_OVERHEADS) == pytest.approx(100.0, abs=1.0)
+
+
+class TestAcceleratorConfig:
+    def test_defaults(self):
+        config = AcceleratorConfig(name="x", allocation=(1, 2, 3))
+        assert config.clock_hz == 100e6
+        assert config.dense_pe_columns == 27
+        assert config.dense_rows == 1
+        assert config.sparse_ncs == (2, 3)
+        assert config.total_ncs == 5
+
+    def test_scaled(self):
+        config = AcceleratorConfig(name="lw", allocation=(1, 2, 3))
+        perf2 = config.scaled(2)
+        assert perf2.allocation == (2, 4, 6)
+        assert perf2.name == "lwx2"
+
+    def test_scaled_rejects_zero(self):
+        config = AcceleratorConfig(name="x", allocation=(1, 2))
+        with pytest.raises(ConfigError):
+            config.scaled(0)
+
+    def test_with_scheme(self):
+        config = AcceleratorConfig(name="x", allocation=(1, 2))
+        assert config.with_scheme(INT4).scheme.name == "int4"
+
+    def test_layer_cores_bounds(self):
+        config = AcceleratorConfig(name="x", allocation=(1, 2))
+        assert config.layer_cores(1) == 2
+        with pytest.raises(ConfigError):
+            config.layer_cores(5)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"allocation": (1,)},
+            {"allocation": (1, 0)},
+            {"allocation": (1, 2), "clock_hz": 0.0},
+            {"allocation": (1, 2), "compression_chunk_bits": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigError):
+            AcceleratorConfig(name="bad", **kwargs)
+
+
+class TestFactories:
+    def test_lw_config_uses_paper_tuple(self):
+        config = lw_config("cifar10", scheme=INT4)
+        assert config.allocation == PAPER_LW_ALLOCATIONS["cifar10"]
+        assert config.name == "lw"
+
+    def test_lw_unknown_dataset(self):
+        with pytest.raises(ConfigError, match="no published LW allocation"):
+            lw_config("mnist")
+
+    def test_lw_custom_allocation(self):
+        config = lw_config("mnist", allocation=(1, 2, 3))
+        assert config.allocation == (1, 2, 3)
+
+    def test_perf_scales(self):
+        lw = lw_config("svhn")
+        perf4 = perf_config("svhn", 4)
+        assert perf4.allocation == tuple(4 * v for v in lw.allocation)
+        assert perf4.name == "perf4"

@@ -1,0 +1,100 @@
+"""Dense core (systolic array) model tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import HardwareModelError
+from repro.hw.dense_core import DenseCoreModel
+from repro.hw.event_sim import reference_conv
+
+
+class TestTiming:
+    def test_single_row_tiles_all_channels(self):
+        model = DenseCoreModel(rows=1)
+        timing = model.layer_cycles(64, 32, 32, 3, 3)
+        assert timing.tiles == 64
+        assert timing.passes == 1  # 27 taps fit the 27-PE column
+
+    def test_more_rows_fewer_tiles(self):
+        few = DenseCoreModel(rows=1).layer_cycles(64, 8, 8, 3, 3)
+        many = DenseCoreModel(rows=8).layer_cycles(64, 8, 8, 3, 3)
+        assert many.tiles == few.tiles // 8
+        assert many.total_cycles < few.total_cycles
+
+    def test_rows_beyond_channels_saturate(self):
+        model = DenseCoreModel(rows=100)
+        timing = model.layer_cycles(64, 8, 8, 3, 3)
+        assert timing.tiles == 1
+
+    def test_extra_passes_when_taps_exceed_column(self):
+        model = DenseCoreModel(rows=1, pe_columns=27)
+        timing = model.layer_cycles(16, 8, 8, 6, 3)  # 54 taps -> 2 passes
+        assert timing.passes == 2
+
+    def test_fill_cycles_positive(self):
+        assert DenseCoreModel(rows=2).fill_cycles() > 0
+
+    def test_rejects_bad_rows(self):
+        with pytest.raises(HardwareModelError):
+            DenseCoreModel(rows=0)
+
+    def test_rejects_bad_columns(self):
+        with pytest.raises(HardwareModelError):
+            DenseCoreModel(rows=1, pe_columns=0)
+
+    def test_cycles_scale_with_pixels(self):
+        model = DenseCoreModel(rows=1)
+        small = model.layer_cycles(8, 8, 8, 3, 3)
+        large = model.layer_cycles(8, 16, 16, 3, 3)
+        assert large.total_cycles > small.total_cycles * 2
+
+
+class TestFunctional:
+    def test_matches_reference_conv(self, rng):
+        frame = rng.random((3, 10, 10)).astype(np.float32)
+        weight = rng.normal(size=(7, 3, 3, 3)).astype(np.float32)
+        bias = rng.normal(size=7).astype(np.float32)
+        membrane, _ = DenseCoreModel(rows=3).run_layer(frame, weight, bias)
+        expected = reference_conv(frame, weight) + bias[:, None, None]
+        np.testing.assert_allclose(membrane, expected, atol=1e-4)
+
+    def test_row_count_does_not_change_result(self, rng):
+        frame = rng.random((3, 6, 6)).astype(np.float32)
+        weight = rng.normal(size=(5, 3, 3, 3)).astype(np.float32)
+        bias = np.zeros(5, dtype=np.float32)
+        a, _ = DenseCoreModel(rows=1).run_layer(frame, weight, bias)
+        b, _ = DenseCoreModel(rows=4).run_layer(frame, weight, bias)
+        np.testing.assert_allclose(a, b, atol=1e-5)
+
+    def test_timing_attached(self, rng):
+        frame = rng.random((3, 6, 6)).astype(np.float32)
+        weight = rng.normal(size=(4, 3, 3, 3)).astype(np.float32)
+        _, timing = DenseCoreModel(rows=2).run_layer(
+            frame, weight, np.zeros(4, dtype=np.float32)
+        )
+        assert timing.tiles == 2
+        assert timing.total_cycles == timing.tiles * timing.cycles_per_tile
+
+    def test_rejects_channel_mismatch(self, rng):
+        frame = rng.random((2, 6, 6)).astype(np.float32)
+        weight = rng.normal(size=(4, 3, 3, 3)).astype(np.float32)
+        with pytest.raises(HardwareModelError):
+            DenseCoreModel(rows=1).run_layer(
+                frame, weight, np.zeros(4, dtype=np.float32)
+            )
+
+    def test_rejects_bad_frame_rank(self, rng):
+        with pytest.raises(HardwareModelError):
+            DenseCoreModel(rows=1).run_layer(
+                rng.random((1, 2, 6, 6)).astype(np.float32),
+                rng.normal(size=(4, 2, 3, 3)).astype(np.float32),
+                np.zeros(4, dtype=np.float32),
+            )
+
+    def test_rejects_rect_kernel(self, rng):
+        with pytest.raises(HardwareModelError):
+            DenseCoreModel(rows=1).run_layer(
+                rng.random((2, 6, 6)).astype(np.float32),
+                rng.normal(size=(4, 2, 3, 5)).astype(np.float32),
+                np.zeros(4, dtype=np.float32),
+            )

@@ -1,0 +1,57 @@
+"""FPGA device envelope tests."""
+
+import pytest
+
+from repro.errors import CapacityError
+from repro.hw.device import XCVU13P, ZCU102, FpgaDevice
+
+
+class TestXCVU13P:
+    def test_published_capacities(self):
+        assert XCVU13P.luts == 1_728_000
+        assert XCVU13P.bram36 == 2_688
+        assert XCVU13P.uram == 1_280
+
+    def test_table1_int4_design_fits(self):
+        # The paper's int4 totals must fit its own device.
+        XCVU13P.check_fit(luts=109_700, ffs=37_600, bram=979, uram=0)
+
+    def test_table1_fp32_design_fits(self):
+        XCVU13P.check_fit(luts=821_600, ffs=58_700, bram=2_466, uram=836)
+
+    def test_overflow_raises(self):
+        with pytest.raises(CapacityError, match="LUT"):
+            XCVU13P.check_fit(luts=2e6, ffs=0, bram=0, uram=0)
+        with pytest.raises(CapacityError, match="URAM"):
+            XCVU13P.check_fit(luts=0, ffs=0, bram=0, uram=1_281)
+
+    def test_utilization(self):
+        util = XCVU13P.utilization(luts=172_800, ffs=0, bram=1_344, uram=0)
+        assert util["lut"] == pytest.approx(0.10)
+        assert util["bram"] == pytest.approx(0.50)
+
+
+class TestZCU102:
+    def test_smaller_than_vu13p(self):
+        assert ZCU102.luts < XCVU13P.luts
+        assert ZCU102.bram36 < XCVU13P.bram36
+
+    def test_no_uram(self):
+        assert ZCU102.uram == 0
+        util = ZCU102.utilization(luts=0, ffs=0, bram=0, uram=0)
+        assert util["uram"] == 0.0
+
+    def test_vu13p_fp32_design_does_not_fit_zcu102(self):
+        with pytest.raises(CapacityError):
+            ZCU102.check_fit(luts=821_600, ffs=58_700, bram=2_466, uram=836)
+
+
+class TestCustomDevice:
+    def test_multiple_overflows_reported(self):
+        small = FpgaDevice(
+            name="tiny", luts=10, ffs=10, bram36=1, uram=0, dsp=0
+        )
+        with pytest.raises(CapacityError) as excinfo:
+            small.check_fit(luts=100, ffs=100, bram=5, uram=0)
+        message = str(excinfo.value)
+        assert "LUT" in message and "FF" in message and "BRAM" in message

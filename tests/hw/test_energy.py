@@ -1,0 +1,62 @@
+"""Energy report tests."""
+
+import pytest
+
+from repro.errors import HardwareModelError
+from repro.hw.energy import build_energy_report
+
+
+def _report():
+    return build_energy_report(
+        names=["a", "b", "c"],
+        cycles=[1000.0, 4000.0, 500.0],
+        dynamic_power_w=[0.1, 0.2, 0.05],
+        clock_hz=100e6,
+        static_power_w=3.0,
+    )
+
+
+class TestEnergyReport:
+    def test_latency_is_sum(self):
+        report = _report()
+        assert report.latency_ms == pytest.approx(5500 / 100e6 * 1e3)
+
+    def test_throughput_set_by_bottleneck(self):
+        report = _report()
+        assert report.bottleneck_cycles == 4000
+        assert report.throughput_fps == pytest.approx(100e6 / 4000)
+
+    def test_energy_sums_power_times_time(self):
+        report = _report()
+        expected = (
+            0.1 * 1000 / 100e6 + 0.2 * 4000 / 100e6 + 0.05 * 500 / 100e6
+        ) * 1e3
+        assert report.total_energy_mj == pytest.approx(expected)
+
+    def test_layer_overheads_sum_to_100(self):
+        report = _report()
+        overheads = report.layer_overheads()
+        assert sum(overheads.values()) == pytest.approx(100.0)
+        assert overheads["b"] > overheads["a"] > overheads["c"]
+
+    def test_static_energy(self):
+        report = _report()
+        assert report.static_energy_mj == pytest.approx(
+            3.0 * report.latency_ms
+        )
+
+    def test_by_name(self):
+        assert set(_report().by_name()) == {"a", "b", "c"}
+
+    def test_validates_lengths(self):
+        with pytest.raises(HardwareModelError):
+            build_energy_report(["a"], [1.0, 2.0], [0.1], 1e6, 3.0)
+
+    def test_validates_clock(self):
+        with pytest.raises(HardwareModelError):
+            build_energy_report(["a"], [1.0], [0.1], 0.0, 3.0)
+
+    def test_zero_time_overheads_raise(self):
+        report = build_energy_report(["a"], [0.0], [0.1], 1e6, 3.0)
+        with pytest.raises(HardwareModelError):
+            report.layer_overheads()

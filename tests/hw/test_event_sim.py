@@ -1,0 +1,125 @@
+"""Event-driven golden simulator: functional + cycle cross-validation.
+
+These tests are the heart of the hardware validation story: the
+scatter-style event-driven execution must match gather-style convolution
+exactly, and the analytic cycle model must agree with an operational walk
+of the same pipeline.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import HardwareModelError
+from repro.hw.event_sim import EventDrivenLayerSim, reference_conv
+from repro.hw.sparse_core import SparseCoreModel
+
+
+class TestConvEquivalence:
+    def test_matches_reference(self, rng):
+        spikes = (rng.random((4, 6, 6)) < 0.25).astype(np.float32)
+        weight = rng.normal(size=(5, 4, 3, 3)).astype(np.float32)
+        sim = EventDrivenLayerSim(nc_count=2, chunk_bits=8)
+        result = sim.run_conv(spikes, weight)
+        np.testing.assert_allclose(
+            result.membrane, reference_conv(spikes, weight), atol=1e-5
+        )
+
+    def test_empty_input_zero_membrane(self, rng):
+        weight = rng.normal(size=(3, 2, 3, 3)).astype(np.float32)
+        sim = EventDrivenLayerSim()
+        result = sim.run_conv(np.zeros((2, 4, 4)), weight)
+        np.testing.assert_array_equal(result.membrane, np.zeros((3, 4, 4)))
+        assert result.performed_updates == 0
+
+    def test_single_spike_writes_filter(self):
+        spikes = np.zeros((1, 5, 5), dtype=np.float32)
+        spikes[0, 2, 2] = 1.0
+        weight = np.arange(9, dtype=np.float32).reshape(1, 1, 3, 3)
+        result = EventDrivenLayerSim().run_conv(spikes, weight)
+        # Membrane around (2,2) holds the flipped filter (correlation).
+        expected = reference_conv(spikes, weight)
+        np.testing.assert_allclose(result.membrane, expected, atol=1e-6)
+        assert result.performed_updates == 9
+
+    def test_boundary_spike_clips_updates(self):
+        spikes = np.zeros((1, 4, 4), dtype=np.float32)
+        spikes[0, 0, 0] = 1.0
+        weight = np.ones((1, 1, 3, 3), dtype=np.float32)
+        result = EventDrivenLayerSim().run_conv(spikes, weight)
+        # Corner spike only reaches 4 in-bounds neurons...
+        assert result.performed_updates == 4
+        # ...but still occupies all 9 pipeline slots.
+        assert result.scheduled_updates == 9
+
+    @given(st.integers(0, 2**32 - 1), st.integers(1, 4))
+    @settings(max_examples=25, deadline=None)
+    def test_equivalence_random(self, seed, nc):
+        rng = np.random.default_rng(seed)
+        cin = int(rng.integers(1, 4))
+        cout = int(rng.integers(1, 5))
+        size = int(rng.integers(3, 7))
+        spikes = (rng.random((cin, size, size)) < 0.3).astype(np.float32)
+        weight = rng.normal(size=(cout, cin, 3, 3)).astype(np.float32)
+        result = EventDrivenLayerSim(nc_count=nc).run_conv(spikes, weight)
+        np.testing.assert_allclose(
+            result.membrane, reference_conv(spikes, weight), atol=1e-4
+        )
+
+
+class TestCycleAgreement:
+    def test_conv_cycles_match_analytic(self, rng):
+        spikes = (rng.random((3, 8, 8)) < 0.2).astype(np.float32)
+        weight = rng.normal(size=(6, 3, 3, 3)).astype(np.float32)
+        sim = EventDrivenLayerSim(nc_count=2, chunk_bits=16)
+        model = SparseCoreModel(nc_count=2, chunk_bits=16)
+        op = sim.run_conv(spikes, weight)
+        an = model.conv_timestep_cycles(spikes, (3, 8, 8), 6, 3)
+        assert op.compression_cycles == an.compression_cycles
+        assert op.accumulation_cycles == an.accumulation_cycles
+
+    def test_fc_cycles_match_analytic(self, rng):
+        spikes = (rng.random(40) < 0.25).astype(np.float32)
+        weight = rng.normal(size=(12, 40)).astype(np.float32)
+        sim = EventDrivenLayerSim(nc_count=3, chunk_bits=8)
+        model = SparseCoreModel(nc_count=3, chunk_bits=8)
+        op = sim.run_fc(spikes, weight)
+        an = model.fc_timestep_cycles(spikes, 40, 12)
+        assert op.compression_cycles == an.compression_cycles
+        assert op.accumulation_cycles == an.accumulation_cycles
+
+
+class TestFc:
+    def test_matches_matmul(self, rng):
+        spikes = (rng.random(20) < 0.4).astype(np.float32)
+        weight = rng.normal(size=(7, 20)).astype(np.float32)
+        result = EventDrivenLayerSim().run_fc(spikes, weight)
+        np.testing.assert_allclose(
+            result.membrane.reshape(-1), weight @ spikes, atol=1e-5
+        )
+
+    def test_size_mismatch(self, rng):
+        with pytest.raises(HardwareModelError):
+            EventDrivenLayerSim().run_fc(
+                np.zeros(5), rng.normal(size=(3, 6)).astype(np.float32)
+            )
+
+
+class TestValidation:
+    def test_rejects_bad_nc(self):
+        with pytest.raises(HardwareModelError):
+            EventDrivenLayerSim(nc_count=0)
+
+    def test_rejects_rank_mismatch(self, rng):
+        with pytest.raises(HardwareModelError):
+            EventDrivenLayerSim().run_conv(
+                np.zeros((4, 4)), rng.normal(size=(2, 1, 3, 3)).astype(np.float32)
+            )
+
+    def test_rejects_channel_mismatch(self, rng):
+        with pytest.raises(HardwareModelError):
+            EventDrivenLayerSim().run_conv(
+                np.zeros((2, 4, 4)),
+                rng.normal(size=(2, 3, 3, 3)).astype(np.float32),
+            )

@@ -1,0 +1,140 @@
+"""On-chip memory planner tests."""
+
+import pytest
+
+from repro.errors import HardwareModelError
+from repro.hw.memory import (
+    BRAM_BITS,
+    effective_weight_bits,
+    plan_layer_memory,
+    spike_ram_words,
+)
+from repro.quant.schemes import FP32, INT4
+
+
+class TestEffectiveBits:
+    def test_fp32(self):
+        assert effective_weight_bits(100, FP32) == 3200
+
+    def test_int4(self):
+        assert effective_weight_bits(100, INT4) == 400
+
+
+class TestInputLayer:
+    def test_dense_layer_uses_ff_only(self):
+        plan = plan_layer_memory(
+            kind="conv",
+            weight_count=1728,
+            scheme=INT4,
+            nc_count=1,
+            out_spatial=1024,
+            out_channels=64,
+            timesteps=2,
+            is_input_layer=True,
+        )
+        assert plan.weight_store == "ff"
+        assert plan.weight_bram == 0
+        assert plan.membrane_bram == 0
+        assert plan.spike_bram > 0  # output spikes still buffered
+
+
+class TestStorageClassSelection:
+    def test_small_weights_use_lutram(self):
+        plan = plan_layer_memory(
+            "conv", 2000, INT4, nc_count=4, out_spatial=64,
+            out_channels=16, timesteps=2,
+        )
+        assert plan.weight_store == "lutram"
+        assert plan.lutram_luts > 0
+
+    def test_fp32_block1_conv_stays_in_lutram(self):
+        # The paper's CONV1_2 fp32 blow-up: big weights, still LUTRAM.
+        plan = plan_layer_memory(
+            "conv", 64 * 112 * 9, FP32, nc_count=28, out_spatial=1024,
+            out_channels=112, timesteps=2, block_index=1,
+        )
+        assert plan.weight_store == "lutram"
+        assert plan.lutram_luts > 400_000  # the Table I story
+
+    def test_int4_large_conv_uses_bram(self):
+        plan = plan_layer_memory(
+            "conv", 112 * 192 * 9, INT4, nc_count=12, out_spatial=256,
+            out_channels=192, timesteps=2, block_index=2,
+        )
+        assert plan.weight_store == "bram"
+        assert plan.weight_bram > 0
+        assert plan.weight_uram == 0
+
+    def test_fp32_large_conv_spills_to_uram(self):
+        plan = plan_layer_memory(
+            "conv", 480 * 504 * 9, FP32, nc_count=72, out_spatial=64,
+            out_channels=504, timesteps=2, block_index=3,
+        )
+        assert plan.weight_uram > 0
+
+    def test_fp32_fc_uses_uram(self):
+        plan = plan_layer_memory(
+            "fc", 8960 * 1064, FP32, nc_count=19, out_spatial=1,
+            out_channels=1064, timesteps=2, block_index=4,
+        )
+        assert plan.weight_store == "uram"
+        assert plan.weight_uram > 0
+        assert plan.weight_bram == 0
+
+    def test_int4_fc_uses_bram(self):
+        plan = plan_layer_memory(
+            "fc", 8960 * 1064, INT4, nc_count=19, out_spatial=1,
+            out_channels=1064, timesteps=2, block_index=4,
+        )
+        assert plan.weight_store == "bram"
+        assert plan.weight_uram == 0
+
+
+class TestScalingProperties:
+    def test_membrane_scales_with_ncs(self):
+        a = plan_layer_memory(
+            "conv", 10**6, INT4, 4, 1024, 64, 2, block_index=2
+        )
+        b = plan_layer_memory(
+            "conv", 10**6, INT4, 16, 1024, 64, 2, block_index=2
+        )
+        assert b.membrane_bram == 4 * a.membrane_bram
+
+    def test_spike_ram_scales_with_timesteps(self):
+        a = plan_layer_memory("conv", 10**6, INT4, 4, 1024, 256, 2, block_index=2)
+        b = plan_layer_memory("conv", 10**6, INT4, 4, 1024, 256, 8, block_index=2)
+        assert b.spike_bram > a.spike_bram
+
+    def test_fp32_needs_more_storage_than_int4(self):
+        kwargs = dict(
+            kind="conv", weight_count=480 * 504 * 9, nc_count=8,
+            out_spatial=64, out_channels=504, timesteps=2, block_index=3,
+        )
+        fp32 = plan_layer_memory(scheme=FP32, **kwargs)
+        int4 = plan_layer_memory(scheme=INT4, **kwargs)
+        fp32_bits = fp32.total_bram * BRAM_BITS + fp32.total_uram * 8 * BRAM_BITS
+        int4_bits = int4.total_bram * BRAM_BITS + int4.total_uram * 8 * BRAM_BITS
+        assert fp32_bits > 3 * int4_bits
+
+    def test_total_properties(self):
+        plan = plan_layer_memory(
+            "conv", 10**6, INT4, 4, 256, 64, 2, block_index=2
+        )
+        assert plan.total_bram == (
+            plan.weight_bram + plan.membrane_bram + plan.spike_bram
+        )
+        assert plan.total_uram == plan.weight_uram
+
+
+class TestValidation:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(HardwareModelError):
+            plan_layer_memory("pool", 10, INT4, 1, 4, 4, 1)
+
+    def test_rejects_bad_nc(self):
+        with pytest.raises(HardwareModelError):
+            plan_layer_memory("conv", 10, INT4, 0, 4, 4, 1)
+
+    def test_spike_ram_words_layout(self):
+        # N output maps x T timesteps contiguous slots (Fig. 2).
+        assert spike_ram_words(out_channels=64, timesteps=2) == 128

@@ -1,0 +1,106 @@
+"""Off-chip weight-streaming model tests (the paper's future-work item)."""
+
+import pytest
+
+from repro.errors import HardwareModelError
+from repro.hw.offchip import (
+    DdrConfig,
+    apply_streaming_to_cycles,
+    bandwidth_bound_layers,
+    plan_streaming,
+)
+from repro.quant.schemes import FP32, INT4
+
+
+class TestDdrConfig:
+    def test_bytes_per_cycle(self):
+        ddr = DdrConfig(peak_bandwidth_gbps=10.0, efficiency=0.5)
+        assert ddr.bytes_per_cycle(100e6) == pytest.approx(50.0)
+
+    def test_validation(self):
+        with pytest.raises(HardwareModelError):
+            DdrConfig(peak_bandwidth_gbps=0.0)
+        with pytest.raises(HardwareModelError):
+            DdrConfig(efficiency=0.0)
+        with pytest.raises(HardwareModelError):
+            DdrConfig(efficiency=1.5)
+
+
+class TestPlanStreaming:
+    def test_everything_resident_with_big_budget(self, tiny_deployable):
+        report = plan_streaming(
+            tiny_deployable, FP32, 100e6, onchip_budget_bits=1e12
+        )
+        assert report.streamed_layers == []
+        assert report.total_streamed_mbytes == 0.0
+
+    def test_everything_streams_with_zero_budget(self, tiny_deployable):
+        report = plan_streaming(
+            tiny_deployable, FP32, 100e6, onchip_budget_bits=0.0
+        )
+        assert report.resident_layers == []
+        assert all(p.stream_cycles_per_image > 0 for p in report.plans)
+
+    def test_greedy_keeps_early_layers(self, tiny_deployable):
+        first_bits = (
+            tiny_deployable.layers[0].weight_count
+            + tiny_deployable.layers[0].bias_q.size
+        ) * 32
+        report = plan_streaming(
+            tiny_deployable, FP32, 100e6, onchip_budget_bits=first_bits + 1
+        )
+        assert report.plans[0].resident
+        assert not report.plans[-1].resident
+
+    def test_int4_streams_less_than_fp32(self, tiny_deployable_int4, tiny_deployable):
+        fp32 = plan_streaming(
+            tiny_deployable, FP32, 100e6, onchip_budget_bits=0.0
+        )
+        int4 = plan_streaming(
+            tiny_deployable_int4, INT4, 100e6, onchip_budget_bits=0.0
+        )
+        assert int4.total_streamed_mbytes < fp32.total_streamed_mbytes / 4
+
+    def test_default_budget_from_device(self, tiny_deployable):
+        report = plan_streaming(tiny_deployable, FP32, 100e6)
+        assert report.onchip_budget_bits > 0
+
+    def test_stream_cycles_scale_with_bits(self, tiny_deployable):
+        report = plan_streaming(
+            tiny_deployable, FP32, 100e6, onchip_budget_bits=0.0
+        )
+        plans = sorted(report.plans, key=lambda p: p.weight_bits)
+        cycles = [p.stream_cycles_per_image for p in plans]
+        assert cycles == sorted(cycles)
+
+
+class TestCycleMerging:
+    def test_resident_layers_unchanged(self, tiny_deployable):
+        report = plan_streaming(
+            tiny_deployable, FP32, 100e6, onchip_budget_bits=1e12
+        )
+        cycles = {"conv1_1": 100.0, "conv2_1": 200.0, "fc1": 50.0}
+        merged = apply_streaming_to_cycles(cycles, report)
+        assert merged == cycles
+
+    def test_streamed_layer_takes_max(self, tiny_deployable):
+        report = plan_streaming(
+            tiny_deployable, FP32, 100e6, onchip_budget_bits=0.0
+        )
+        cycles = {p.name: 1.0 for p in report.plans}
+        merged = apply_streaming_to_cycles(cycles, report)
+        for plan in report.plans:
+            assert merged[plan.name] == pytest.approx(
+                max(1.0, plan.stream_cycles_per_image)
+            )
+
+    def test_bandwidth_bound_detection(self, tiny_deployable):
+        report = plan_streaming(
+            tiny_deployable, FP32, 100e6, onchip_budget_bits=0.0
+        )
+        tiny_compute = {p.name: 1e-9 for p in report.plans}
+        assert set(bandwidth_bound_layers(tiny_compute, report)) == set(
+            p.name for p in report.plans
+        )
+        huge_compute = {p.name: 1e12 for p in report.plans}
+        assert bandwidth_bound_layers(huge_compute, report) == []

@@ -1,0 +1,152 @@
+"""Resource estimator and power model tests, including Table I shape checks."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hw.config import AcceleratorConfig, PAPER_TABLE1_ALLOCATION
+from repro.hw.power import PowerModel
+from repro.hw.resources import ResourceEstimator
+from repro.quant import convert
+from repro.quant.schemes import FP32, INT4
+from repro.snn import build_network
+
+
+def _make(scheme, arch="8C3-MP2-16C3-MP2-40", allocation=(1, 2, 2)):
+    net = build_network(arch, (3, 8, 8), num_classes=10, seed=0)
+    net.eval()
+    deployable = convert(net, scheme)
+    config = AcceleratorConfig(name="test", allocation=allocation, scheme=scheme)
+    return deployable, config
+
+
+class TestResourceEstimator:
+    def test_per_layer_breakdown(self):
+        deployable, config = _make(INT4)
+        estimate = ResourceEstimator(config).estimate(deployable, 2)
+        assert [l.name for l in estimate.layers] == ["conv1_1", "conv2_1", "fc1"]
+        assert all(l.luts > 0 for l in estimate.layers)
+
+    def test_totals_include_infrastructure(self):
+        deployable, config = _make(INT4)
+        estimate = ResourceEstimator(config).estimate(deployable, 2)
+        assert estimate.total_luts > sum(l.luts for l in estimate.layers)
+
+    def test_allocation_length_validated(self):
+        deployable, _ = _make(INT4)
+        bad = AcceleratorConfig(name="bad", allocation=(1, 2), scheme=INT4)
+        with pytest.raises(ConfigError):
+            ResourceEstimator(bad).estimate(deployable, 2)
+
+    def test_more_ncs_more_logic(self):
+        deployable, small_cfg = _make(INT4, allocation=(1, 2, 2))
+        _, big_cfg = _make(INT4, allocation=(1, 16, 16))
+        small = ResourceEstimator(small_cfg).estimate(deployable, 2)
+        big = ResourceEstimator(big_cfg).estimate(deployable, 2)
+        assert big.total_luts > small.total_luts
+        assert big.total_ffs > small.total_ffs
+
+    def test_fp32_uses_more_than_int4(self):
+        dep4, cfg4 = _make(INT4)
+        dep32, cfg32 = _make(FP32)
+        int4 = ResourceEstimator(cfg4).estimate(dep4, 2)
+        fp32 = ResourceEstimator(cfg32).estimate(dep32, 2)
+        assert fp32.total_luts > int4.total_luts
+
+    def test_utilization_fractions(self):
+        deployable, config = _make(INT4)
+        estimator = ResourceEstimator(config)
+        estimate = estimator.estimate(deployable, 2)
+        util = estimator.utilization(estimate)
+        assert 0 <= util["lut"] < 1
+        assert set(util) == {"lut", "ff", "bram", "uram"}
+
+    def test_by_name(self):
+        deployable, config = _make(INT4)
+        estimate = ResourceEstimator(config).estimate(deployable, 2)
+        assert "conv2_1" in estimate.by_name()
+
+
+class TestPaperScaleShape:
+    """Headline Table I ratios at full paper dimensions."""
+
+    @pytest.fixture(scope="class")
+    def estimates(self):
+        from repro.experiments.table1 import paper_scale_network
+
+        results = {}
+        for scheme in (INT4, FP32):
+            network = paper_scale_network(scheme)
+            config = AcceleratorConfig(
+                name="t1", allocation=PAPER_TABLE1_ALLOCATION, scheme=scheme
+            )
+            estimate = ResourceEstimator(config).estimate(network, 2)
+            power = PowerModel(config).estimate(estimate)
+            results[scheme.name] = (estimate, power)
+        return results
+
+    def test_lut_ratio_headline(self, estimates):
+        # Paper reports ~8x; our int4 build is leaner (its CONV1_2 weights
+        # go to BRAM rather than replicated LUTRAM), so the measured ratio
+        # runs higher. The shape requirement is a large fp32 > int4 gap.
+        fp32, int4 = estimates["fp32"][0], estimates["int4"][0]
+        ratio = fp32.total_luts / int4.total_luts
+        assert 3.0 < ratio < 40.0
+
+    def test_memory_ratio_headline(self, estimates):
+        fp32, int4 = estimates["fp32"][0], estimates["int4"][0]
+        fp32_eq = fp32.total_bram + 8 * fp32.total_uram
+        int4_eq = int4.total_bram + 8 * int4.total_uram
+        ratio = fp32_eq / int4_eq
+        assert 2.0 < ratio < 10.0  # paper: ~3.4x
+
+    def test_power_ratio_headline(self, estimates):
+        fp32, int4 = estimates["fp32"][1], estimates["int4"][1]
+        ratio = fp32.dynamic_w / int4.dynamic_w
+        assert 1.5 < ratio < 6.0  # paper: 2.82x
+
+    def test_int4_no_uram(self, estimates):
+        assert estimates["int4"][0].total_uram == 0
+
+    def test_conv1_2_fp32_lutram_blowup(self, estimates):
+        fp32_layers = estimates["fp32"][0].by_name()
+        int4_layers = estimates["int4"][0].by_name()
+        assert fp32_layers["conv1_2"].luts > 20 * int4_layers["conv1_2"].luts
+
+    def test_static_power_nearly_equal(self, estimates):
+        fp32, int4 = estimates["fp32"][1], estimates["int4"][1]
+        assert abs(fp32.static_w - int4.static_w) < 0.5
+
+
+class TestPowerModel:
+    def test_layer_power_positive(self):
+        deployable, config = _make(INT4)
+        estimate = ResourceEstimator(config).estimate(deployable, 2)
+        power = PowerModel(config).estimate(estimate)
+        assert all(l.total_w > 0 for l in power.layers)
+        assert power.total_w == pytest.approx(power.dynamic_w + power.static_w)
+
+    def test_clock_scaling(self):
+        deployable, config = _make(INT4)
+        estimate = ResourceEstimator(config).estimate(deployable, 2)
+        slow_cfg = AcceleratorConfig(
+            name="slow", allocation=(1, 2, 2), scheme=INT4, clock_hz=50e6
+        )
+        fast = PowerModel(config).estimate(estimate)
+        slow = PowerModel(slow_cfg).estimate(estimate)
+        assert slow.dynamic_w == pytest.approx(fast.dynamic_w / 2, rel=1e-5)
+
+    def test_clock_gating_saves_memory_power(self):
+        deployable, config = _make(INT4, allocation=(1, 4, 4))
+        estimate = ResourceEstimator(config).estimate(deployable, 2)
+        gated = PowerModel(config).estimate(estimate)
+        ungated_cfg = AcceleratorConfig(
+            name="nogate", allocation=(1, 4, 4), scheme=INT4, clock_gating=False
+        )
+        ungated = PowerModel(ungated_cfg).estimate(estimate)
+        assert ungated.dynamic_w > gated.dynamic_w
+
+    def test_by_name(self):
+        deployable, config = _make(INT4)
+        estimate = ResourceEstimator(config).estimate(deployable, 2)
+        power = PowerModel(config).estimate(estimate)
+        assert set(power.by_name()) == {"conv1_1", "conv2_1", "fc1"}

@@ -1,0 +1,117 @@
+"""Sparse core cycle model tests (Eq. 3 semantics)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import HardwareModelError
+from repro.hw.sparse_core import SparseCoreModel
+
+
+class TestConvTiming:
+    def test_accumulation_follows_eq3(self, rng):
+        spikes = (rng.random((4, 8, 8)) < 0.2).astype(np.float32)
+        model = SparseCoreModel(nc_count=1)
+        timing = model.conv_timestep_cycles(spikes, (4, 8, 8), 16, 3)
+        events = int(spikes.sum())
+        assert timing.accumulation_cycles == events * 9 * 16
+
+    def test_nc_parallelism_divides_accumulation(self, rng):
+        spikes = (rng.random((4, 8, 8)) < 0.2).astype(np.float32)
+        one = SparseCoreModel(1).conv_timestep_cycles(spikes, (4, 8, 8), 16, 3)
+        four = SparseCoreModel(4).conv_timestep_cycles(spikes, (4, 8, 8), 16, 3)
+        assert four.accumulation_cycles == one.accumulation_cycles // 4
+
+    def test_empty_input_only_scan_and_activation(self):
+        spikes = np.zeros((2, 4, 4), dtype=np.float32)
+        model = SparseCoreModel(nc_count=2, chunk_bits=8)
+        timing = model.conv_timestep_cycles(spikes, (2, 4, 4), 4, 3)
+        assert timing.input_events == 0
+        assert timing.accumulation_cycles == 0
+        assert timing.compression_cycles == 4  # 2 maps x 2 chunks
+        assert timing.total_cycles == timing.compression_cycles + timing.activation_cycles
+
+    def test_activation_cycles(self):
+        spikes = np.zeros((2, 4, 4), dtype=np.float32)
+        timing = SparseCoreModel(2).conv_timestep_cycles(spikes, (2, 4, 4), 6, 3)
+        # 4*4 pixels x ceil(6/2)=3 owned channels.
+        assert timing.activation_cycles == 48
+
+    def test_analytic_mode_close_to_exact(self, rng):
+        spikes = (rng.random((8, 16, 16)) < 0.15).astype(np.float32)
+        model = SparseCoreModel(nc_count=4)
+        exact = model.conv_timestep_cycles(spikes, (8, 16, 16), 32, 3)
+        analytic = model.conv_timestep_cycles(
+            None, (8, 16, 16), 32, 3, spike_count=float(spikes.sum())
+        )
+        assert analytic.accumulation_cycles == exact.accumulation_cycles
+        assert analytic.compression_cycles == pytest.approx(
+            exact.compression_cycles, rel=0.15
+        )
+
+    def test_analytic_requires_count(self):
+        with pytest.raises(HardwareModelError):
+            SparseCoreModel(1).conv_timestep_cycles(None, (2, 4, 4), 4, 3)
+
+    def test_shape_mismatch(self, rng):
+        spikes = np.zeros((3, 4, 4), dtype=np.float32)
+        with pytest.raises(HardwareModelError):
+            SparseCoreModel(1).conv_timestep_cycles(spikes, (2, 4, 4), 4, 3)
+
+    def test_bottleneck_label(self, rng):
+        dense_spikes = np.ones((2, 8, 8), dtype=np.float32)
+        timing = SparseCoreModel(1).conv_timestep_cycles(
+            dense_spikes, (2, 8, 8), 32, 3
+        )
+        assert timing.bottleneck == "accumulation"
+        empty = np.zeros((2, 8, 8), dtype=np.float32)
+        timing2 = SparseCoreModel(64).conv_timestep_cycles(
+            empty, (2, 8, 8), 4, 3
+        )
+        assert timing2.bottleneck == "compression"
+
+
+class TestFcTiming:
+    def test_accumulation_follows_eq3(self, rng):
+        spikes = (rng.random(64) < 0.3).astype(np.float32)
+        timing = SparseCoreModel(1).fc_timestep_cycles(spikes, 64, 100)
+        assert timing.accumulation_cycles == int(spikes.sum()) * 100
+
+    def test_nc_unroll(self, rng):
+        spikes = (rng.random(64) < 0.3).astype(np.float32)
+        one = SparseCoreModel(1).fc_timestep_cycles(spikes, 64, 100)
+        ten = SparseCoreModel(10).fc_timestep_cycles(spikes, 64, 100)
+        assert ten.accumulation_cycles == one.accumulation_cycles // 10
+
+    def test_size_mismatch(self):
+        with pytest.raises(HardwareModelError):
+            SparseCoreModel(1).fc_timestep_cycles(np.zeros(10), 12, 5)
+
+    def test_analytic_mode(self):
+        timing = SparseCoreModel(2).fc_timestep_cycles(
+            None, 128, 64, spike_count=20.0
+        )
+        assert timing.accumulation_cycles == 20 * 32
+
+
+class TestMerge:
+    def test_merge_sums(self, rng):
+        spikes = (rng.random((2, 4, 4)) < 0.3).astype(np.float32)
+        model = SparseCoreModel(1)
+        t1 = model.conv_timestep_cycles(spikes, (2, 4, 4), 4, 3)
+        merged = SparseCoreModel.merge([t1, t1])
+        assert merged.total_cycles == 2 * t1.total_cycles
+        assert merged.input_events == 2 * t1.input_events
+
+    def test_merge_empty_rejected(self):
+        with pytest.raises(HardwareModelError):
+            SparseCoreModel.merge([])
+
+
+class TestValidation:
+    def test_rejects_bad_nc(self):
+        with pytest.raises(HardwareModelError):
+            SparseCoreModel(0)
+
+    def test_rejects_bad_chunk(self):
+        with pytest.raises(HardwareModelError):
+            SparseCoreModel(1, chunk_bits=0)

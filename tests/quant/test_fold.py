@@ -1,0 +1,65 @@
+"""Batch-norm folding tests: folding must be inference-lossless."""
+
+import numpy as np
+import pytest
+
+from repro.quant.fold import fold_batchnorm
+from repro.snn import build_network
+from repro.tensor import Tensor, no_grad
+
+
+class TestFoldBatchnorm:
+    def _settled_network(self, rng, arch="8C3-MP2-20"):
+        """A network whose BN running stats have seen some data."""
+        net = build_network(arch, (3, 8, 8), num_classes=10, seed=0)
+        with no_grad():
+            for _ in range(30):
+                net.forward(rng.random((16, 3, 8, 8)).astype(np.float32), 1)
+        net.eval()
+        return net
+
+    def test_folded_conv_matches_conv_plus_bn(self, rng):
+        net = self._settled_network(rng)
+        folded = fold_batchnorm(net)
+        stage = net.compute_stages()[0]
+        x = Tensor(rng.random((4, 3, 8, 8)).astype(np.float32))
+        with no_grad():
+            reference = stage.bn(stage.layer(x)).data
+        from repro.tensor import ops
+
+        w, b = folded["conv1_1"]
+        manual = ops.conv2d(x, Tensor(w), Tensor(b), padding=1).data
+        np.testing.assert_allclose(manual, reference, atol=1e-4)
+
+    def test_layers_without_bn_pass_through(self, rng):
+        net = self._settled_network(rng)
+        folded = fold_batchnorm(net)
+        fc = net.compute_stages()[-1]
+        w, b = folded[fc.name]
+        np.testing.assert_array_equal(w, fc.layer.weight.data)
+        np.testing.assert_array_equal(b, fc.layer.bias.data)
+
+    def test_all_compute_layers_present(self, rng):
+        net = self._settled_network(rng)
+        folded = fold_batchnorm(net)
+        assert set(folded) == {"conv1_1", "fc1"}
+
+    def test_missing_bias_synthesised(self):
+        net = build_network("8C3-10", (3, 8, 8), 10, seed=0)
+        stage = net.compute_stages()[-1]
+        stage.layer.bias = None
+        folded = fold_batchnorm(net)
+        w, b = folded["fc1"]
+        assert b.shape == (10,)
+        np.testing.assert_array_equal(b, np.zeros(10))
+
+    def test_fold_sees_through_qat(self, rng):
+        from repro.quant import INT4, prepare_qat
+
+        net = self._settled_network(rng)
+        before = fold_batchnorm(net)
+        prepare_qat(net, INT4)
+        after = fold_batchnorm(net)
+        np.testing.assert_array_equal(
+            before["conv1_1"][0], after["conv1_1"][0]
+        )

@@ -1,0 +1,45 @@
+"""int8 midpoint tests: the scheme machinery generalises beyond int4."""
+
+import numpy as np
+import pytest
+
+from repro.quant import INT4, INT8, convert, quantize_array
+from repro.quant.schemes import QuantScheme
+
+
+class TestInt8Conversion:
+    def test_int8_closer_to_fp32_than_int4(self, tiny_trained_network, tiny_dataset):
+        from repro.quant import FP32
+
+        _, test = tiny_dataset
+        fp32 = convert(tiny_trained_network, FP32)
+        int8 = convert(tiny_trained_network, INT8)
+        int4 = convert(tiny_trained_network, INT4)
+        reference = fp32.forward(test.images[:32], 2).logits
+        err8 = np.abs(int8.forward(test.images[:32], 2).logits - reference).mean()
+        err4 = np.abs(int4.forward(test.images[:32], 2).logits - reference).mean()
+        assert err8 <= err4
+
+    def test_int8_weight_range(self, tiny_trained_network):
+        int8 = convert(tiny_trained_network, INT8)
+        for layer in int8.layers:
+            assert np.abs(layer.weight_q).max() <= 127
+
+    def test_int8_zeroes_fewer_weights_than_int4(self, tiny_trained_network):
+        int8 = convert(tiny_trained_network, INT8)
+        int4 = convert(tiny_trained_network, INT4)
+        z8 = np.mean([l.zero_weight_fraction for l in int8.layers])
+        z4 = np.mean([l.zero_weight_fraction for l in int4.layers])
+        assert z8 <= z4
+
+    def test_rounding_error_scales_with_bits(self, rng):
+        w = rng.normal(size=(16, 64)).astype(np.float32)
+        errors = {}
+        for bits in (4, 6, 8, 12):
+            scheme = QuantScheme(bits=bits)
+            q, scale = quantize_array(w, scheme)
+            from repro.quant import dequantize_array
+
+            errors[bits] = np.abs(dequantize_array(q, scale) - w).mean()
+        values = [errors[b] for b in (4, 6, 8, 12)]
+        assert values == sorted(values, reverse=True)

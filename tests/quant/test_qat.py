@@ -1,0 +1,86 @@
+"""QAT wrapper and preparation tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import QuantizationError
+from repro.quant import INT4, prepare_qat, strip_qat
+from repro.quant.qat import QATConv2d, QATLinear, is_qat
+from repro.quant.schemes import FP32
+from repro.snn import Trainer, TrainingConfig, build_network
+from repro.snn.layers import SpikingConv2d, SpikingLinear
+from repro.tensor import Tensor
+
+
+class TestWrappers:
+    def test_conv_wrapper_type_check(self):
+        with pytest.raises(QuantizationError):
+            QATConv2d(SpikingLinear(4, 2, seed=0), INT4)
+
+    def test_linear_wrapper_type_check(self):
+        with pytest.raises(QuantizationError):
+            QATLinear(SpikingConv2d(2, 2, seed=0), INT4)
+
+    def test_conv_forward_shape(self, rng):
+        layer = QATConv2d(SpikingConv2d(3, 4, seed=0), INT4)
+        out = layer(Tensor(rng.random((2, 3, 5, 5)).astype(np.float32)))
+        assert out.shape == (2, 4, 5, 5)
+
+    def test_output_uses_quantized_weights(self, rng):
+        inner = SpikingConv2d(2, 3, seed=0)
+        wrapped = QATConv2d(inner, INT4)
+        x = Tensor(rng.random((1, 2, 4, 4)).astype(np.float32))
+        quantized_out = wrapped(x)
+        float_out = inner(x)
+        # int4 is coarse; outputs must differ unless weights were on-grid.
+        assert not np.allclose(quantized_out.data, float_out.data)
+
+    def test_parameters_are_latent_floats(self):
+        inner = SpikingConv2d(2, 3, seed=0)
+        wrapped = QATConv2d(inner, INT4)
+        assert wrapped.parameters() == inner.parameters()
+
+    def test_state_dict_delegates(self):
+        inner = SpikingLinear(4, 2, seed=0)
+        wrapped = QATLinear(inner, INT4)
+        state = wrapped.state_dict()
+        assert "weight" in state
+
+    def test_fp32_wrapper_rejected(self):
+        with pytest.raises(QuantizationError):
+            QATConv2d(SpikingConv2d(2, 2, seed=0), FP32)
+
+
+class TestPrepareStrip:
+    def test_prepare_wraps_all_compute_layers(self):
+        net = build_network("8C3-MP2-16C3-40", (3, 8, 8), 10, seed=0)
+        prepare_qat(net, INT4)
+        assert is_qat(net)
+        kinds = [type(s.layer).__name__ for s in net.compute_stages()]
+        assert kinds == ["QATConv2d", "QATConv2d", "QATLinear"]
+
+    def test_prepare_twice_raises(self):
+        net = build_network("8C3-10", (3, 8, 8), 10, seed=0)
+        prepare_qat(net, INT4)
+        with pytest.raises(QuantizationError):
+            prepare_qat(net, INT4)
+
+    def test_prepare_fp32_noop(self):
+        net = build_network("8C3-10", (3, 8, 8), 10, seed=0)
+        prepare_qat(net, FP32)
+        assert not is_qat(net)
+
+    def test_strip_restores(self):
+        net = build_network("8C3-10", (3, 8, 8), 10, seed=0)
+        prepare_qat(net, INT4)
+        strip_qat(net)
+        assert not is_qat(net)
+        assert isinstance(net.compute_stages()[0].layer, SpikingConv2d)
+
+    def test_qat_training_converges(self, tiny_dataset):
+        train, _ = tiny_dataset
+        net = build_network("8C3-MP2-20", (3, 8, 8), 10, seed=0)
+        prepare_qat(net, INT4)
+        config = TrainingConfig(epochs=3, lr=3e-3, seed=0)
+        result = Trainer(net, config).fit(train.images, train.labels)
+        assert result.epoch_losses[-1] < result.epoch_losses[0]

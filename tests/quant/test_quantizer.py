@@ -1,0 +1,150 @@
+"""Quantizer primitive tests, including hypothesis round-trip properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.errors import QuantizationError
+from repro.quant import INT4, INT8, fake_quant, dequantize_array, quantize_array
+from repro.quant.schemes import FP32, QuantScheme, scheme_by_name
+from repro.tensor import parameter
+
+
+class TestSchemes:
+    def test_int4_range(self):
+        assert INT4.qmax == 7
+        assert INT4.name == "int4"
+
+    def test_int8_range(self):
+        assert INT8.qmax == 127
+
+    def test_fp32_is_float(self):
+        assert FP32.is_float
+        with pytest.raises(QuantizationError):
+            _ = FP32.qmax
+
+    def test_rejects_bad_bits(self):
+        with pytest.raises(QuantizationError):
+            QuantScheme(bits=1)
+        with pytest.raises(QuantizationError):
+            QuantScheme(bits=32)
+
+    def test_rejects_asymmetric(self):
+        with pytest.raises(QuantizationError):
+            QuantScheme(bits=4, symmetric=False)
+
+    def test_scheme_by_name(self):
+        assert scheme_by_name("fp32").is_float
+        assert scheme_by_name("int4").bits == 4
+        assert scheme_by_name("INT8").bits == 8
+        with pytest.raises(QuantizationError):
+            scheme_by_name("bf16")
+
+
+class TestQuantizeArray:
+    def test_integers_in_range(self, rng):
+        w = rng.normal(size=(8, 4)).astype(np.float32)
+        q, _scale = quantize_array(w, INT4)
+        assert q.max() <= 7 and q.min() >= -7
+        assert q.dtype == np.int32
+
+    def test_per_channel_scales(self, rng):
+        w = rng.normal(size=(8, 4)).astype(np.float32)
+        _, scale = quantize_array(w, INT4)
+        assert scale.shape == (8,)
+
+    def test_per_tensor_scale(self, rng):
+        w = rng.normal(size=(8, 4)).astype(np.float32)
+        scheme = QuantScheme(bits=4, per_channel=False)
+        _, scale = quantize_array(w, scheme)
+        assert scale.ndim == 0
+
+    def test_max_weight_maps_to_qmax(self):
+        w = np.array([[0.5, -1.0, 0.25]], dtype=np.float32)
+        q, scale = quantize_array(w, INT4)
+        assert abs(q).max() == 7
+        assert scale[0] == pytest.approx(1.0 / 7)
+
+    def test_zero_channel_safe(self):
+        w = np.zeros((2, 3), dtype=np.float32)
+        q, scale = quantize_array(w, INT4)
+        assert np.all(q == 0)
+        assert np.all(scale == 1.0)
+
+    def test_fp32_scheme_rejected(self, rng):
+        with pytest.raises(QuantizationError):
+            quantize_array(rng.normal(size=(2, 2)), FP32)
+
+    def test_small_weights_snap_to_zero(self):
+        # The sparsification mechanism behind Fig. 1: weights below
+        # scale/2 become exactly zero at int4.
+        w = np.array([[1.0, 0.01, -0.02, 0.5]], dtype=np.float32)
+        q, scale = quantize_array(w, INT4)
+        deq = dequantize_array(q, scale)
+        assert deq[0, 1] == 0.0
+        assert deq[0, 2] == 0.0
+        assert deq[0, 0] != 0.0
+
+
+class TestRoundTrip:
+    @given(
+        arrays(
+            np.float32,
+            st.tuples(st.integers(1, 6), st.integers(1, 12)),
+            elements=st.floats(-10, 10, width=32),
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_int8_roundtrip_error_bounded(self, w):
+        """|dequant(quant(w)) - w| <= scale/2 everywhere (int8)."""
+        q, scale = quantize_array(w, INT8)
+        deq = dequantize_array(q, scale)
+        bound = np.broadcast_to(
+            scale.reshape(-1, *([1] * (w.ndim - 1))) / 2, w.shape
+        )
+        assert np.all(np.abs(deq - w) <= bound + 1e-6)
+
+    @given(
+        arrays(
+            np.float32,
+            st.tuples(st.integers(1, 4), st.integers(1, 8)),
+            elements=st.floats(-5, 5, width=32),
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_int4_quantized_values_on_grid(self, w):
+        """Every dequantized value is an integer multiple of its scale."""
+        q, scale = quantize_array(w, INT4)
+        deq = dequantize_array(q, scale)
+        grid = deq / scale.reshape(-1, *([1] * (w.ndim - 1)))
+        assert np.allclose(grid, np.round(grid), atol=1e-4)
+
+    def test_idempotent(self, rng):
+        w = rng.normal(size=(4, 6)).astype(np.float32)
+        q1, s1 = quantize_array(w, INT4)
+        deq = dequantize_array(q1, s1)
+        q2, s2 = quantize_array(deq, INT4)
+        np.testing.assert_array_equal(q1, q2)
+        np.testing.assert_allclose(s1, s2, rtol=1e-5)
+
+
+class TestFakeQuant:
+    def test_forward_is_quantized(self, rng):
+        w = parameter(rng.normal(size=(4, 4)))
+        out = fake_quant(w, INT4)
+        grid = out.data / np.maximum(
+            np.abs(w.data).max(axis=1, keepdims=True) / 7, 1e-9
+        )
+        assert np.allclose(grid, np.round(grid), atol=1e-3)
+
+    def test_gradient_straight_through(self, rng):
+        w = parameter(rng.normal(size=(3, 3)))
+        out = fake_quant(w, INT4)
+        out.backward(np.ones((3, 3), dtype=np.float32))
+        np.testing.assert_allclose(w.grad, np.ones((3, 3)))
+
+    def test_fp32_passthrough(self, rng):
+        w = parameter(rng.normal(size=(2, 2)))
+        assert fake_quant(w, FP32) is w

@@ -1,0 +1,100 @@
+"""Architecture-string parser tests."""
+
+import pytest
+
+from repro.errors import ArchitectureError
+from repro.snn.arch import (
+    VGG9_ARCH,
+    compute_layer_names,
+    describe,
+    parse_architecture,
+)
+
+
+class TestParsing:
+    def test_paper_vgg9_layer_count(self):
+        specs = parse_architecture(VGG9_ARCH, population=1000)
+        compute = [s for s in specs if s.is_compute]
+        # 7 convs + FC(1064) + FC(population) = 9 compute layers.
+        assert len(compute) == 9
+        pools = [s for s in specs if s.kind == "pool"]
+        assert len(pools) == 3
+
+    def test_paper_vgg9_channels(self):
+        specs = parse_architecture(VGG9_ARCH, population=1000)
+        convs = [s.units for s in specs if s.kind == "conv"]
+        assert convs == [64, 112, 192, 216, 480, 504, 560]
+
+    def test_names_follow_paper_convention(self):
+        specs = parse_architecture(VGG9_ARCH, population=1000)
+        names = compute_layer_names(specs)
+        assert names == [
+            "conv1_1", "conv1_2", "conv2_1", "conv2_2",
+            "conv3_1", "conv3_2", "conv3_3", "fc1", "fc2",
+        ]
+
+    def test_population_units(self):
+        specs = parse_architecture(VGG9_ARCH, population=5000)
+        assert specs[-1].kind == "population"
+        assert specs[-1].units == 5000
+
+    def test_conv_kernel_parsed(self):
+        specs = parse_architecture("32C5-10", population=None)
+        assert specs[0].kernel == 5
+
+    def test_pool_window_parsed(self):
+        specs = parse_architecture("8C3-MP4-10")
+        assert specs[1].kernel == 4
+
+    def test_fc_only_network(self):
+        specs = parse_architecture("100-50-10")
+        assert [s.kind for s in specs] == ["fc", "fc", "fc"]
+        assert compute_layer_names(specs) == ["fc1", "fc2", "fc3"]
+
+
+class TestScaling:
+    def test_channel_scale_quarters(self):
+        specs = parse_architecture(VGG9_ARCH, population=1000, channel_scale=0.25)
+        convs = [s.units for s in specs if s.kind == "conv"]
+        assert convs == [16, 28, 48, 54, 120, 126, 140]
+
+    def test_scale_floor_of_four(self):
+        specs = parse_architecture("8C3-10", channel_scale=0.01)
+        assert specs[0].units == 4
+
+    def test_population_not_scaled(self):
+        specs = parse_architecture(VGG9_ARCH, population=1000, channel_scale=0.25)
+        assert specs[-1].units == 1000
+
+    def test_rejects_nonpositive_scale(self):
+        with pytest.raises(ArchitectureError):
+            parse_architecture("8C3-10", channel_scale=0.0)
+
+
+class TestErrors:
+    def test_empty_string(self):
+        with pytest.raises(ArchitectureError):
+            parse_architecture("")
+
+    def test_unknown_token(self):
+        with pytest.raises(ArchitectureError, match="unrecognised"):
+            parse_architecture("64Q3-10")
+
+    def test_population_without_size(self):
+        with pytest.raises(ArchitectureError, match="population"):
+            parse_architecture("64C3-P")
+
+    def test_pool_only_network(self):
+        with pytest.raises(ArchitectureError, match="no compute layers"):
+            parse_architecture("MP2-MP2")
+
+
+class TestDescribe:
+    def test_roundtrip(self):
+        arch = "64C3-MP2-128C3-100"
+        specs = parse_architecture(arch)
+        assert describe(specs) == arch
+
+    def test_population_rendering(self):
+        specs = parse_architecture("8C3-P", population=40)
+        assert describe(specs) == "8C3-P40"

@@ -1,0 +1,157 @@
+"""Spiking layer tests: conv, linear, batch norm, pooling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.snn.layers import (
+    BatchNorm2d,
+    SpikeMaxPool2d,
+    SpikingConv2d,
+    SpikingLinear,
+)
+from repro.tensor import Tensor, ops
+
+
+class TestSpikingConv2d:
+    def test_output_shape_same_padding(self, rng):
+        layer = SpikingConv2d(3, 8, kernel_size=3, seed=rng)
+        out = layer(Tensor(np.zeros((2, 3, 6, 6), dtype=np.float32)))
+        assert out.shape == (2, 8, 6, 6)
+
+    def test_parameters(self, rng):
+        layer = SpikingConv2d(3, 8, seed=rng)
+        params = layer.parameters()
+        assert len(params) == 2  # weight + bias
+        assert params[0].shape == (8, 3, 3, 3)
+
+    def test_no_bias_option(self, rng):
+        layer = SpikingConv2d(3, 8, bias=False, seed=rng)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_state_dict_roundtrip(self, rng):
+        layer = SpikingConv2d(2, 4, seed=1)
+        other = SpikingConv2d(2, 4, seed=2)
+        other.load_state_dict(layer.state_dict())
+        np.testing.assert_array_equal(layer.weight.data, other.weight.data)
+
+    def test_state_dict_shape_mismatch(self, rng):
+        layer = SpikingConv2d(2, 4, seed=1)
+        state = layer.state_dict()
+        state["weight"] = np.zeros((1, 1, 3, 3), dtype=np.float32)
+        with pytest.raises(ShapeError):
+            layer.load_state_dict(state)
+
+    def test_missing_key_raises(self, rng):
+        layer = SpikingConv2d(2, 4, seed=1)
+        with pytest.raises(KeyError):
+            layer.load_state_dict({"weight": layer.weight.data})
+
+    def test_rejects_bad_channels(self):
+        with pytest.raises(ShapeError):
+            SpikingConv2d(0, 4)
+
+    def test_deterministic_init(self):
+        a = SpikingConv2d(3, 8, seed=42)
+        b = SpikingConv2d(3, 8, seed=42)
+        np.testing.assert_array_equal(a.weight.data, b.weight.data)
+
+
+class TestSpikingLinear:
+    def test_output_shape(self, rng):
+        layer = SpikingLinear(12, 5, seed=rng)
+        out = layer(Tensor(np.zeros((3, 12), dtype=np.float32)))
+        assert out.shape == (3, 5)
+
+    def test_flattens_4d_input(self, rng):
+        layer = SpikingLinear(12, 5, seed=rng)
+        out = layer(Tensor(np.zeros((3, 3, 2, 2), dtype=np.float32)))
+        assert out.shape == (3, 5)
+
+    def test_feature_mismatch(self, rng):
+        layer = SpikingLinear(12, 5, seed=rng)
+        with pytest.raises(ShapeError):
+            layer(Tensor(np.zeros((3, 13), dtype=np.float32)))
+
+    def test_state_dict_roundtrip(self):
+        a = SpikingLinear(6, 4, seed=1)
+        b = SpikingLinear(6, 4, seed=2)
+        b.load_state_dict(a.state_dict())
+        np.testing.assert_array_equal(a.weight.data, b.weight.data)
+        np.testing.assert_array_equal(a.bias.data, b.bias.data)
+
+
+class TestBatchNorm2d:
+    def test_normalises_in_training(self, rng):
+        bn = BatchNorm2d(4)
+        x = Tensor(rng.normal(3.0, 2.0, size=(8, 4, 5, 5)).astype(np.float32))
+        out = bn(x)
+        mean = out.data.mean(axis=(0, 2, 3))
+        std = out.data.std(axis=(0, 2, 3))
+        np.testing.assert_allclose(mean, np.zeros(4), atol=1e-4)
+        np.testing.assert_allclose(std, np.ones(4), atol=1e-2)
+
+    def test_running_stats_update(self, rng):
+        bn = BatchNorm2d(2)
+        x = Tensor(rng.normal(5.0, 1.0, size=(16, 2, 4, 4)).astype(np.float32))
+        bn(x)
+        assert np.all(bn.running_mean > 0)
+
+    def test_eval_uses_running_stats(self, rng):
+        bn = BatchNorm2d(2)
+        for _ in range(50):
+            bn(Tensor(rng.normal(2.0, 1.0, size=(16, 2, 4, 4)).astype(np.float32)))
+        bn.eval()
+        x = Tensor(np.full((4, 2, 4, 4), 2.0, dtype=np.float32))
+        out = bn(x)
+        # Input at the running mean -> output near zero.
+        assert abs(out.data.mean()) < 0.2
+
+    def test_gamma_beta_trainable(self):
+        bn = BatchNorm2d(3)
+        assert len(bn.parameters()) == 2
+
+    def test_shape_validation(self):
+        bn = BatchNorm2d(3)
+        with pytest.raises(ShapeError):
+            bn(Tensor(np.zeros((2, 4, 3, 3), dtype=np.float32)))
+
+    def test_state_dict_roundtrip(self, rng):
+        a = BatchNorm2d(3)
+        a.running_mean = rng.normal(size=3).astype(np.float32)
+        b = BatchNorm2d(3)
+        b.load_state_dict(a.state_dict())
+        np.testing.assert_array_equal(a.running_mean, b.running_mean)
+
+    def test_gradient_through_bn(self, rng):
+        from repro.tensor import gradient_error, parameter
+
+        bn = BatchNorm2d(2)
+        x = parameter(rng.normal(size=(4, 2, 3, 3)))
+        err = gradient_error(lambda t: bn(t), [x])
+        assert err < 2e-2
+
+
+class TestSpikeMaxPool2d:
+    def test_or_semantics_on_binary(self, rng):
+        pool = SpikeMaxPool2d(2)
+        spikes = (rng.random((2, 3, 4, 4)) < 0.3).astype(np.float32)
+        out = pool(Tensor(spikes)).data
+        tiles = spikes.reshape(2, 3, 2, 2, 2, 2)
+        expected = (tiles.max(axis=(3, 5)) > 0).astype(np.float32)
+        np.testing.assert_array_equal(out, expected)
+
+    def test_window_one_is_identity(self):
+        pool = SpikeMaxPool2d(1)
+        x = Tensor(np.ones((1, 1, 3, 3), dtype=np.float32))
+        assert pool(x) is x
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ShapeError):
+            SpikeMaxPool2d(0)
+
+    def test_downsamples(self):
+        pool = SpikeMaxPool2d(2)
+        out = pool(Tensor(np.zeros((1, 2, 8, 8), dtype=np.float32)))
+        assert out.shape == (1, 2, 4, 4)

@@ -1,0 +1,78 @@
+"""SpikeStats and accuracy metric tests."""
+
+import numpy as np
+import pytest
+
+from repro.snn.metrics import SpikeStats, accuracy
+
+
+class TestSpikeStats:
+    def test_record_accumulates(self):
+        stats = SpikeStats(samples=2, timesteps=2)
+        stats.record("conv1", 0, np.ones((2, 4)))
+        stats.record("conv1", 1, np.ones((2, 4)))
+        assert stats.per_layer["conv1"] == 16.0
+        assert stats.per_layer_timestep["conv1"] == [8.0, 8.0]
+
+    def test_total_and_per_image(self):
+        stats = SpikeStats(samples=4, timesteps=1)
+        stats.record("a", 0, np.ones((4, 3)))
+        stats.record("b", 0, np.ones((4, 2)))
+        assert stats.total_spikes == 20.0
+        assert stats.spikes_per_image() == 5.0
+
+    def test_spikes_per_image_empty(self):
+        assert SpikeStats().spikes_per_image() == 0.0
+
+    def test_sparsity(self):
+        stats = SpikeStats(samples=1, timesteps=1)
+        spikes = np.zeros((1, 10))
+        spikes[0, :3] = 1.0
+        stats.record("layer", 0, spikes)
+        assert stats.sparsity("layer") == pytest.approx(0.7)
+
+    def test_sparsity_unknown_layer(self):
+        assert SpikeStats().sparsity("nope") == 0.0
+
+    def test_merge(self):
+        a = SpikeStats(samples=1, timesteps=1)
+        a.record("x", 0, np.ones((1, 2)))
+        b = SpikeStats(samples=1, timesteps=1)
+        b.record("x", 0, np.ones((1, 2)))
+        b.record("y", 0, np.ones((1, 3)))
+        a.merge(b)
+        assert a.per_layer["x"] == 4.0
+        assert a.per_layer["y"] == 3.0
+        assert a.samples == 2
+
+    def test_merge_extends_timestep_series(self):
+        a = SpikeStats(samples=1, timesteps=1)
+        a.record("x", 0, np.ones((1, 1)))
+        b = SpikeStats(samples=1, timesteps=3)
+        for t in range(3):
+            b.record("x", t, np.ones((1, 1)))
+        a.merge(b)
+        assert a.per_layer_timestep["x"] == [2.0, 1.0, 1.0]
+        assert a.timesteps == 3
+
+    def test_summary_mentions_layers(self):
+        stats = SpikeStats(samples=1, timesteps=1)
+        stats.record("conv1", 0, np.ones((1, 4)))
+        assert "conv1" in stats.summary()
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        logits = np.eye(3)
+        assert accuracy(logits, np.array([0, 1, 2])) == 1.0
+
+    def test_none_correct(self):
+        logits = np.eye(3)
+        assert accuracy(logits, np.array([1, 2, 0])) == 0.0
+
+    def test_partial(self):
+        logits = np.array([[1, 0], [1, 0], [0, 1], [0, 1]])
+        assert accuracy(logits, np.array([0, 1, 1, 0])) == 0.5
+
+    def test_empty(self):
+        assert accuracy(np.zeros((0, 3)), np.zeros(0)) == 0.0

@@ -1,0 +1,109 @@
+"""LIF neuron dynamics tests (Eq. 1-2 of the paper)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.snn.neuron import LIFConfig, LIFNeuron, PAPER_BETA, PAPER_THETA
+from repro.tensor import Tensor
+
+
+class TestLIFConfig:
+    def test_paper_defaults(self):
+        config = LIFConfig()
+        assert config.beta == PAPER_BETA == 0.15
+        assert config.threshold == PAPER_THETA == 0.5
+
+    def test_rejects_beta_out_of_range(self):
+        with pytest.raises(ConfigError):
+            LIFConfig(beta=1.5)
+        with pytest.raises(ConfigError):
+            LIFConfig(beta=-0.1)
+
+    def test_rejects_nonpositive_threshold(self):
+        with pytest.raises(ConfigError):
+            LIFConfig(threshold=0.0)
+
+
+class TestLIFStep:
+    def test_subthreshold_no_spike(self):
+        neuron = LIFNeuron(LIFConfig(beta=0.5, threshold=1.0))
+        current = Tensor(np.array([0.4], dtype=np.float32))
+        spikes, membrane = neuron.step(current, None)
+        assert spikes.data[0] == 0.0
+        assert membrane.data[0] == pytest.approx(0.4)
+
+    def test_suprathreshold_spikes_and_resets_by_subtraction(self):
+        neuron = LIFNeuron(LIFConfig(beta=0.5, threshold=1.0))
+        current = Tensor(np.array([1.7], dtype=np.float32))
+        spikes, membrane = neuron.step(current, None)
+        assert spikes.data[0] == 1.0
+        assert membrane.data[0] == pytest.approx(0.7)
+
+    def test_exact_threshold_does_not_spike(self):
+        # Eq. 2 uses strict inequality: u > theta.
+        neuron = LIFNeuron(LIFConfig(beta=0.5, threshold=1.0))
+        spikes, _ = neuron.step(Tensor(np.array([1.0], dtype=np.float32)), None)
+        assert spikes.data[0] == 0.0
+
+    def test_leak_decays_membrane(self):
+        neuron = LIFNeuron(LIFConfig(beta=0.25, threshold=10.0))
+        zero = Tensor(np.zeros(1, dtype=np.float32))
+        _, m1 = neuron.step(Tensor(np.array([4.0], dtype=np.float32)), None)
+        _, m2 = neuron.step(zero, m1)
+        assert m2.data[0] == pytest.approx(1.0)  # 4 * 0.25
+
+    def test_integration_across_steps(self):
+        # Repeated 0.3 input with beta=1 (no leak), theta=0.5: spikes on
+        # the second step (0.6 > 0.5) then resets to 0.1.
+        neuron = LIFNeuron(LIFConfig(beta=1.0, threshold=0.5))
+        current = Tensor(np.array([0.3], dtype=np.float32))
+        s1, m1 = neuron.step(current, None)
+        s2, m2 = neuron.step(current, m1)
+        assert s1.data[0] == 0.0
+        assert s2.data[0] == 1.0
+        assert m2.data[0] == pytest.approx(0.1, abs=1e-6)
+
+    def test_higher_beta_retains_more(self):
+        lo = LIFNeuron(LIFConfig(beta=0.1, threshold=5.0))
+        hi = LIFNeuron(LIFConfig(beta=0.9, threshold=5.0))
+        start = Tensor(np.array([2.0], dtype=np.float32))
+        zero = Tensor(np.zeros(1, dtype=np.float32))
+        _, m_lo = lo.step(zero, start)
+        _, m_hi = hi.step(zero, start)
+        assert m_hi.data[0] > m_lo.data[0]
+
+    def test_lower_threshold_fires_more(self, rng):
+        current = Tensor(rng.uniform(0, 1, size=100).astype(np.float32))
+        low = LIFNeuron(LIFConfig(beta=0.15, threshold=0.2))
+        high = LIFNeuron(LIFConfig(beta=0.15, threshold=0.8))
+        s_low, _ = low.step(current, None)
+        s_high, _ = high.step(current, None)
+        assert s_low.data.sum() > s_high.data.sum()
+
+    def test_spikes_are_binary(self, rng):
+        neuron = LIFNeuron()
+        current = Tensor(rng.normal(size=(4, 8)).astype(np.float32))
+        spikes, _ = neuron.step(current, None)
+        assert set(np.unique(spikes.data)).issubset({0.0, 1.0})
+
+    def test_initial_state_zeros(self):
+        neuron = LIFNeuron()
+        current = Tensor(np.ones((2, 3), dtype=np.float32))
+        state = neuron.initial_state(current)
+        np.testing.assert_array_equal(state.data, np.zeros((2, 3)))
+
+    def test_gradient_flows_through_surrogate(self):
+        from repro.tensor import parameter
+
+        neuron = LIFNeuron()
+        current = parameter(np.array([0.4, 0.6], dtype=np.float32))
+        spikes, _ = neuron.step(current, None)
+        spikes.backward(np.ones(2, dtype=np.float32))
+        assert current.grad is not None
+        assert np.all(current.grad > 0)  # surrogate derivative positive
+
+    def test_repr(self):
+        text = repr(LIFNeuron())
+        assert "beta=0.15" in text
+        assert "threshold=0.5" in text

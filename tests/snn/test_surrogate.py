@@ -1,0 +1,90 @@
+"""Surrogate gradient function tests."""
+
+import numpy as np
+import pytest
+
+from repro.snn.surrogate import (
+    ATanSurrogate,
+    BoxcarSurrogate,
+    FastSigmoidSurrogate,
+    make_surrogate,
+)
+
+
+class TestFastSigmoid:
+    def test_peak_at_zero(self):
+        s = FastSigmoidSurrogate(slope=25.0)
+        v = np.linspace(-1, 1, 101)
+        out = s(v)
+        assert out.argmax() == 50  # centre
+
+    def test_value_at_zero_is_one(self):
+        assert FastSigmoidSurrogate(25.0)(np.zeros(1))[0] == pytest.approx(1.0)
+
+    def test_symmetric(self):
+        s = FastSigmoidSurrogate(10.0)
+        v = np.array([0.3, -0.3])
+        out = s(v)
+        assert out[0] == pytest.approx(out[1])
+
+    def test_steeper_slope_narrower(self):
+        v = np.array([0.5])
+        assert FastSigmoidSurrogate(50.0)(v)[0] < FastSigmoidSurrogate(5.0)(v)[0]
+
+    def test_rejects_bad_slope(self):
+        with pytest.raises(ValueError):
+            FastSigmoidSurrogate(slope=0.0)
+
+
+class TestATan:
+    def test_peak_at_zero(self):
+        s = ATanSurrogate(alpha=2.0)
+        assert s(np.zeros(1))[0] == pytest.approx(1.0)
+
+    def test_positive_everywhere(self):
+        s = ATanSurrogate()
+        v = np.linspace(-5, 5, 50)
+        assert np.all(s(v) > 0)
+
+    def test_decays_in_tails(self):
+        s = ATanSurrogate()
+        assert s(np.array([3.0]))[0] < s(np.array([0.5]))[0]
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ValueError):
+            ATanSurrogate(alpha=-1.0)
+
+
+class TestBoxcar:
+    def test_inside_window(self):
+        s = BoxcarSurrogate(width=0.5)
+        assert s(np.array([0.2]))[0] == pytest.approx(1.0)
+
+    def test_outside_window_zero(self):
+        s = BoxcarSurrogate(width=0.5)
+        assert s(np.array([0.7]))[0] == 0.0
+
+    def test_integrates_to_one(self):
+        s = BoxcarSurrogate(width=0.4)
+        v = np.linspace(-1, 1, 20001)
+        integral = np.trapezoid(s(v), v)
+        assert integral == pytest.approx(1.0, rel=1e-2)
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            BoxcarSurrogate(width=0.0)
+
+
+class TestRegistry:
+    def test_make_by_name(self):
+        assert isinstance(make_surrogate("fast_sigmoid"), FastSigmoidSurrogate)
+        assert isinstance(make_surrogate("atan"), ATanSurrogate)
+        assert isinstance(make_surrogate("boxcar"), BoxcarSurrogate)
+
+    def test_kwargs_forwarded(self):
+        s = make_surrogate("fast_sigmoid", slope=7.0)
+        assert s.slope == 7.0
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown surrogate"):
+            make_surrogate("relu")

@@ -1,0 +1,98 @@
+"""Trainer tests: learning on separable data, config validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.snn import Trainer, TrainingConfig, build_network
+
+
+class TestTrainingConfig:
+    def test_defaults(self):
+        config = TrainingConfig()
+        assert config.timesteps == 2
+        assert config.encoder == "direct"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"epochs": 0},
+            {"batch_size": 0},
+            {"timesteps": 0},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ConfigError):
+            TrainingConfig(**kwargs)
+
+
+class TestTrainer:
+    def test_loss_decreases(self, tiny_dataset):
+        train, _ = tiny_dataset
+        net = build_network("8C3-MP2-20", (3, 8, 8), num_classes=10, seed=0)
+        config = TrainingConfig(epochs=4, batch_size=32, lr=3e-3, seed=0)
+        result = Trainer(net, config).fit(train.images, train.labels)
+        assert result.epoch_losses[-1] < result.epoch_losses[0]
+
+    def test_learns_above_chance(self, tiny_dataset):
+        train, test = tiny_dataset
+        net = build_network("8C3-MP2-16C3-MP2-40", (3, 8, 8), num_classes=10, seed=0)
+        config = TrainingConfig(epochs=8, batch_size=32, lr=4e-3, seed=0)
+        result = Trainer(net, config).fit(
+            train.images, train.labels, test.images, test.labels
+        )
+        best = max(result.epoch_test_accuracy)
+        assert best > 0.14  # chance = 0.10; tiny 8x8 data is noisy
+
+    def test_history_lengths(self, tiny_dataset):
+        train, test = tiny_dataset
+        net = build_network("8C3-10", (3, 8, 8), num_classes=10, seed=0)
+        config = TrainingConfig(epochs=3, seed=0)
+        result = Trainer(net, config).fit(
+            train.images[:64], train.labels[:64], test.images[:32], test.labels[:32]
+        )
+        assert len(result.epoch_losses) == 3
+        assert len(result.epoch_test_accuracy) == 3
+        assert result.wall_seconds > 0
+
+    def test_no_test_set(self, tiny_dataset):
+        train, _ = tiny_dataset
+        net = build_network("8C3-10", (3, 8, 8), num_classes=10, seed=0)
+        result = Trainer(net, TrainingConfig(epochs=1, seed=0)).fit(
+            train.images[:64], train.labels[:64]
+        )
+        assert result.epoch_test_accuracy == []
+        assert result.final_test_accuracy == 0.0
+
+    def test_grad_clip_path(self, tiny_dataset):
+        train, _ = tiny_dataset
+        net = build_network("8C3-10", (3, 8, 8), num_classes=10, seed=0)
+        config = TrainingConfig(epochs=1, grad_clip=0.01, seed=0)
+        result = Trainer(net, config).fit(train.images[:64], train.labels[:64])
+        assert np.isfinite(result.final_loss)
+
+    def test_deterministic_given_seed(self, tiny_dataset):
+        train, _ = tiny_dataset
+        losses = []
+        for _ in range(2):
+            net = build_network("8C3-10", (3, 8, 8), num_classes=10, seed=0)
+            result = Trainer(net, TrainingConfig(epochs=1, seed=5)).fit(
+                train.images[:64], train.labels[:64]
+            )
+            losses.append(result.final_loss)
+        assert losses[0] == pytest.approx(losses[1], rel=1e-5)
+
+    def test_rate_encoder_training_runs(self, tiny_dataset):
+        train, _ = tiny_dataset
+        net = build_network("8C3-10", (3, 8, 8), num_classes=10, seed=0)
+        config = TrainingConfig(epochs=1, encoder="rate", timesteps=4, seed=0)
+        result = Trainer(net, config).fit(train.images[:64], train.labels[:64])
+        assert np.isfinite(result.final_loss)
+
+    def test_evaluate_method(self, tiny_dataset):
+        train, test = tiny_dataset
+        net = build_network("8C3-10", (3, 8, 8), num_classes=10, seed=0)
+        trainer = Trainer(net, TrainingConfig(epochs=1, seed=0))
+        trainer.fit(train.images[:64], train.labels[:64])
+        acc = trainer.evaluate(test.images[:32], test.labels[:32])
+        assert 0.0 <= acc <= 1.0

@@ -1,0 +1,75 @@
+"""Paper-fidelity checks of the full-scale VGG9 (structure only -- no
+training; these assert the network we map to hardware *is* the paper's)."""
+
+import numpy as np
+import pytest
+
+from repro.snn import build_vgg9
+from repro.snn.neuron import PAPER_BETA, PAPER_THETA
+
+
+@pytest.fixture(scope="module")
+def vgg9():
+    return build_vgg9(
+        num_classes=100, population=5000, input_shape=(3, 32, 32), seed=0
+    )
+
+
+class TestPaperStructure:
+    def test_nine_compute_layers(self, vgg9):
+        assert len(vgg9.compute_stages()) == 9
+
+    def test_channel_progression(self, vgg9):
+        convs = [
+            s.output_shape[0]
+            for s in vgg9.compute_stages()
+            if s.spec.kind == "conv"
+        ]
+        assert convs == [64, 112, 192, 216, 480, 504, 560]
+
+    def test_spatial_progression(self, vgg9):
+        # 32 -> (block1) 32 -> pool 16 -> (block2) 16 -> pool 8 ->
+        # (block3) 8 -> pool 4.
+        shapes = {
+            s.name: s.output_shape for s in vgg9.compute_stages()
+        }
+        assert shapes["conv1_2"][1:] == (32, 32)
+        assert shapes["conv2_2"][1:] == (16, 16)
+        assert shapes["conv3_3"][1:] == (8, 8)
+
+    def test_fc_sizes(self, vgg9):
+        shapes = {s.name: s for s in vgg9.compute_stages()}
+        assert shapes["fc1"].input_shape == (560 * 4 * 4,)
+        assert shapes["fc1"].output_shape == (1064,)
+        assert shapes["fc2"].output_shape == (5000,)
+
+    def test_population_grouping_cifar100(self, vgg9):
+        assert vgg9.population_group == 50  # 5000 / 100 classes
+
+    def test_paper_lif_defaults(self, vgg9):
+        assert vgg9.lif_config.beta == PAPER_BETA
+        assert vgg9.lif_config.threshold == PAPER_THETA
+
+    def test_parameter_count_matches_architecture(self, vgg9):
+        expected_weights = (
+            3 * 64 * 9 + 64 * 112 * 9 + 112 * 192 * 9 + 192 * 216 * 9
+            + 216 * 480 * 9 + 480 * 504 * 9 + 504 * 560 * 9
+            + 8960 * 1064 + 1064 * 5000
+        )
+        weights = sum(
+            s.layer.weight.size for s in vgg9.compute_stages()
+        )
+        assert weights == expected_weights
+
+    def test_dense_core_pe_match(self, vgg9):
+        """The input layer's 3 channels x 3x3 taps == the paper's fixed
+        27-PE dense-core column."""
+        first = vgg9.compute_stages()[0]
+        cin = first.input_shape[0]
+        taps = cin * first.spec.kernel * first.spec.kernel
+        assert taps == 27
+
+    def test_svhn_cifar10_population(self):
+        net = build_vgg9(num_classes=10, population=1000,
+                         input_shape=(3, 32, 32), seed=0)
+        assert net.population_group == 100

@@ -1,0 +1,292 @@
+"""Numeric gradient checks and semantics tests for every primitive op."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.tensor import Tensor, gradient_error, ops, parameter
+
+TOL = 2e-2  # float32 finite differences
+
+
+def check(func, inputs, wrt=0, eps=1e-3):
+    err = gradient_error(func, inputs, wrt=wrt, eps=eps)
+    assert err < TOL, f"gradient error {err} for input {wrt}"
+
+
+class TestElementwiseGradients:
+    def test_add_broadcast(self, rng):
+        a = parameter(rng.normal(size=(3, 4)))
+        b = parameter(rng.normal(size=(4,)))
+        check(ops.add, [a, b], 0)
+        check(ops.add, [a, b], 1)
+
+    def test_sub(self, rng):
+        a = parameter(rng.normal(size=(2, 3)))
+        b = parameter(rng.normal(size=(2, 3)))
+        check(ops.sub, [a, b], 0)
+        check(ops.sub, [a, b], 1)
+
+    def test_mul_broadcast(self, rng):
+        a = parameter(rng.normal(size=(2, 3)))
+        b = parameter(rng.normal(size=(1, 3)))
+        check(ops.mul, [a, b], 0)
+        check(ops.mul, [a, b], 1)
+
+    def test_div(self, rng):
+        a = parameter(rng.normal(size=(3,)))
+        b = parameter(rng.uniform(1.0, 2.0, size=(3,)))
+        check(ops.div, [a, b], 0)
+        check(ops.div, [a, b], 1)
+
+    def test_neg(self, rng):
+        a = parameter(rng.normal(size=(4,)))
+        check(ops.neg, [a])
+
+    def test_power(self, rng):
+        a = parameter(rng.uniform(0.5, 2.0, size=(5,)))
+        check(lambda x: ops.power(x, 3.0), [a])
+
+    def test_exp(self, rng):
+        a = parameter(rng.normal(size=(4,)) * 0.5)
+        check(ops.exp, [a])
+
+    def test_log(self, rng):
+        a = parameter(rng.uniform(0.5, 3.0, size=(4,)))
+        check(ops.log, [a])
+
+    def test_sqrt(self, rng):
+        a = parameter(rng.uniform(0.5, 3.0, size=(4,)))
+        check(ops.sqrt, [a])
+
+    def test_sigmoid(self, rng):
+        a = parameter(rng.normal(size=(4,)))
+        check(ops.sigmoid, [a])
+
+    def test_relu(self, rng):
+        a = parameter(rng.normal(size=(10,)) + 0.05)
+        check(ops.relu, [a], eps=1e-4)
+
+    def test_clip_gradient_masked(self):
+        a = parameter(np.array([-2.0, 0.0, 2.0], dtype=np.float32))
+        out = ops.clip(a, -1.0, 1.0)
+        out.backward(np.ones(3, dtype=np.float32))
+        np.testing.assert_allclose(a.grad, [0.0, 1.0, 0.0])
+
+
+class TestShapeOps:
+    def test_reshape_gradient(self, rng):
+        a = parameter(rng.normal(size=(2, 6)))
+        check(lambda x: ops.reshape(x, (3, 4)), [a])
+
+    def test_transpose_gradient(self, rng):
+        a = parameter(rng.normal(size=(2, 3, 4)))
+        check(lambda x: ops.transpose(x, (2, 0, 1)), [a])
+
+    def test_concatenate_gradient(self, rng):
+        a = parameter(rng.normal(size=(2, 3)))
+        b = parameter(rng.normal(size=(2, 2)))
+        check(lambda x, y: ops.concatenate([x, y], axis=1), [a, b], 0)
+        check(lambda x, y: ops.concatenate([x, y], axis=1), [a, b], 1)
+
+    def test_stack_gradient(self, rng):
+        a = parameter(rng.normal(size=(2, 3)))
+        b = parameter(rng.normal(size=(2, 3)))
+        check(lambda x, y: ops.stack([x, y], axis=0), [a, b], 0)
+
+    def test_pad2d_gradient(self, rng):
+        a = parameter(rng.normal(size=(1, 2, 3, 3)))
+        check(lambda x: ops.pad2d(x, 1), [a])
+
+    def test_pad2d_zero_is_identity(self, rng):
+        a = parameter(rng.normal(size=(1, 1, 2, 2)))
+        assert ops.pad2d(a, 0) is a
+
+
+class TestReductions:
+    def test_sum_all(self, rng):
+        a = parameter(rng.normal(size=(3, 4)))
+        check(lambda x: ops.sum_(x), [a])
+
+    def test_sum_axis_keepdims(self, rng):
+        a = parameter(rng.normal(size=(3, 4)))
+        check(lambda x: ops.sum_(x, axis=1, keepdims=True), [a])
+
+    def test_sum_multi_axis(self, rng):
+        a = parameter(rng.normal(size=(2, 3, 4)))
+        check(lambda x: ops.sum_(x, axis=(0, 2)), [a])
+
+    def test_mean_matches_numpy(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)))
+        np.testing.assert_allclose(
+            ops.mean(a, axis=0).data, a.data.mean(axis=0), rtol=1e-5
+        )
+
+    def test_max_gradient_splits_ties(self):
+        a = parameter(np.array([[1.0, 1.0, 0.0]], dtype=np.float32))
+        out = ops.max_(a, axis=1)
+        out.backward(np.ones(1, dtype=np.float32))
+        np.testing.assert_allclose(a.grad, [[0.5, 0.5, 0.0]])
+
+
+class TestMatmulLinear:
+    def test_matmul_gradients(self, rng):
+        a = parameter(rng.normal(size=(3, 4)))
+        b = parameter(rng.normal(size=(4, 5)))
+        check(ops.matmul, [a, b], 0)
+        check(ops.matmul, [a, b], 1)
+
+    def test_matmul_requires_2d(self, rng):
+        a = parameter(rng.normal(size=(3,)))
+        b = parameter(rng.normal(size=(3, 2)))
+        with pytest.raises(ShapeError):
+            ops.matmul(a, b)
+
+    def test_linear_matches_numpy(self, rng):
+        x = Tensor(rng.normal(size=(2, 3)).astype(np.float32))
+        w = Tensor(rng.normal(size=(4, 3)).astype(np.float32))
+        b = Tensor(rng.normal(size=(4,)).astype(np.float32))
+        out = ops.linear(x, w, b)
+        np.testing.assert_allclose(
+            out.data, x.data @ w.data.T + b.data, rtol=1e-5
+        )
+
+
+class TestConv:
+    def test_conv_matches_manual(self, rng):
+        x = Tensor(rng.normal(size=(1, 1, 4, 4)).astype(np.float32))
+        w = Tensor(np.ones((1, 1, 3, 3), dtype=np.float32))
+        out = ops.conv2d(x, w, padding=1)
+        # Centre pixel = sum of the 3x3 neighbourhood.
+        expected = x.data[0, 0, 0:3, 0:3].sum()
+        assert out.data[0, 0, 1, 1] == pytest.approx(expected, rel=1e-5)
+
+    def test_conv_gradients(self, rng):
+        x = parameter(rng.normal(size=(2, 3, 5, 5)))
+        w = parameter(rng.normal(size=(4, 3, 3, 3)) * 0.3)
+        b = parameter(rng.normal(size=(4,)) * 0.1)
+        f = lambda x, w, b: ops.conv2d(x, w, b, padding=1)  # noqa: E731
+        check(f, [x, w, b], 0)
+        check(f, [x, w, b], 1)
+        check(f, [x, w, b], 2)
+
+    def test_conv_stride2(self, rng):
+        x = Tensor(rng.normal(size=(1, 2, 6, 6)).astype(np.float32))
+        w = Tensor(rng.normal(size=(3, 2, 3, 3)).astype(np.float32))
+        out = ops.conv2d(x, w, stride=2, padding=1)
+        assert out.shape == (1, 3, 3, 3)
+
+    def test_conv_channel_mismatch(self, rng):
+        x = Tensor(np.zeros((1, 2, 4, 4), dtype=np.float32))
+        w = Tensor(np.zeros((3, 5, 3, 3), dtype=np.float32))
+        with pytest.raises(ShapeError):
+            ops.conv2d(x, w)
+
+    def test_im2col_col2im_adjoint(self, rng):
+        # <im2col(x), y> == <x, col2im(y)> -- the defining adjoint identity.
+        x = rng.normal(size=(1, 2, 5, 5)).astype(np.float32)
+        cols = ops.im2col(x, (3, 3), 1, 1)
+        y = rng.normal(size=cols.shape).astype(np.float32)
+        back = ops.col2im(y, x.shape, (3, 3), 1, 1)
+        lhs = float((cols * y).sum())
+        rhs = float((x * back).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-4)
+
+
+class TestPooling:
+    def test_maxpool_values(self):
+        x = Tensor(np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4))
+        out = ops.maxpool2d(x, 2)
+        np.testing.assert_allclose(out.data[0, 0], [[5, 7], [13, 15]])
+
+    def test_maxpool_gradient(self, rng):
+        x = parameter(rng.normal(size=(2, 2, 4, 4)))
+        check(lambda t: ops.maxpool2d(t, 2), [x], eps=1e-4)
+
+    def test_maxpool_rejects_uneven(self):
+        x = Tensor(np.zeros((1, 1, 5, 5), dtype=np.float32))
+        with pytest.raises(ShapeError):
+            ops.maxpool2d(x, 2)
+
+    def test_maxpool_binary_is_or(self, rng):
+        spikes = (rng.random((2, 3, 4, 4)) < 0.4).astype(np.float32)
+        out = ops.maxpool2d(Tensor(spikes), 2).data
+        tiles = spikes.reshape(2, 3, 2, 2, 2, 2)
+        expected = (tiles.sum(axis=(3, 5)) > 0).astype(np.float32)
+        np.testing.assert_array_equal(out, expected)
+
+    def test_avgpool_values(self):
+        x = Tensor(np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4))
+        out = ops.avgpool2d(x, 2)
+        np.testing.assert_allclose(out.data[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_avgpool_gradient(self, rng):
+        x = parameter(rng.normal(size=(1, 2, 4, 4)))
+        check(lambda t: ops.avgpool2d(t, 2), [x])
+
+
+class TestCustomGradOps:
+    def test_heaviside_forward(self):
+        v = Tensor(np.array([-1.0, 0.0, 0.5], dtype=np.float32))
+        out = ops.heaviside_surrogate(v, lambda u: np.ones_like(u))
+        np.testing.assert_array_equal(out.data, [0.0, 0.0, 1.0])
+
+    def test_heaviside_backward_uses_surrogate(self):
+        v = parameter(np.array([0.2, -0.2], dtype=np.float32))
+        out = ops.heaviside_surrogate(v, lambda u: 2.0 * np.ones_like(u))
+        out.backward(np.ones(2, dtype=np.float32))
+        np.testing.assert_allclose(v.grad, [2.0, 2.0])
+
+    def test_straight_through_passes_gradient(self):
+        x = parameter(np.array([1.0, 2.0], dtype=np.float32))
+        out = ops.straight_through(x, np.array([10.0, 20.0], dtype=np.float32))
+        out.backward(np.array([1.0, 3.0], dtype=np.float32))
+        np.testing.assert_allclose(x.grad, [1.0, 3.0])
+        np.testing.assert_allclose(out.data, [10.0, 20.0])
+
+    def test_straight_through_mask(self):
+        x = parameter(np.array([1.0, 2.0], dtype=np.float32))
+        out = ops.straight_through(
+            x,
+            np.zeros(2, dtype=np.float32),
+            pass_mask=np.array([1.0, 0.0], dtype=np.float32),
+        )
+        out.backward(np.ones(2, dtype=np.float32))
+        np.testing.assert_allclose(x.grad, [1.0, 0.0])
+
+    def test_straight_through_shape_mismatch(self):
+        x = parameter(np.zeros(2, dtype=np.float32))
+        with pytest.raises(ShapeError):
+            ops.straight_through(x, np.zeros(3, dtype=np.float32))
+
+
+class TestLosses:
+    def test_log_softmax_rows_normalise(self, rng):
+        logits = Tensor(rng.normal(size=(4, 6)).astype(np.float32))
+        out = ops.log_softmax(logits)
+        sums = np.exp(out.data).sum(axis=1)
+        np.testing.assert_allclose(sums, np.ones(4), rtol=1e-5)
+
+    def test_cross_entropy_gradient(self, rng):
+        logits = parameter(rng.normal(size=(5, 4)))
+        labels = np.array([0, 1, 2, 3, 0])
+        check(lambda t: ops.cross_entropy(t, labels), [logits])
+
+    def test_cross_entropy_perfect_prediction_small(self):
+        logits = parameter(np.array([[10.0, -10.0], [-10.0, 10.0]], dtype=np.float32))
+        loss = ops.cross_entropy(logits, np.array([0, 1]))
+        assert loss.item() < 1e-4
+
+    def test_cross_entropy_label_shape(self):
+        logits = parameter(np.zeros((3, 2), dtype=np.float32))
+        with pytest.raises(ShapeError):
+            ops.cross_entropy(logits, np.array([0, 1]))
+
+    def test_mse_gradient(self, rng):
+        pred = parameter(rng.normal(size=(4,)))
+        target = rng.normal(size=(4,)).astype(np.float32)
+        check(lambda t: ops.mse(t, target), [pred])
+
+    def test_mse_zero_at_target(self):
+        target = np.array([1.0, 2.0], dtype=np.float32)
+        assert ops.mse(parameter(target.copy()), target).item() == 0.0

@@ -1,0 +1,101 @@
+"""Optimizer tests: convergence on convex problems, config validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.tensor import Tensor, ops, parameter
+from repro.tensor.optim import SGD, Adam
+
+
+def quadratic_loss(x):
+    target = Tensor(np.array([1.0, -2.0, 3.0], dtype=np.float32))
+    diff = x - target
+    return ops.sum_(diff * diff)
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        x = parameter(np.zeros(3, dtype=np.float32))
+        opt = SGD([x], lr=0.1)
+        for _ in range(100):
+            opt.zero_grad()
+            quadratic_loss(x).backward()
+            opt.step()
+        np.testing.assert_allclose(x.data, [1.0, -2.0, 3.0], atol=1e-3)
+
+    def test_momentum_converges(self):
+        x = parameter(np.zeros(3, dtype=np.float32))
+        opt = SGD([x], lr=0.05, momentum=0.9)
+        for _ in range(150):
+            opt.zero_grad()
+            quadratic_loss(x).backward()
+            opt.step()
+        np.testing.assert_allclose(x.data, [1.0, -2.0, 3.0], atol=5e-2)
+
+    def test_weight_decay_shrinks(self):
+        x = parameter(np.ones(2, dtype=np.float32))
+        opt = SGD([x], lr=0.1, weight_decay=1.0)
+        opt.zero_grad()
+        # Loss gradient zero -> only decay acts.
+        x.grad = np.zeros(2, dtype=np.float32)
+        opt.step()
+        assert np.all(x.data < 1.0)
+
+    def test_skips_params_without_grad(self):
+        x = parameter(np.ones(2, dtype=np.float32))
+        SGD([x], lr=0.1).step()  # no grad -> no change, no crash
+        np.testing.assert_array_equal(x.data, np.ones(2))
+
+    def test_rejects_bad_lr(self):
+        with pytest.raises(ConfigError):
+            SGD([parameter(np.ones(1))], lr=0.0)
+
+    def test_rejects_bad_momentum(self):
+        with pytest.raises(ConfigError):
+            SGD([parameter(np.ones(1))], momentum=1.0)
+
+    def test_rejects_empty_params(self):
+        with pytest.raises(ConfigError):
+            SGD([], lr=0.1)
+
+    def test_rejects_non_trainable(self):
+        with pytest.raises(ConfigError):
+            SGD([Tensor(np.ones(1))], lr=0.1)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        x = parameter(np.zeros(3, dtype=np.float32))
+        opt = Adam([x], lr=0.1)
+        for _ in range(200):
+            opt.zero_grad()
+            quadratic_loss(x).backward()
+            opt.step()
+        np.testing.assert_allclose(x.data, [1.0, -2.0, 3.0], atol=1e-2)
+
+    def test_bias_correction_first_step(self):
+        # After one step, Adam moves by ~lr regardless of grad magnitude.
+        x = parameter(np.array([0.0], dtype=np.float32))
+        opt = Adam([x], lr=0.01)
+        x.grad = np.array([1000.0], dtype=np.float32)
+        opt.step()
+        assert abs(x.data[0] + 0.01) < 1e-4
+
+    def test_rejects_bad_betas(self):
+        with pytest.raises(ConfigError):
+            Adam([parameter(np.ones(1))], betas=(1.0, 0.999))
+
+    def test_zero_grad_clears(self):
+        x = parameter(np.ones(2, dtype=np.float32))
+        opt = Adam([x])
+        x.grad = np.ones(2, dtype=np.float32)
+        opt.zero_grad()
+        assert x.grad is None
+
+    def test_weight_decay(self):
+        x = parameter(np.ones(1, dtype=np.float32) * 10.0)
+        opt = Adam([x], lr=0.1, weight_decay=1.0)
+        x.grad = np.zeros(1, dtype=np.float32)
+        opt.step()
+        assert x.data[0] < 10.0

@@ -1,0 +1,170 @@
+"""Tests for the Tensor class and graph mechanics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.tensor import Tensor, no_grad, ops, parameter
+from repro.tensor.tensor import collect_parameters, grad_enabled
+
+
+class TestConstruction:
+    def test_from_list(self):
+        t = Tensor([1.0, 2.0, 3.0])
+        assert t.shape == (3,)
+        assert t.data.dtype == np.float32
+
+    def test_from_scalar(self):
+        t = Tensor(2.5)
+        assert t.shape == ()
+        assert t.item() == pytest.approx(2.5)
+
+    def test_item_requires_single_element(self):
+        with pytest.raises(GraphError):
+            Tensor([1.0, 2.0]).item()
+
+    def test_parameter_requires_grad(self):
+        p = parameter(np.zeros((2, 2)))
+        assert p.requires_grad
+
+    def test_plain_tensor_does_not_require_grad(self):
+        assert not Tensor(np.zeros(3)).requires_grad
+
+    def test_repr_mentions_shape_and_grad(self):
+        p = parameter(np.zeros((2, 3)), name="w")
+        text = repr(p)
+        assert "(2, 3)" in text
+        assert "requires_grad=True" in text
+
+    def test_len_and_size(self):
+        t = Tensor(np.zeros((4, 5)))
+        assert len(t) == 4
+        assert t.size == 20
+        assert t.ndim == 2
+
+
+class TestBackward:
+    def test_scalar_backward_seeds_one(self):
+        x = parameter(3.0)
+        y = x * x
+        y.backward()
+        assert x.grad == pytest.approx(6.0)
+
+    def test_backward_nonscalar_requires_grad_arg(self):
+        x = parameter(np.ones(3))
+        y = x * 2.0
+        with pytest.raises(GraphError):
+            y.backward()
+
+    def test_backward_accumulates(self):
+        x = parameter(2.0)
+        y1 = x * 3.0
+        y2 = x * 4.0
+        y1.backward()
+        y2.backward()
+        assert x.grad == pytest.approx(7.0)
+
+    def test_zero_grad(self):
+        x = parameter(2.0)
+        (x * x).backward()
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_diamond_graph_gradient(self):
+        # f = (x*2) + (x*3) -> df/dx = 5
+        x = parameter(1.5)
+        y = x * 2.0 + x * 3.0
+        y.backward()
+        assert x.grad == pytest.approx(5.0)
+
+    def test_deep_chain_does_not_recurse(self):
+        # 5000-node chain would overflow the default recursion limit if
+        # the topological sort were recursive.
+        x = parameter(1.0)
+        y = x
+        for _ in range(5000):
+            y = y + 1.0
+        y.backward()
+        assert x.grad == pytest.approx(1.0)
+
+    def test_grad_shape_mismatch_raises(self):
+        x = parameter(np.ones((2, 2)))
+        with pytest.raises(GraphError):
+            x.accumulate_grad(np.ones(3))
+
+
+class TestNoGrad:
+    def test_no_grad_disables_graph(self):
+        x = parameter(2.0)
+        with no_grad():
+            y = x * x
+        assert not y.requires_grad
+
+    def test_no_grad_restores(self):
+        assert grad_enabled()
+        with no_grad():
+            assert not grad_enabled()
+        assert grad_enabled()
+
+    def test_no_grad_nested(self):
+        with no_grad():
+            with no_grad():
+                pass
+            assert not grad_enabled()
+
+    def test_detach_cuts_graph(self):
+        x = parameter(2.0)
+        y = (x * x).detach()
+        z = y * 3.0
+        assert not z.requires_grad
+
+
+class TestCollectParameters:
+    def test_deduplicates(self):
+        p = parameter(np.zeros(2))
+        out = collect_parameters([p, p])
+        assert out == [p]
+
+    def test_skips_non_trainable(self):
+        p = parameter(np.zeros(2))
+        t = Tensor(np.zeros(2))
+        assert collect_parameters([p, t]) == [p]
+
+    def test_rejects_unknown_types(self):
+        with pytest.raises(TypeError):
+            collect_parameters([42])
+
+
+class TestOperators:
+    def test_radd_rsub_rmul_rtruediv(self):
+        x = parameter(np.array([2.0]))
+        assert (1.0 + x).data[0] == pytest.approx(3.0)
+        assert (5.0 - x).data[0] == pytest.approx(3.0)
+        assert (3.0 * x).data[0] == pytest.approx(6.0)
+        assert (8.0 / x).data[0] == pytest.approx(4.0)
+
+    def test_neg(self):
+        x = parameter(np.array([2.0, -1.0]))
+        y = -x
+        np.testing.assert_allclose(y.data, [-2.0, 1.0])
+
+    def test_pow(self):
+        x = parameter(np.array([3.0]))
+        y = x**2.0
+        y.backward(np.ones(1))
+        assert x.grad[0] == pytest.approx(6.0)
+
+    def test_reshape_roundtrip_gradient(self):
+        x = parameter(np.arange(6, dtype=np.float32))
+        y = x.reshape(2, 3)
+        (y * 2.0).backward(np.ones((2, 3)))
+        np.testing.assert_allclose(x.grad, np.full(6, 2.0))
+
+    def test_sum_and_mean_methods(self):
+        x = Tensor(np.arange(6, dtype=np.float32).reshape(2, 3))
+        assert x.sum().item() == pytest.approx(15.0)
+        assert x.mean().item() == pytest.approx(2.5)
+
+    def test_transpose_method(self):
+        x = Tensor(np.arange(6, dtype=np.float32).reshape(2, 3))
+        assert x.transpose().shape == (3, 2)

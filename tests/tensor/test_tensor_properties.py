@@ -1,0 +1,145 @@
+"""Property-based tests of the autograd engine (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.tensor import Tensor, ops, parameter
+
+_floats = st.floats(-5.0, 5.0, width=32)
+
+
+def _array(shape_strategy):
+    return shape_strategy.flatmap(
+        lambda shape: arrays(np.float32, shape, elements=_floats)
+    )
+
+
+_matrix = _array(st.tuples(st.integers(1, 5), st.integers(1, 5)))
+_vector = _array(st.tuples(st.integers(1, 16)))
+
+
+class TestAlgebraicIdentities:
+    @given(_matrix)
+    @settings(max_examples=50, deadline=None)
+    def test_add_commutes(self, data):
+        a, b = Tensor(data), Tensor(data[::-1].copy())
+        np.testing.assert_allclose(
+            (a + b).data, (b + a).data, rtol=1e-6
+        )
+
+    @given(_matrix)
+    @settings(max_examples=50, deadline=None)
+    def test_double_negation(self, data):
+        a = Tensor(data)
+        np.testing.assert_array_equal((-(-a)).data, a.data)
+
+    @given(_vector)
+    @settings(max_examples=50, deadline=None)
+    def test_exp_log_roundtrip(self, data):
+        a = Tensor(np.abs(data) + 0.5)
+        round_trip = ops.exp(ops.log(a))
+        np.testing.assert_allclose(round_trip.data, a.data, rtol=1e-4)
+
+    @given(_matrix)
+    @settings(max_examples=50, deadline=None)
+    def test_reshape_preserves_sum(self, data):
+        a = Tensor(data)
+        flat = ops.reshape(a, (data.size,))
+        assert flat.data.sum() == np.float32(data.sum())
+
+    @given(_matrix)
+    @settings(max_examples=50, deadline=None)
+    def test_transpose_involution(self, data):
+        a = Tensor(data)
+        np.testing.assert_array_equal(
+            ops.transpose(ops.transpose(a)).data, a.data
+        )
+
+
+class TestGradientIdentities:
+    @given(_vector)
+    @settings(max_examples=50, deadline=None)
+    def test_sum_gradient_is_ones(self, data):
+        x = parameter(data)
+        ops.sum_(x).backward()
+        np.testing.assert_array_equal(x.grad, np.ones_like(data))
+
+    @given(_vector)
+    @settings(max_examples=50, deadline=None)
+    def test_linear_combination_gradient(self, data):
+        # d/dx sum(3x - 2x) = 1 elementwise, independent of x.
+        x = parameter(data)
+        (ops.sum_(x * 3.0) - ops.sum_(x * 2.0)).backward()
+        np.testing.assert_allclose(x.grad, np.ones_like(data), rtol=1e-5)
+
+    @given(_matrix)
+    @settings(max_examples=40, deadline=None)
+    def test_mul_gradient_symmetry(self, data):
+        a = parameter(data)
+        b = parameter(data.copy())
+        ops.sum_(a * b).backward()
+        np.testing.assert_allclose(a.grad, b.grad, rtol=1e-6)
+
+    @given(_vector)
+    @settings(max_examples=40, deadline=None)
+    def test_detach_blocks_gradient(self, data):
+        x = parameter(data)
+        y = ops.sum_(x.detach() * 2.0)
+        if y.requires_grad:  # detached graph: never
+            y.backward()
+        assert x.grad is None
+
+
+class TestConvolutionProperties:
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_conv_linearity(self, seed):
+        rng = np.random.default_rng(seed)
+        x1 = rng.normal(size=(1, 2, 5, 5)).astype(np.float32)
+        x2 = rng.normal(size=(1, 2, 5, 5)).astype(np.float32)
+        w = Tensor(rng.normal(size=(3, 2, 3, 3)).astype(np.float32))
+        lhs = ops.conv2d(Tensor(x1 + x2), w, padding=1).data
+        rhs = (
+            ops.conv2d(Tensor(x1), w, padding=1).data
+            + ops.conv2d(Tensor(x2), w, padding=1).data
+        )
+        np.testing.assert_allclose(lhs, rhs, atol=1e-4)
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_conv_zero_input_zero_output(self, seed):
+        rng = np.random.default_rng(seed)
+        w = Tensor(rng.normal(size=(3, 2, 3, 3)).astype(np.float32))
+        x = Tensor(np.zeros((1, 2, 4, 4), dtype=np.float32))
+        assert ops.conv2d(x, w, padding=1).data.sum() == 0.0
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_maxpool_idempotent_on_constant(self, seed):
+        rng = np.random.default_rng(seed)
+        value = float(rng.uniform(-1, 1))
+        x = Tensor(np.full((1, 1, 4, 4), value, dtype=np.float32))
+        out = ops.maxpool2d(x, 2)
+        np.testing.assert_allclose(out.data, np.full((1, 1, 2, 2), value))
+
+
+class TestSoftmaxProperties:
+    @given(_matrix)
+    @settings(max_examples=50, deadline=None)
+    def test_log_softmax_shift_invariant(self, data):
+        a = Tensor(data)
+        shifted = Tensor(data + 3.0)
+        np.testing.assert_allclose(
+            ops.log_softmax(a).data,
+            ops.log_softmax(shifted).data,
+            atol=1e-4,
+        )
+
+    @given(_matrix)
+    @settings(max_examples=50, deadline=None)
+    def test_cross_entropy_nonnegative(self, data):
+        labels = np.zeros(data.shape[0], dtype=np.int64)
+        loss = ops.cross_entropy(parameter(data), labels)
+        assert loss.item() >= -1e-5

@@ -1,0 +1,48 @@
+"""Baseline model tests."""
+
+import pytest
+
+from repro.baselines import (
+    GERLINGHOFF_DATE22,
+    SYNCNN_CIFAR10,
+    SYNCNN_SVHN,
+    all_baselines,
+    rate_coded_config,
+)
+from repro.hw.config import lw_config
+from repro.quant.schemes import INT4
+
+
+class TestPriorWorkPoints:
+    def test_paper_table3_values(self):
+        assert SYNCNN_SVHN.throughput_fps == 65.0
+        assert SYNCNN_CIFAR10.accuracy_percent == 78.0
+        assert GERLINGHOFF_DATE22.power_w == 4.9
+        assert GERLINGHOFF_DATE22.platform == "XCVU13P"
+
+    def test_all_baselines_order(self):
+        baselines = all_baselines()
+        assert [b.dataset for b in baselines] == ["svhn", "cifar10", "cifar100"]
+
+    def test_energy_per_frame_derived(self):
+        energy = SYNCNN_CIFAR10.energy_per_frame_mj()
+        assert energy == pytest.approx(1e3 * 0.4 / 62.0)
+
+    def test_energy_per_frame_reported_wins(self):
+        from dataclasses import replace
+
+        point = replace(SYNCNN_CIFAR10, energy_mj=5.0)
+        assert point.energy_per_frame_mj() == 5.0
+
+
+class TestRateCodedConfig:
+    def test_dense_core_off(self):
+        config = rate_coded_config(lw_config("cifar10", scheme=INT4))
+        assert not config.use_dense_core
+        assert config.name == "lw-rate"
+
+    def test_allocation_preserved(self):
+        base = lw_config("cifar10", scheme=INT4)
+        config = rate_coded_config(base)
+        assert config.allocation == base.allocation
+        assert config.scheme is base.scheme

@@ -1,0 +1,76 @@
+"""CLI tests (driving main() directly with argv lists)."""
+
+import os
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_info_parses(self):
+        args = build_parser().parse_args(["info"])
+        assert args.command == "info"
+
+    def test_experiment_choices(self):
+        args = build_parser().parse_args(["experiment", "fig1"])
+        assert args.which == "fig1"
+
+    def test_experiment_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig9"])
+
+    def test_train_requires_dataset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train"])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--version"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "XCVU13P" in out
+        assert "preset" in out
+
+    def test_train_evaluate_simulate_partition(self, tmp_path, capsys):
+        workspace = str(tmp_path / "ws")
+        common = ["--scale", "tiny", "--workspace", workspace, "--quiet"]
+
+        assert main(["train", "cifar10", "--scheme", "fp32", *common]) == 0
+        out = capsys.readouterr().out
+        assert "conv1_1" in out
+        assert os.path.isdir(os.path.join(workspace, "models"))
+
+        assert main(["evaluate", "cifar10", "--scheme", "fp32", *common]) == 0
+        out = capsys.readouterr().out
+        assert "accuracy" in out
+
+        assert main(["simulate", "cifar10", "--scheme", "fp32", *common]) == 0
+        out = capsys.readouterr().out
+        assert "latency" in out
+
+        assert main(
+            ["partition", "cifar10", "--scheme", "fp32", "--budget", "24", *common]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "balanced" in out
+
+    def test_experiment_single(self, tmp_path, capsys):
+        workspace = str(tmp_path / "ws")
+        code = main(
+            [
+                "experiment", "table1",
+                "--scale", "tiny", "--workspace", workspace, "--quiet",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out

@@ -1,0 +1,46 @@
+"""Exception hierarchy tests: one base class catches everything."""
+
+import pytest
+
+from repro import errors
+
+
+ALL_ERRORS = [
+    errors.ShapeError,
+    errors.GraphError,
+    errors.ConfigError,
+    errors.ArchitectureError,
+    errors.QuantizationError,
+    errors.HardwareModelError,
+    errors.CapacityError,
+    errors.WorkloadError,
+    errors.DatasetError,
+    errors.ExperimentError,
+]
+
+
+@pytest.mark.parametrize("exc", ALL_ERRORS)
+def test_all_derive_from_repro_error(exc):
+    assert issubclass(exc, errors.ReproError)
+
+
+def test_capacity_is_hardware_error():
+    assert issubclass(errors.CapacityError, errors.HardwareModelError)
+
+
+def test_one_except_clause_catches_library_errors():
+    caught = []
+    for exc in ALL_ERRORS:
+        try:
+            raise exc("boom")
+        except errors.ReproError as caught_exc:
+            caught.append(type(caught_exc))
+    assert caught == ALL_ERRORS
+
+
+def test_repro_error_not_caught_as_value_error():
+    with pytest.raises(errors.ReproError):
+        try:
+            raise errors.ConfigError("x")
+        except ValueError:  # pragma: no cover - must not happen
+            pytest.fail("ReproError must not be a ValueError")

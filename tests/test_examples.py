@@ -1,0 +1,59 @@
+"""Smoke tests keeping the example scripts runnable.
+
+Only the fast, training-free example runs in the suite; the training
+examples are exercised manually / by the benches (they share the same
+code paths through the public API).
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def _run(script: str, timeout: int = 120) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, script)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+class TestCustomNetworkMapping:
+    @pytest.fixture(scope="class")
+    def completed(self):
+        return _run("custom_network_mapping.py")
+
+    def test_exits_cleanly(self, completed):
+        assert completed.returncode == 0, completed.stderr
+
+    def test_prints_allocation(self, completed):
+        assert "balanced allocation" in completed.stdout
+
+    def test_prints_fit_check(self, completed):
+        assert "fits XCVU13P" in completed.stdout
+
+    def test_prints_timing(self, completed):
+        assert "throughput" in completed.stdout
+
+
+class TestExamplesAreImportableScripts:
+    @pytest.mark.parametrize(
+        "script",
+        [
+            "quickstart.py",
+            "sparsity_quantization_study.py",
+            "coding_tradeoffs.py",
+            "design_space_exploration.py",
+            "custom_network_mapping.py",
+            "encoding_zoo.py",
+        ],
+    )
+    def test_compiles(self, script):
+        path = os.path.join(EXAMPLES_DIR, script)
+        with open(path, "r", encoding="utf-8") as handle:
+            compile(handle.read(), path, "exec")

@@ -1,0 +1,104 @@
+"""Workload model (Eq. 3) tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.model import (
+    dense_workload,
+    estimate_input_events,
+    measured_input_density,
+    workloads_from_network,
+)
+
+
+@pytest.fixture
+def workloads(tiny_deployable):
+    events = {"conv1_1": 192.0, "conv2_1": 150.0, "fc1": 40.0}
+    return workloads_from_network(tiny_deployable, events, timesteps=2)
+
+
+class TestWorkloadsFromNetwork:
+    def test_layer_kinds(self, workloads):
+        assert [w.kind for w in workloads] == ["dense", "conv", "fc"]
+
+    def test_conv_follows_eq3(self, workloads, tiny_deployable):
+        conv = workloads[1]
+        layer = tiny_deployable.layers[1]
+        assert conv.work == 9 * layer.out_channels * 150.0
+
+    def test_fc_follows_eq3(self, workloads, tiny_deployable):
+        fc = workloads[2]
+        assert fc.work == tiny_deployable.layers[2].out_channels * 40.0
+
+    def test_dense_workload_activity_independent(self, tiny_deployable):
+        low = workloads_from_network(
+            tiny_deployable, {"conv1_1": 0.0, "conv2_1": 1.0, "fc1": 1.0}, 2
+        )
+        high = workloads_from_network(
+            tiny_deployable, {"conv1_1": 9999.0, "conv2_1": 1.0, "fc1": 1.0}, 2
+        )
+        assert low[0].work == high[0].work
+
+    def test_rate_mode_treats_input_as_sparse(self, tiny_deployable):
+        events = {"conv1_1": 100.0, "conv2_1": 1.0, "fc1": 1.0}
+        workloads = workloads_from_network(
+            tiny_deployable, events, 2, use_dense_core=False
+        )
+        assert workloads[0].kind == "conv"
+        assert workloads[0].work == 9 * tiny_deployable.layers[0].out_channels * 100.0
+
+    def test_negative_events_rejected(self, tiny_deployable):
+        with pytest.raises(WorkloadError):
+            workloads_from_network(
+                tiny_deployable, {"conv1_1": 0, "conv2_1": -1.0, "fc1": 0}, 2
+            )
+
+    def test_latency_divides_by_cores(self, workloads):
+        conv = workloads[1]
+        assert conv.latency_cycles(4) == conv.work / 4
+
+    def test_latency_rejects_zero_cores(self, workloads):
+        with pytest.raises(WorkloadError):
+            workloads[1].latency_cycles(0)
+
+
+class TestDenseWorkload:
+    def test_single_pass(self):
+        # 3*3*3=27 taps fit the 27-PE column exactly.
+        work = dense_workload(64, 32, 32, 3, 3, pe_columns=27, timesteps=1)
+        assert work == 64 * 32 * 32
+
+    def test_multi_pass(self):
+        work = dense_workload(8, 4, 4, 6, 3, pe_columns=27)
+        assert work == 8 * 16 * 2  # 54 taps -> 2 passes
+
+    def test_timesteps_multiply(self):
+        assert dense_workload(8, 4, 4, 3, 3, timesteps=2) == 2 * dense_workload(
+            8, 4, 4, 3, 3, timesteps=1
+        )
+
+
+class TestDensityConversions:
+    def test_roundtrip(self, tiny_deployable):
+        events = {"conv1_1": 100.0, "conv2_1": 60.0, "fc1": 10.0}
+        density = measured_input_density(events, tiny_deployable, 2)
+        back = estimate_input_events(tiny_deployable, density, 2)
+        for name in events:
+            assert back[name] == pytest.approx(events[name], rel=1e-6)
+
+    def test_density_clipped_to_one(self, tiny_deployable):
+        events = {"conv1_1": 1e9, "conv2_1": 0.0, "fc1": 0.0}
+        density = measured_input_density(events, tiny_deployable, 2)
+        assert density["conv1_1"] == 1.0
+
+    def test_estimate_validates_density(self, tiny_deployable):
+        with pytest.raises(WorkloadError):
+            estimate_input_events(tiny_deployable, {"conv1_1": 1.5}, 2)
+
+    def test_extrapolation_scales_with_size(self, tiny_deployable):
+        density = {"conv1_1": 0.5, "conv2_1": 0.25, "fc1": 0.1}
+        events_t2 = estimate_input_events(tiny_deployable, density, 2)
+        events_t4 = estimate_input_events(tiny_deployable, density, 4)
+        for name in density:
+            assert events_t4[name] == pytest.approx(2 * events_t2[name])

@@ -1,0 +1,139 @@
+"""Partitioner tests: LW recipe, balanced DSE, uniform baseline."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.workload.model import LayerWorkload
+from repro.workload.partition import (
+    balanced_allocation,
+    imbalance,
+    layer_overheads,
+    proportional_allocation,
+    uniform_allocation,
+)
+from repro.workload.sweep import pareto_front, sweep_budgets
+
+
+def _workloads(values, dense=1000.0):
+    layers = [LayerWorkload("conv1_1", "dense", dense, 100.0, 8)]
+    for index, value in enumerate(values):
+        layers.append(
+            LayerWorkload(f"layer{index}", "conv", value, value / 9.0, 8)
+        )
+    return layers
+
+
+class TestProportional:
+    def test_lightest_layer_gets_floor(self):
+        result = proportional_allocation(_workloads([100.0, 400.0, 800.0]))
+        assert result.allocation == (1, 1, 4, 8)
+
+    def test_dense_rows_fixed(self):
+        result = proportional_allocation(
+            _workloads([100.0, 200.0]), dense_rows=3
+        )
+        assert result.allocation[0] == 3
+
+    def test_imbalance_near_one_for_proportional_loads(self):
+        result = proportional_allocation(_workloads([100.0, 200.0, 400.0]))
+        sparse_latencies = result.latencies[1:]
+        assert max(sparse_latencies) / min(sparse_latencies) < 1.5
+
+    def test_rejects_bad_floor(self):
+        with pytest.raises(WorkloadError):
+            proportional_allocation(_workloads([10.0]), floor=0)
+
+    def test_no_sparse_layers(self):
+        dense_only = [LayerWorkload("d", "dense", 10.0, 1.0, 1)]
+        with pytest.raises(WorkloadError):
+            proportional_allocation(dense_only)
+
+
+class TestBalanced:
+    def test_respects_budget(self):
+        workloads = _workloads([100.0, 350.0, 900.0, 40.0])
+        result = balanced_allocation(workloads, budget=20)
+        assert sum(result.allocation[1:]) <= 20
+
+    def test_beats_uniform_on_skewed_loads(self):
+        workloads = _workloads([1000.0, 10.0, 10.0, 10.0], dense=1.0)
+        balanced = balanced_allocation(workloads, budget=8)
+        uniform = uniform_allocation(workloads, budget=8)
+        assert balanced.bottleneck_cycles < uniform.bottleneck_cycles
+
+    def test_budget_too_small(self):
+        with pytest.raises(WorkloadError):
+            balanced_allocation(_workloads([1.0, 2.0, 3.0]), budget=2)
+
+    @given(
+        st.lists(st.floats(1.0, 1e6), min_size=2, max_size=8),
+        st.integers(8, 64),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_optimality_property(self, values, budget):
+        """No layer's latency exceeds the target the search settled on by
+        more than one core's worth of rounding."""
+        if budget < len(values):
+            budget = len(values)
+        workloads = _workloads(values)
+        result = balanced_allocation(workloads, budget=budget)
+        assert sum(result.allocation[1:]) <= budget
+        # Feasibility: every sparse layer got >= 1 core.
+        assert all(c >= 1 for c in result.allocation)
+
+    def test_more_budget_never_worse(self):
+        workloads = _workloads([500.0, 300.0, 900.0])
+        small = balanced_allocation(workloads, budget=6)
+        large = balanced_allocation(workloads, budget=24)
+        assert large.bottleneck_cycles <= small.bottleneck_cycles
+
+
+class TestUniform:
+    def test_even_split(self):
+        result = uniform_allocation(_workloads([1.0, 1.0, 1.0]), budget=9)
+        assert result.allocation == (1, 3, 3, 3)
+
+    def test_remainder_distributed(self):
+        result = uniform_allocation(_workloads([1.0, 1.0, 1.0]), budget=10)
+        assert sum(result.allocation[1:]) == 10
+
+    def test_budget_too_small(self):
+        with pytest.raises(WorkloadError):
+            uniform_allocation(_workloads([1.0, 1.0]), budget=1)
+
+
+class TestMetrics:
+    def test_overheads_sum_to_100(self):
+        workloads = _workloads([100.0, 300.0])
+        overheads = layer_overheads(workloads, (1, 2, 4))
+        assert sum(overheads.values()) == pytest.approx(100.0)
+
+    def test_imbalance_uniform_loads(self):
+        workloads = _workloads([100.0, 100.0], dense=100.0)
+        assert imbalance(workloads, (1, 1, 1)) == pytest.approx(1.0)
+
+    def test_allocation_length_checked(self):
+        with pytest.raises(WorkloadError):
+            layer_overheads(_workloads([1.0]), (1,))
+
+
+class TestSweep:
+    def test_monotone_bottleneck(self):
+        workloads = _workloads([500.0, 200.0, 900.0])
+        points = sweep_budgets(workloads, [4, 8, 16, 32])
+        bottlenecks = [p.bottleneck_cycles for p in points]
+        assert bottlenecks == sorted(bottlenecks, reverse=True)
+
+    def test_pareto_front_nondominated(self):
+        workloads = _workloads([500.0, 200.0, 900.0])
+        points = sweep_budgets(workloads, [4, 6, 8, 12, 16])
+        front = pareto_front(points)
+        for earlier, later in zip(front, front[1:]):
+            assert later.total_cores > earlier.total_cores
+            assert later.bottleneck_cycles < earlier.bottleneck_cycles
+
+    def test_empty_budgets_rejected(self):
+        with pytest.raises(WorkloadError):
+            sweep_budgets(_workloads([1.0]), [])
