@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Perf smoke gate for the inference runtime.
+#
+# Runs the runtime hot-path bench at tiny scale and fails (exit 1) if
+# the event-driven path is slower than the legacy per-timestep loop at
+# any density <= 5%, or if the runtime forward is slower than the legacy
+# forward end-to-end. Wire this into CI so future PRs cannot silently
+# regress the event-driven win. Results land in BENCH_runtime.json at
+# the repo root.
+#
+# Usage: scripts/perf_smoke.sh            (tiny scale, the default)
+#        REPRO_BENCH_SCALE=small scripts/perf_smoke.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export REPRO_BENCH_SCALE="${REPRO_BENCH_SCALE:-tiny}"
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+exec python benchmarks/bench_runtime_hotpaths.py --smoke

@@ -38,6 +38,10 @@ class CapacityError(HardwareModelError):
     """A design exceeded the capacity of the modelled FPGA device."""
 
 
+class RuntimeUnsupportedError(ReproError):
+    """A network cannot be lowered to an inference-runtime plan."""
+
+
 class WorkloadError(ReproError):
     """The workload model or partitioner received invalid input."""
 

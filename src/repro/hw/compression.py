@@ -140,12 +140,19 @@ def compression_cycles_batch(
     bits = trains.shape[-1]
     num_chunks = int(np.ceil(bits / chunk_bits))
     pad = num_chunks * chunk_bits - bits
-    binary = (trains != 0).astype(np.int64)
+    # One byte per bit instead of the old int64 materialisation: the
+    # {0, 1} mask is viewed as uint8 and popcounted per chunk with a
+    # widening sum. Stacked (T, N, ...) trains whose bit axis is already
+    # a chunk multiple (the layout the simulator feeds) take the no-pad
+    # fast path with zero extra copies beyond the mask itself.
+    binary = (trains != 0)
     if pad:
-        pad_shape = trains.shape[:-1] + (pad,)
-        binary = np.concatenate([binary, np.zeros(pad_shape, dtype=np.int64)], axis=-1)
-    chunked = binary.reshape(trains.shape[:-1] + (num_chunks, chunk_bits))
-    per_chunk = chunked.sum(axis=-1)
+        widths = [(0, 0)] * (trains.ndim - 1) + [(0, pad)]
+        binary = np.pad(binary, widths)
+    chunked = binary.view(np.uint8).reshape(
+        trains.shape[:-1] + (num_chunks, chunk_bits)
+    )
+    per_chunk = chunked.sum(axis=-1, dtype=np.int64)
     spikes = per_chunk.sum(axis=-1)
     empty = (per_chunk == 0).sum(axis=-1)
     return (spikes + empty).astype(np.float64)

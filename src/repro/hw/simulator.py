@@ -139,16 +139,19 @@ class HybridSimulator:
         encoder = encoder or DirectEncoder()
         self._check_encoder(encoder)
         out = self.network.forward(images, timesteps, encoder, record=True)
+        stacked_trains = getattr(out, "spike_trains_stacked", None) or {}
         samples = len(images)
         layer_stats: List[LayerSimStats] = []
         for index, layer in enumerate(self.network.layers):
-            trains = out.spike_trains[layer.name]
             cores = self.config.allocation[index]
             if self._runs_on_dense(index, encoder):
                 stats = self._dense_layer_stats(layer, cores, timesteps, samples)
             else:
+                stacked = stacked_trains.get(layer.name)
+                if stacked is None:
+                    stacked = np.stack(out.spike_trains[layer.name])
                 stats = self._sparse_layer_stats(
-                    layer, cores, trains, samples
+                    layer, cores, stacked, samples
                 )
             layer_stats.append(stats)
         report = self._finalize(layer_stats, timesteps, samples, out.stats)
@@ -156,6 +159,19 @@ class HybridSimulator:
         if labels is not None:
             report.accuracy = float(
                 (out.logits.argmax(axis=1) == np.asarray(labels)).mean()
+            )
+        counters = getattr(out, "runtime_counters", None)
+        if counters:
+            dense = sum(c.dense_steps for c in counters.values())
+            event = sum(c.event_steps for c in counters.values())
+            report.notes.append(
+                f"runtime dispatch: {dense} dense / {event} event "
+                "layer-timesteps ("
+                + ", ".join(
+                    f"{name} d{c.dense_steps}/e{c.event_steps}"
+                    for name, c in counters.items()
+                )
+                + ")"
             )
         return report
 
@@ -239,40 +255,45 @@ class HybridSimulator:
         self,
         layer,
         cores: int,
-        trains: List[np.ndarray],
+        trains: np.ndarray,
         samples: int,
     ) -> LayerSimStats:
-        """Exact timing from recorded per-timestep input trains."""
+        """Exact timing from the stacked (T, N, ...) recorded input train.
+
+        The whole train is pushed through :func:`compression_cycles_batch`
+        in one vectorised pass; the per-timestep reduction below then
+        replays the legacy accumulation order so cycle statistics stay
+        bit-identical to the old timestep-by-timestep walk.
+        """
         chunk = self.config.compression_chunk_bits
         owned = ceil(layer.out_channels / cores)
+        timesteps, n = trains.shape[0], trains.shape[1]
         if layer.kind == "conv":
             taps = layer.kernel * layer.kernel
             activation = (
                 layer.output_shape[1] * layer.output_shape[2] * owned
-            ) * len(trains)
+            ) * timesteps
+            maps = trains.reshape(timesteps, n, layer.input_shape[0], -1)
+            compr_all = compression_cycles_batch(maps, chunk).sum(axis=2)
+            events_all = maps.sum(axis=(2, 3))
+            accum_all = events_all * taps * owned
         else:
-            activation = owned * len(trains)
+            activation = owned * timesteps
+            binary = trains.reshape(timesteps, n, -1)
+            compr_all = compression_cycles_batch(binary, chunk)
+            events_all = binary.sum(axis=2)
+            accum_all = events_all * owned
         total_compr = 0.0
         total_accum = 0.0
         total_events = 0.0
         busy = 0.0
-        for train in trains:  # one array (N, ...) per timestep
-            if layer.kind == "conv":
-                maps = train.reshape(train.shape[0], layer.input_shape[0], -1)
-                compr = compression_cycles_batch(maps, chunk).sum(axis=1)
-                events = maps.sum(axis=(1, 2))
-                accum = events * taps * owned
-            else:
-                binary = train.reshape(train.shape[0], -1)
-                compr = compression_cycles_batch(binary, chunk)
-                events = binary.sum(axis=1)
-                accum = events * owned
-            total_compr += float(compr.mean())
-            total_accum += float(accum.mean())
-            total_events += float(events.mean())
+        for t in range(timesteps):
+            total_compr += float(compr_all[t].mean())
+            total_accum += float(accum_all[t].mean())
+            total_events += float(events_all[t].mean())
             # Compression and accumulation overlap (Sec. IV-B): per
             # timestep the layer is busy for the slower of the two.
-            busy += float(np.maximum(compr, accum).mean())
+            busy += float(np.maximum(compr_all[t], accum_all[t]).mean())
         cycles = busy + activation
         return LayerSimStats(
             name=layer.name,

@@ -20,6 +20,14 @@ from repro.errors import QuantizationError, ShapeError
 from repro.quant.fold import fold_batchnorm
 from repro.quant.quantizer import dequantize_array, quantize_array
 from repro.quant.schemes import FP32, QuantScheme, scheme_by_name
+from repro.runtime import (
+    BufferPool,
+    InferenceEngine,
+    LayerCounters,
+    plan_deployable,
+    runtime_config,
+    stack_encoder_frames,
+)
 from repro.snn.encoding import DirectEncoder, Encoder
 from repro.snn.metrics import SpikeStats
 from repro.snn.network import SpikingNetwork
@@ -83,12 +91,20 @@ class DeployableLayer:
 
 @dataclass
 class DeployableOutput:
-    """Results of one deployable forward pass."""
+    """Results of one deployable forward pass.
+
+    ``spike_trains`` keeps the legacy per-timestep list layout;
+    ``spike_trains_stacked`` exposes the same trains as one ``(T, N, ...)``
+    array per layer (zero-copy views of each other on the runtime path),
+    which the hardware simulator consumes in a single batched pass.
+    """
 
     logits: np.ndarray
     stats: SpikeStats
     input_spike_totals: Dict[str, float] = field(default_factory=dict)
     spike_trains: Optional[Dict[str, List[np.ndarray]]] = None
+    spike_trains_stacked: Optional[Dict[str, np.ndarray]] = None
+    runtime_counters: Optional[Dict[str, LayerCounters]] = None
 
 
 class DeployableNetwork:
@@ -121,6 +137,8 @@ class DeployableNetwork:
                 f"{num_classes} classes"
             )
         self.population_group = self.population_size // num_classes
+        self._runtime_plan = None
+        self._runtime_buffers = BufferPool()
 
     # ------------------------------------------------------------------
     # Inference
@@ -132,7 +150,30 @@ class DeployableNetwork:
         encoder: Optional[Encoder] = None,
         record: bool = False,
     ) -> DeployableOutput:
-        """Run ``timesteps`` of inference on an image batch."""
+        """Run ``timesteps`` of inference on an image batch.
+
+        Routes through the fused inference runtime (bit-exact vs. the
+        legacy per-timestep loop) unless the runtime is disabled; see
+        :mod:`repro.runtime`.
+        """
+        images = np.asarray(images, dtype=np.float32)
+        if images.ndim != 4 or images.shape[1:] != self.input_shape:
+            raise ShapeError(
+                f"expected (N, {self.input_shape}) images, got {images.shape}"
+            )
+        encoder = encoder or DirectEncoder()
+        if runtime_config().enabled and timesteps >= 1:
+            return self._forward_runtime(images, timesteps, encoder, record)
+        return self.forward_legacy(images, timesteps, encoder, record)
+
+    def forward_legacy(
+        self,
+        images: np.ndarray,
+        timesteps: int,
+        encoder: Optional[Encoder] = None,
+        record: bool = False,
+    ) -> DeployableOutput:
+        """The original per-timestep loop (reference + fallback path)."""
         images = np.asarray(images, dtype=np.float32)
         if images.ndim != 4 or images.shape[1:] != self.input_shape:
             raise ShapeError(
@@ -181,6 +222,50 @@ class DeployableNetwork:
             input_spike_totals=input_totals,
             spike_trains=trains,
         )
+
+    def _forward_runtime(
+        self,
+        images: np.ndarray,
+        timesteps: int,
+        encoder: Encoder,
+        record: bool,
+    ) -> DeployableOutput:
+        stacked, time_invariant = stack_encoder_frames(
+            encoder, images, timesteps, record=record
+        )
+        if self._runtime_plan is None:
+            self._runtime_plan = plan_deployable(self)
+        engine = InferenceEngine(
+            self._runtime_plan, buffers=self._runtime_buffers
+        )
+        result = engine.run(
+            stacked,
+            record=record,
+            analog_first=encoder.analog_input,
+            time_invariant=time_invariant,
+        )
+        n = images.shape[0]
+        logits = result.accumulated.reshape(
+            n, self.num_classes, self.population_group
+        ).sum(axis=2)
+        trains = (
+            {name: list(arr) for name, arr in result.trains.items()}
+            if result.trains is not None
+            else None
+        )
+        return DeployableOutput(
+            logits=logits,
+            stats=result.stats,
+            input_spike_totals=result.input_totals,
+            spike_trains=trains,
+            spike_trains_stacked=result.trains,
+            runtime_counters=result.counters,
+        )
+
+    def invalidate_runtime_cache(self) -> None:
+        """Drop the cached plan (call after mutating layer weights)."""
+        self._runtime_plan = None
+        self._runtime_buffers.clear()
 
     def _layer_current(self, layer: DeployableLayer, x: np.ndarray) -> np.ndarray:
         weight = layer.effective_weight()

@@ -1,0 +1,90 @@
+"""Time-fused, event-driven inference runtime for the hot forward path.
+
+Every experiment, table and benchmark in this reproduction funnels
+through the same forward loops; this package replaces their per-timestep
+Python iteration with a batched engine that exploits exactly the
+property the paper's architecture exploits -- spike sparsity.
+
+Execution model
+---------------
+
+1. **Plan** (:mod:`repro.runtime.plan`): each network is lowered once
+   into per-layer plans holding pre-reshaped ``(Cout, Cin*K*K)`` weight
+   matrices, cached im2col geometry, the precomputed per-pixel index
+   tables used by the event path, and (for ``SpikingNetwork``) the
+   eval-mode BN constants. Repeated timesteps and batches therefore do
+   zero redundant index math or dequantization.
+2. **Time fusion** (:mod:`repro.runtime.engine`): the stateless
+   conv/linear current computation folds ``T`` into the batch axis --
+   one gather + one matmul per layer instead of ``T`` small ones. Only
+   the LIF membrane scan (Eq. 1/2) stays sequential in time, and it runs
+   vectorised over the fused pre-activation tensor.
+3. **Event dispatch** (:mod:`repro.runtime.kernels`): per layer and
+   timestep, when input spike density falls at or below the dispatch
+   threshold, the engine gathers the active event coordinates and
+   scatter-accumulates the corresponding weight columns instead of
+   running the dense kernel. This is the software twin of the paper's
+   Sec. IV-B sparse pipeline: the ECU compresses the input train to
+   event addresses, and the accumulation units add one weight column per
+   event x tap -- silent neurons cost nothing. Dense timesteps (and the
+   analog direct-coded input layer, the dense core's job in hardware)
+   keep the matmul path, mirroring the hybrid dense/sparse split.
+
+Bit-exactness is enforced, not assumed: the scatter kernel reproduces a
+sequential ascending-``k`` BLAS fold while skipping zero terms, and each
+conv layer shape is *calibrated* once against the environment's actual
+BLAS kernel (:func:`~repro.runtime.kernels.calibrate_event_exact`);
+shapes whose GEMM uses a different fold stay on the dense path. Dispatch
+therefore affects speed only -- logits, spike trains and simulator cycle
+counts are exactly those of the legacy loops. Dispatch decisions are
+tallied per layer in :class:`~repro.runtime.config.LayerCounters` and
+surfaced in simulation reports.
+"""
+
+from repro.runtime.config import (
+    LayerCounters,
+    RuntimeConfig,
+    configure,
+    runtime_config,
+    runtime_overrides,
+    set_runtime_config,
+)
+from repro.runtime.engine import (
+    InferenceEngine,
+    RuntimeResult,
+    stack_encoder_frames,
+)
+from repro.runtime.kernels import (
+    BufferPool,
+    calibrate_event_exact,
+    resolve_event_backend,
+)
+from repro.runtime.plan import (
+    ConvGeometry,
+    LayerPlan,
+    NetworkPlan,
+    conv_geometry,
+    plan_deployable,
+    plan_spiking,
+)
+
+__all__ = [
+    "BufferPool",
+    "ConvGeometry",
+    "InferenceEngine",
+    "LayerCounters",
+    "LayerPlan",
+    "NetworkPlan",
+    "RuntimeConfig",
+    "RuntimeResult",
+    "calibrate_event_exact",
+    "configure",
+    "conv_geometry",
+    "plan_deployable",
+    "plan_spiking",
+    "resolve_event_backend",
+    "runtime_config",
+    "runtime_overrides",
+    "set_runtime_config",
+    "stack_encoder_frames",
+]

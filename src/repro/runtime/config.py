@@ -1,0 +1,114 @@
+"""Runtime configuration and per-layer dispatch counters.
+
+One process-wide :class:`RuntimeConfig` governs whether the fused
+inference runtime is used at all, where the density dispatcher switches
+between the dense and the event-driven kernel, and which scatter backend
+realises the event path. Tests pin behaviour with
+:func:`runtime_overrides`; ``REPRO_RUNTIME=0`` in the environment turns
+the runtime off globally (every consumer then falls back to the legacy
+per-timestep loops).
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass, replace
+from typing import Dict, Iterator, Optional
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Knobs of the fused inference runtime.
+
+    Attributes:
+        enabled: route eligible forwards through the runtime at all.
+        dispatch_threshold: input spike density (fraction of set bits) at
+            or below which a layer-timestep takes the event-driven path;
+            0 disables the event path, 1 forces it whenever legal.
+        force_path: pin every eligible layer-timestep to ``'dense'`` or
+            ``'event'`` regardless of density (equivalence testing).
+        event_backend: ``'scipy'`` (CSR scatter-matmul), ``'numpy'``
+            (sorted ``np.add.at``), or ``'auto'`` (scipy when available).
+        max_fused_elements: cap on the im2col buffer (elements) per fused
+            dense call; larger batches are chunked (bit-exact either way).
+    """
+
+    enabled: bool = True
+    dispatch_threshold: float = 0.05
+    force_path: Optional[str] = None
+    event_backend: str = "auto"
+    max_fused_elements: int = 1 << 24
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.dispatch_threshold <= 1.0:
+            raise ConfigError(
+                f"dispatch_threshold must be in [0, 1], got {self.dispatch_threshold}"
+            )
+        if self.force_path not in (None, "dense", "event"):
+            raise ConfigError(
+                f"force_path must be None, 'dense' or 'event', got {self.force_path!r}"
+            )
+        if self.event_backend not in ("auto", "scipy", "numpy"):
+            raise ConfigError(
+                f"event_backend must be 'auto', 'scipy' or 'numpy', "
+                f"got {self.event_backend!r}"
+            )
+        if self.max_fused_elements < 1:
+            raise ConfigError(
+                f"max_fused_elements must be >= 1, got {self.max_fused_elements}"
+            )
+
+
+_CONFIG = RuntimeConfig(enabled=os.environ.get("REPRO_RUNTIME", "1") != "0")
+
+
+def runtime_config() -> RuntimeConfig:
+    """The active process-wide runtime configuration."""
+    return _CONFIG
+
+
+def set_runtime_config(config: RuntimeConfig) -> None:
+    global _CONFIG
+    _CONFIG = config
+
+
+def configure(**overrides) -> RuntimeConfig:
+    """Update individual fields of the active configuration."""
+    set_runtime_config(replace(_CONFIG, **overrides))
+    return _CONFIG
+
+
+@contextmanager
+def runtime_overrides(**overrides) -> Iterator[RuntimeConfig]:
+    """Temporarily override runtime settings (test/bench scoping)."""
+    global _CONFIG
+    previous = _CONFIG
+    _CONFIG = replace(previous, **overrides)
+    try:
+        yield _CONFIG
+    finally:
+        _CONFIG = previous
+
+
+@dataclass
+class LayerCounters:
+    """Dispatch statistics for one layer across one forward pass."""
+
+    dense_steps: int = 0
+    event_steps: int = 0
+    event_updates: int = 0  # scatter contributions routed through the event path
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "dense_steps": self.dense_steps,
+            "event_steps": self.event_steps,
+            "event_updates": self.event_updates,
+        }
+
+    def merge(self, other: "LayerCounters") -> None:
+        self.dense_steps += other.dense_steps
+        self.event_steps += other.event_steps
+        self.event_updates += other.event_updates

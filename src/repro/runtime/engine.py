@@ -1,0 +1,334 @@
+"""The fused, event-driven inference engine.
+
+Executes a :class:`~repro.runtime.plan.NetworkPlan` layer-major: for each
+layer the full ``(T, N, ...)`` input train is turned into currents in one
+or two kernel calls (time folded into the batch axis), the LIF state scan
+runs sequentially over ``T`` on the fused tensor, and the spike train
+feeds the next layer. Because the network is feed-forward and LIF state
+is purely per-layer, this reordering of the legacy time-major loop is
+exact.
+
+Per layer and timestep the density dispatcher measures input activity
+and routes the step to the dense gather-matmul kernel or the
+event-driven scatter kernel (see :mod:`repro.runtime.kernels`); both are
+bit-identical, so dispatch never changes results -- only speed. The
+engine also memoises the first-layer current under time-invariant
+encodings (direct coding presents the same frame every timestep), which
+removes ``(T-1)/T`` of the dense-core work outright.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.runtime.config import LayerCounters, RuntimeConfig, runtime_config
+from repro.runtime.kernels import (
+    BufferPool,
+    calibrate_event_exact,
+    dense_conv,
+    dense_fc,
+    event_conv,
+    or_pool,
+    resolve_event_backend,
+)
+from repro.runtime.plan import LayerPlan, NetworkPlan
+from repro.snn.metrics import SpikeStats
+from repro.snn.neuron import lif_scan
+
+
+def stack_encoder_frames(encoder, images: np.ndarray, timesteps: int, record: bool = False):
+    """Encode ``images`` for every timestep into one (T, N, ...) array.
+
+    Time-invariant encodings (direct coding) are encoded once and
+    broadcast -- zero copies for the T-fold repetition. When ``record``
+    is set the base frame is copied first: recorded trains are handed
+    back to the caller and must not alias the caller's image buffer
+    (the legacy loops copied every recorded frame).
+
+    Returns ``(stacked, time_invariant)``.
+    """
+    encoder.reset()
+    time_invariant = bool(getattr(encoder, "time_invariant", False))
+    if time_invariant:
+        base = encoder.encode(images, 0).data
+        if record:
+            base = base.copy()
+        return np.broadcast_to(base, (timesteps,) + base.shape), True
+    stacked = np.stack(
+        [encoder.encode(images, t).data for t in range(timesteps)]
+    )
+    return stacked, False
+
+
+@dataclass
+class RuntimeResult:
+    """Everything one engine pass produces.
+
+    ``trains`` holds the exact per-layer input trains as stacked
+    ``(T, N, ...)`` arrays (views are shared with engine internals; do
+    not mutate). ``counters`` records the dispatcher's dense/event split.
+    """
+
+    accumulated: np.ndarray  # (N, population) output spike counts
+    stats: SpikeStats
+    input_totals: Dict[str, float]
+    trains: Optional[Dict[str, np.ndarray]] = None
+    counters: Dict[str, LayerCounters] = field(default_factory=dict)
+
+
+class InferenceEngine:
+    """Runs a lowered network plan over stacked encoder output."""
+
+    def __init__(
+        self,
+        plan: NetworkPlan,
+        config: Optional[RuntimeConfig] = None,
+        buffers: Optional[BufferPool] = None,
+    ) -> None:
+        self.plan = plan
+        self.config = config
+        self.buffers = buffers if buffers is not None else BufferPool()
+
+    def _config(self) -> RuntimeConfig:
+        return self.config if self.config is not None else runtime_config()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        stacked: np.ndarray,
+        record: bool = False,
+        analog_first: bool = False,
+        time_invariant: bool = False,
+    ) -> RuntimeResult:
+        """Execute the plan on stacked input of shape (T, N, C, H, W).
+
+        Args:
+            stacked: encoder output for every timestep (a broadcast view
+                is fine when the encoding is time-invariant).
+            record: keep each layer's input train.
+            analog_first: first layer consumes analog (non-binary) input
+                (direct coding) and must never take the event path.
+            time_invariant: every timestep of ``stacked`` is the same
+                frame, enabling first-layer current memoisation.
+        """
+        plan = self.plan
+        config = self._config()
+        timesteps, samples = stacked.shape[0], stacked.shape[1]
+        stats = SpikeStats(samples=samples, timesteps=timesteps)
+        input_totals: Dict[str, float] = {}
+        trains: Optional[Dict[str, np.ndarray]] = {} if record else None
+        counters: Dict[str, LayerCounters] = {}
+        # Density scans only matter when the dispatcher can actually
+        # route away from the dense kernel.
+        dispatch_possible = config.force_path != "dense" and (
+            config.force_path == "event" or config.dispatch_threshold > 0.0
+        )
+        x = stacked
+        for layer in plan.layers:
+            if trains is not None:
+                trains[layer.name] = x
+            # Per-timestep activity scan: reused for the legacy-ordered
+            # input totals, the density dispatch, and the binary check.
+            # A time-invariant first layer scans its one frame once.
+            invariant = time_invariant and layer.is_input_layer
+            if invariant:
+                t_sums = [float(x[0].sum())] * timesteps
+            else:
+                t_sums = [float(x[t].sum()) for t in range(timesteps)]
+            if not dispatch_possible:
+                t_nnz = None
+            elif invariant:
+                t_nnz = [int(np.count_nonzero(x[0]))] * timesteps
+            else:
+                t_nnz = [int(np.count_nonzero(x[t])) for t in range(timesteps)]
+            total = 0.0
+            for value in t_sums:
+                total = total + value
+            input_totals[layer.name] = total
+            layer_counter = counters.setdefault(layer.name, LayerCounters())
+            current = self._layer_current(
+                layer,
+                x,
+                t_sums,
+                t_nnz,
+                analog=analog_first and layer.is_input_layer,
+                time_invariant=time_invariant and layer.is_input_layer,
+                counter=layer_counter,
+            )
+            if layer.has_bn:
+                current = (current - layer.bn_mu) * layer.bn_inv_std
+                current = current * layer.bn_gamma + layer.bn_beta
+            spikes, _ = lif_scan(
+                current, plan.beta, plan.threshold, plan.spike_rule
+            )
+            for t in range(timesteps):
+                stats.record(layer.name, t, spikes[t])
+            x = spikes
+            if layer.pool_after > 1:
+                flat = x.reshape((timesteps * samples,) + x.shape[2:])
+                pooled = or_pool(flat, layer.pool_after)
+                x = pooled.reshape((timesteps, samples) + pooled.shape[1:])
+        accumulated = np.zeros(
+            (samples, plan.layers[-1].out_channels), dtype=np.float32
+        )
+        flat_out = x.reshape(timesteps, samples, -1)
+        for t in range(timesteps):
+            accumulated += flat_out[t]
+        return RuntimeResult(
+            accumulated=accumulated,
+            stats=stats,
+            input_totals=input_totals,
+            trains=trains,
+            counters=counters,
+        )
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def _layer_current(
+        self,
+        layer: LayerPlan,
+        x: np.ndarray,
+        t_sums: List[float],
+        t_nnz: List[int],
+        analog: bool,
+        time_invariant: bool,
+        counter: LayerCounters,
+    ) -> np.ndarray:
+        timesteps, samples = x.shape[0], x.shape[1]
+        if time_invariant:
+            cur0, used_event, updates = self._batch_current(
+                layer,
+                x[0],
+                t_sums[0],
+                t_nnz[0] if t_nnz is not None else None,
+                analog,
+            )
+            if used_event:
+                counter.event_steps += timesteps
+                counter.event_updates += updates
+            else:
+                counter.dense_steps += timesteps
+            return np.broadcast_to(cur0, (timesteps,) + cur0.shape)
+
+        config = self._config()
+        out_spatial = (
+            (layer.out_channels, layer.geometry.oh, layer.geometry.ow)
+            if layer.kind == "conv"
+            else (layer.out_channels,)
+        )
+        if t_nnz is None:  # dispatch disabled: everything is dense
+            counter.dense_steps += timesteps
+            fused = x.reshape((timesteps * samples,) + x.shape[2:])
+            return self._kernel_dense(layer, fused).reshape(
+                (timesteps, samples) + out_spatial
+            )
+        slice_size = x[0].size
+        # Timesteps with zero events short-circuit to a bias broadcast:
+        # a GEMM over an all-zero input yields exact zeros under *any*
+        # BLAS fold, so this is bit-exact without calibration (and it is
+        # where near-silent deep layers spend most of their steps).
+        empty_ts: List[int] = []
+        event_ts: List[int] = []
+        dense_ts: List[int] = []
+        for t in range(timesteps):
+            if t_nnz[t] == 0:
+                empty_ts.append(t)
+            elif self._take_event_path(
+                config, layer, analog, t_sums[t], t_nnz[t], slice_size
+            ):
+                event_ts.append(t)
+            else:
+                dense_ts.append(t)
+        counter.dense_steps += len(dense_ts)
+        counter.event_steps += len(event_ts) + len(empty_ts)
+        bias_cast = layer.bias.reshape(
+            (1, 1, -1) + (1,) * (len(out_spatial) - 1)
+        )
+        if not dense_ts and not event_ts:
+            return np.broadcast_to(bias_cast, (timesteps, samples) + out_spatial)
+        if not event_ts and not empty_ts:
+            fused = x.reshape((timesteps * samples,) + x.shape[2:])
+            return self._kernel_dense(layer, fused).reshape(
+                (timesteps, samples) + out_spatial
+            )
+        if not dense_ts and not empty_ts:
+            fused = x.reshape((timesteps * samples,) + x.shape[2:])
+            cur, updates = self._kernel_event(layer, fused)
+            counter.event_updates += updates
+            return cur.reshape((timesteps, samples) + out_spatial)
+        current = np.empty((timesteps, samples) + out_spatial, dtype=np.float32)
+        if empty_ts:
+            current[empty_ts] = bias_cast[0]
+        if dense_ts:
+            batch_d = x[dense_ts].reshape((-1,) + x.shape[2:])
+            current[dense_ts] = self._kernel_dense(layer, batch_d).reshape(
+                (len(dense_ts), samples) + out_spatial
+            )
+        if event_ts:
+            batch_e = x[event_ts].reshape((-1,) + x.shape[2:])
+            cur_e, updates = self._kernel_event(layer, batch_e)
+            counter.event_updates += updates
+            current[event_ts] = cur_e.reshape(
+                (len(event_ts), samples) + out_spatial
+            )
+        return current
+
+    def _take_event_path(
+        self,
+        config: RuntimeConfig,
+        layer: LayerPlan,
+        analog: bool,
+        t_sum: float,
+        nnz: int,
+        size: int,
+    ) -> bool:
+        if layer.kind != "conv" or analog or size == 0:
+            return False
+        binary = float(nnz) == t_sum  # non-negative spikes: sum==nnz <=> {0,1}
+        if not binary:
+            return False
+        if config.force_path == "dense":
+            return False
+        if config.force_path != "event":
+            if config.dispatch_threshold <= 0.0:
+                return False
+            if nnz / size > config.dispatch_threshold:
+                return False
+        # Never dispatch to a shape whose scatter fold has not proven
+        # bit-identical to this environment's BLAS (see kernels docs).
+        return calibrate_event_exact(
+            layer, resolve_event_backend(config.event_backend)
+        )
+
+    def _batch_current(self, layer, xb, b_sum, b_nnz, analog):
+        """Single-batch current with dispatch (time-invariant memo path)."""
+        config = self._config()
+        if b_nnz is not None and self._take_event_path(
+            config, layer, analog, b_sum, b_nnz, xb.size
+        ):
+            cur, updates = self._kernel_event(layer, xb)
+            return cur, True, updates
+        return self._kernel_dense(layer, xb), False, 0
+
+    # ------------------------------------------------------------------
+    # Kernels
+    # ------------------------------------------------------------------
+    def _kernel_dense(self, layer: LayerPlan, batch: np.ndarray) -> np.ndarray:
+        if layer.kind == "conv":
+            return dense_conv(
+                layer,
+                batch,
+                buffers=self.buffers,
+                max_elements=self._config().max_fused_elements,
+            )
+        return dense_fc(layer, batch.reshape(batch.shape[0], -1))
+
+    def _kernel_event(self, layer: LayerPlan, batch: np.ndarray):
+        backend = resolve_event_backend(self._config().event_backend)
+        return event_conv(layer, batch, backend)

@@ -24,6 +24,9 @@ class Encoder:
 
     #: True when the first layer receives analog (non-binary) values.
     analog_input = False
+    #: True when every timestep presents the identical input (lets the
+    #: runtime memoise the first-layer current across timesteps).
+    time_invariant = False
     name = "base"
 
     def encode(self, images: np.ndarray, t: int) -> Tensor:
@@ -37,6 +40,7 @@ class DirectEncoder(Encoder):
     """Direct coding: the same analog frame is presented every timestep."""
 
     analog_input = True
+    time_invariant = True
     name = "direct"
 
     def encode(self, images: np.ndarray, t: int) -> Tensor:

@@ -117,6 +117,8 @@ class SpikingNetwork(Module):
         rng = new_rng(seed)
         self.stages: List[_Stage] = self._build(rng)
         self._validate_output()
+        self._runtime_plan = None
+        self._runtime_buffers = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -216,6 +218,9 @@ class SpikingNetwork(Module):
                 stage.layer.train(mode)
             if stage.bn is not None:
                 stage.bn.train(mode)
+        # Mode flips bracket weight/BN mutation (training steps, QAT prep);
+        # drop the lowered plan so eval forwards re-capture fresh weights.
+        self._runtime_plan = None
         return self
 
     def state_dict(self) -> Dict[str, np.ndarray]:
@@ -236,6 +241,14 @@ class SpikingNetwork(Module):
                 stage.layer.load_state_dict(sub)
             if stage.bn is not None:
                 stage.bn.load_state_dict(_extract(state, f"{stage.name}.bn."))
+        self.invalidate_runtime_cache()
+
+    def invalidate_runtime_cache(self) -> None:
+        """Drop the cached runtime plan (call after mutating weights
+        outside of ``train()``/``load_state_dict``)."""
+        self._runtime_plan = None
+        if self._runtime_buffers is not None:
+            self._runtime_buffers.clear()
 
     # ------------------------------------------------------------------
     # Execution
@@ -265,6 +278,10 @@ class SpikingNetwork(Module):
                 f"expected images of shape (N, {self.input_shape}), got {images.shape}"
             )
         encoder = encoder or DirectEncoder()
+        if self._runtime_eligible():
+            output = self._forward_runtime(images, timesteps, encoder, record)
+            if output is not None:
+                return output
         encoder.reset()
 
         stats = SpikeStats(samples=images.shape[0], timesteps=timesteps)
@@ -308,6 +325,74 @@ class SpikingNetwork(Module):
         )
 
     __call__ = forward
+
+    def _runtime_eligible(self) -> bool:
+        """Route through the fused runtime only for pure inference.
+
+        Training-mode BN and autograd recording need the legacy Tensor
+        loop; :meth:`predict` (eval + no_grad) takes the runtime path.
+        """
+        from repro.runtime import runtime_config
+        from repro.tensor.tensor import grad_enabled
+
+        return (
+            runtime_config().enabled
+            and not self.training
+            and not grad_enabled()
+        )
+
+    def _forward_runtime(
+        self,
+        images: np.ndarray,
+        timesteps: int,
+        encoder: Encoder,
+        record: bool,
+    ) -> Optional[NetworkOutput]:
+        """Inference via :mod:`repro.runtime`; None if the net can't lower."""
+        from repro.errors import RuntimeUnsupportedError
+        from repro.runtime import (
+            BufferPool,
+            InferenceEngine,
+            plan_spiking,
+            stack_encoder_frames,
+        )
+
+        if self._runtime_plan is None:
+            try:
+                self._runtime_plan = plan_spiking(self)
+            except RuntimeUnsupportedError:
+                return None
+        stacked, time_invariant = stack_encoder_frames(
+            encoder, images, timesteps, record=record
+        )
+        if self._runtime_buffers is None:
+            self._runtime_buffers = BufferPool()
+        engine = InferenceEngine(
+            self._runtime_plan, buffers=self._runtime_buffers
+        )
+        result = engine.run(
+            stacked,
+            record=record,
+            analog_first=encoder.analog_input,
+            time_invariant=time_invariant,
+        )
+        n = images.shape[0]
+        grouped = result.accumulated.reshape(
+            n, self.num_classes, self.population_group
+        )
+        logits = Tensor(np.asarray(grouped.sum(axis=2), dtype=np.float32))
+        trains = (
+            {name: list(arr) for name, arr in result.trains.items()}
+            if result.trains is not None
+            else None
+        )
+        return NetworkOutput(
+            logits=logits,
+            stats=result.stats,
+            input_spike_totals=result.input_totals,
+            spike_trains=trains,
+            output_spike_counts=result.accumulated.copy(),
+        )
 
     def _readout(self, counts: Tensor) -> Tensor:
         """Population readout: sum each class's neuron group (ref. [14])."""

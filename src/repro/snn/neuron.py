@@ -16,6 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
+import numpy as np
+
 from repro.errors import ConfigError
 from repro.tensor import Tensor, ops
 from repro.snn.surrogate import ATanSurrogate, Surrogate
@@ -98,3 +100,39 @@ class LIFNeuron:
             f"threshold={self.config.threshold}, "
             f"surrogate={self.surrogate.name})"
         )
+
+
+def lif_scan(
+    current: np.ndarray,
+    beta: float,
+    threshold: float,
+    spike_rule: str = "threshold",
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Inference-only LIF scan over a time-fused current tensor.
+
+    Runs Eq. 1/2 sequentially along the leading time axis of ``current``
+    (shape ``(T, ...)``), vectorised over everything else. The two spike
+    rules reproduce the two legacy code paths bit-for-bit:
+
+    * ``'threshold'`` -- ``u > theta`` (DeployableNetwork);
+    * ``'shifted'`` -- ``(u - theta) > 0`` (SpikingNetwork's surrogate
+      Heaviside); the forms differ only when the subtraction rounds to
+      zero, but exactness demands matching each consumer.
+
+    Returns the full spike train ``(T, ...)`` and the final membrane.
+    """
+    if spike_rule not in ("threshold", "shifted"):
+        raise ConfigError(
+            f"spike_rule must be 'threshold' or 'shifted', got {spike_rule!r}"
+        )
+    spikes = np.empty(current.shape, dtype=np.float32)
+    membrane: Optional[np.ndarray] = None
+    for t in range(current.shape[0]):
+        integrated = current[t] if membrane is None else membrane * beta + current[t]
+        if spike_rule == "threshold":
+            fired = (integrated > threshold).astype(np.float32)
+        else:
+            fired = ((integrated - threshold) > 0).astype(np.float32)
+        membrane = integrated - fired * threshold
+        spikes[t] = fired
+    return spikes, membrane

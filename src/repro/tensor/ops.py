@@ -43,6 +43,15 @@ def _make(
     return out
 
 
+def _as_dtype(data: np.ndarray) -> np.ndarray:
+    """Return ``data`` as DTYPE without copying when it already is.
+
+    ``astype`` always copies; on the hot path (conv/pool outputs that are
+    float32 by construction) that duplicated every activation tensor.
+    """
+    return data if data.dtype == DTYPE else data.astype(DTYPE)
+
+
 def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
     """Sum ``grad`` down to ``shape`` (inverse of NumPy broadcasting)."""
     if grad.shape == shape:
@@ -434,7 +443,7 @@ def conv2d(
             )
 
     parents = (x, weight) if bias is None else (x, weight, bias)
-    return _make(out.astype(DTYPE), parents, backward)
+    return _make(_as_dtype(out), parents, backward)
 
 
 def maxpool2d(x: Tensor, window: int = 2) -> Tensor:
@@ -483,7 +492,7 @@ def avgpool2d(x: Tensor, window: int = 2) -> Tensor:
             )
             x.accumulate_grad(np.ascontiguousarray(g).reshape(n, c, h, w))
 
-    return _make(out.astype(DTYPE), (x,), backward)
+    return _make(_as_dtype(out), (x,), backward)
 
 
 # ---------------------------------------------------------------------------
@@ -532,7 +541,7 @@ def straight_through(
             else:
                 x.accumulate_grad(grad * pass_mask)
 
-    return _make(forward_value.astype(DTYPE), (x,), backward)
+    return _make(_as_dtype(forward_value), (x,), backward)
 
 
 # ---------------------------------------------------------------------------
@@ -550,7 +559,7 @@ def log_softmax(logits: Tensor, axis: int = 1) -> Tensor:
             g = grad - softmax * grad.sum(axis=axis, keepdims=True)
             logits.accumulate_grad(g)
 
-    return _make(data.astype(DTYPE), (logits,), backward)
+    return _make(_as_dtype(data), (logits,), backward)
 
 
 def cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:

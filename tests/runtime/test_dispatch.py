@@ -1,0 +1,147 @@
+"""Density dispatcher behaviour and configuration edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.quant import FP32, convert
+from repro.runtime import (
+    RuntimeConfig,
+    runtime_config,
+    runtime_overrides,
+)
+from repro.snn import build_network
+from repro.snn.encoding import Encoder, RateEncoder
+from repro.tensor import Tensor
+
+
+@pytest.fixture(scope="module")
+def deployable():
+    net = build_network(
+        "8C3-MP2-16C3-MP2-40", input_shape=(3, 8, 8), num_classes=10, seed=321
+    )
+    net.eval()
+    return convert(net, FP32)
+
+
+class _HalfEncoder(Encoder):
+    """Emits non-binary (0.5) 'spikes' while claiming analog_input=False."""
+
+    analog_input = False
+    name = "half"
+
+    def encode(self, images, t):
+        return Tensor(np.full_like(images, 0.5, dtype=np.float32))
+
+
+class TestDensityEdges:
+    def test_density_zero_takes_event_path(self, deployable):
+        zeros = np.zeros((4, 3, 8, 8), dtype=np.float32)
+        legacy = deployable.forward_legacy(zeros, 2, RateEncoder(seed=0))
+        out = deployable.forward(zeros, 2, RateEncoder(seed=0))
+        assert np.array_equal(legacy.logits, out.logits)
+        counters = out.runtime_counters
+        # All-zero input: density 0 <= threshold, event path, zero updates.
+        assert counters["conv1_1"].event_steps == 2
+        assert counters["conv1_1"].event_updates == 0
+
+    def test_density_one_takes_dense_path(self, deployable):
+        ones = np.ones((4, 3, 8, 8), dtype=np.float32)
+        legacy = deployable.forward_legacy(ones, 2, RateEncoder(seed=0))
+        out = deployable.forward(ones, 2, RateEncoder(seed=0))
+        assert np.array_equal(legacy.logits, out.logits)
+        # Rate coding of all-ones frames fires every pixel: density 1.
+        assert out.runtime_counters["conv1_1"].dense_steps == 2
+        assert out.runtime_counters["conv1_1"].event_steps == 0
+
+    def test_density_one_forced_event_still_exact(self, deployable):
+        ones = np.ones((4, 3, 8, 8), dtype=np.float32)
+        legacy = deployable.forward_legacy(ones, 2, RateEncoder(seed=0))
+        with runtime_overrides(force_path="event"):
+            out = deployable.forward(ones, 2, RateEncoder(seed=0))
+        assert np.array_equal(legacy.logits, out.logits)
+        assert out.runtime_counters["conv1_1"].event_steps == 2
+
+    def test_threshold_zero_disables_event_path(self, deployable):
+        zeros = np.zeros((4, 3, 8, 8), dtype=np.float32)
+        with runtime_overrides(dispatch_threshold=0.0):
+            out = deployable.forward(zeros, 2, RateEncoder(seed=0))
+        assert all(
+            c.event_steps == 0 for c in out.runtime_counters.values()
+        )
+
+    def test_threshold_one_routes_binary_conv_steps_to_event(self, deployable):
+        ones = np.ones((4, 3, 8, 8), dtype=np.float32)
+        with runtime_overrides(dispatch_threshold=1.0):
+            out = deployable.forward(ones, 2, RateEncoder(seed=0))
+        counters = out.runtime_counters
+        assert counters["conv1_1"].event_steps == 2
+        assert counters["conv2_1"].event_steps == 2
+        assert counters["fc1"].event_steps == 0  # fc stays dense by design
+
+    def test_analog_input_never_takes_event_path(self, deployable):
+        images = np.random.default_rng(0).random((4, 3, 8, 8)).astype(np.float32)
+        with runtime_overrides(force_path="event"):
+            out = deployable.forward(images, 2)  # direct coding: analog
+        counters = out.runtime_counters
+        assert counters["conv1_1"].event_steps == 0
+        assert counters["conv1_1"].dense_steps == 2
+        assert counters["conv2_1"].event_steps == 2
+
+    def test_inexact_shape_never_dispatches_to_event(self):
+        """Layers whose GEMM fold fails calibration must stay dense."""
+        from repro.runtime import calibrate_event_exact, resolve_event_backend
+        from repro.runtime.plan import plan_deployable
+
+        net = build_network(
+            "64C3-MP2-40", input_shape=(64, 8, 8), num_classes=10, seed=9
+        )
+        net.eval()
+        deployable = convert(net, FP32)
+        plan = plan_deployable(deployable)
+        verdict = calibrate_event_exact(
+            plan.layers[0], resolve_event_backend("auto")
+        )
+        images = np.random.default_rng(1).random((3, 64, 8, 8)).astype(np.float32)
+        legacy = deployable.forward_legacy(images, 2, RateEncoder(seed=2))
+        with runtime_overrides(force_path="event"):
+            out = deployable.forward(images, 2, RateEncoder(seed=2))
+        # Bit-exact either way; event dispatch only if the shape proved
+        # exact in this environment (K=64*9 typically folds multi-lane).
+        assert np.array_equal(legacy.logits, out.logits)
+        expected_steps = 2 if verdict else 0
+        assert out.runtime_counters["conv1_1"].event_steps == expected_steps
+
+    def test_non_binary_input_detected_and_kept_dense(self, deployable):
+        images = np.zeros((4, 3, 8, 8), dtype=np.float32)
+        legacy = deployable.forward_legacy(images, 2, _HalfEncoder())
+        with runtime_overrides(force_path="event"):
+            out = deployable.forward(images, 2, _HalfEncoder())
+        assert np.array_equal(legacy.logits, out.logits)
+        # 0.5-valued inputs fail the sum==nnz binary check on layer 0.
+        assert out.runtime_counters["conv1_1"].event_steps == 0
+
+
+class TestConfig:
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ConfigError, match="dispatch_threshold"):
+            RuntimeConfig(dispatch_threshold=1.5)
+
+    def test_invalid_force_path_rejected(self):
+        with pytest.raises(ConfigError, match="force_path"):
+            RuntimeConfig(force_path="magic")
+
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(ConfigError, match="event_backend"):
+            RuntimeConfig(event_backend="torch")
+
+    def test_invalid_fuse_cap_rejected(self):
+        with pytest.raises(ConfigError, match="max_fused_elements"):
+            RuntimeConfig(max_fused_elements=0)
+
+    def test_overrides_restore_previous_config(self):
+        before = runtime_config()
+        with runtime_overrides(dispatch_threshold=0.5) as active:
+            assert active.dispatch_threshold == 0.5
+            assert runtime_config() is active
+        assert runtime_config() is before
