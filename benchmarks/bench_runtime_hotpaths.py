@@ -44,6 +44,7 @@ if not any(os.path.isdir(os.path.join(p, "repro")) for p in sys.path if p):
 
 import numpy as np
 
+from repro.parallel import sharded_forward
 from repro.quant import FP32, convert
 from repro.runtime import (
     calibrate_event_exact,
@@ -56,7 +57,14 @@ from repro.snn import build_vgg9
 from repro.snn.neuron import LIFConfig
 
 DENSITIES = (0.01, 0.05, 0.20, 0.50)
-RESULT_PATH = os.path.join(REPO_ROOT, "BENCH_runtime.json")
+
+
+def result_path(scale: str) -> str:
+    """BENCH_runtime.json tracks the canonical small-scale trajectory
+    across PRs; other scales (the tiny smoke gate) write a suffixed
+    sibling so a CI run can never clobber the cross-PR record."""
+    suffix = "" if scale == "small" else f".{scale}"
+    return os.path.join(REPO_ROOT, f"BENCH_runtime{suffix}.json")
 
 SCALES = {
     # Paper-typical sparsity: untrained VGG9 with theta=1.0 spikes at
@@ -186,6 +194,57 @@ def bench_end_to_end(deployable, images, params) -> Dict:
     }
 
 
+def bench_parallel(deployable, images, params) -> Dict:
+    """Sharded evaluation throughput: serial fallback vs 2-worker pool.
+
+    The workload is the end-to-end VGG9 forward over a batch split into
+    two shards. Results are checked bit-identical against the plain
+    (unsharded) forward before timing; throughput is recorded in
+    images/second for the serial fallback and the pooled path so the
+    sharding win (or, on single-core machines, the process overhead) is
+    tracked across PRs alongside the kernel numbers.
+    """
+    timesteps = params["timesteps"]
+    plain = deployable.forward(images, timesteps)
+
+    def run_serial():
+        return sharded_forward(
+            deployable, images, timesteps, shards=2, workers=1
+        )
+
+    def run_pooled():
+        return sharded_forward(
+            deployable, images, timesteps, shards=2, workers=2
+        )
+
+    for label, fn in (("serial", run_serial), ("pooled", run_pooled)):
+        merged = fn()
+        if not np.array_equal(merged.logits, plain.logits):
+            raise SystemExit(f"sharded ({label}) logits diverged from plain")
+        if merged.stats.per_layer != plain.stats.per_layer:
+            raise SystemExit(f"sharded ({label}) stats diverged from plain")
+    # Determinism gate: two pooled runs must agree bit-for-bit.
+    first, second = run_pooled(), run_pooled()
+    if not np.array_equal(first.logits, second.logits):
+        raise SystemExit("pooled sharded run is non-deterministic")
+
+    serial_ms = timeit(run_serial, params["repeats"])
+    pooled_ms = timeit(run_pooled, params["repeats"])
+    batch = int(images.shape[0])
+    return {
+        "shards": 2,
+        "batch": batch,
+        "workers_available": os.cpu_count(),
+        "serial_ms": serial_ms,
+        "pooled_ms": pooled_ms,
+        "serial_images_per_s": 1e3 * batch / serial_ms if serial_ms else 0.0,
+        "pooled_images_per_s": 1e3 * batch / pooled_ms if pooled_ms else 0.0,
+        "pooled_speedup": serial_ms / pooled_ms if pooled_ms else float("inf"),
+        "bit_exact": True,
+        "deterministic": True,
+    }
+
+
 def smoke_check(record: Dict) -> List[str]:
     failures = []
     for row in record["layer_micro"]:
@@ -229,17 +288,27 @@ def main(argv=None) -> int:
             },
             "layer_micro": bench_layer_micro(deployable, params),
             "end_to_end": bench_end_to_end(deployable, images, params),
+            "parallel": bench_parallel(deployable, images, params),
         }
 
-    with open(RESULT_PATH, "w", encoding="utf-8") as handle:
+    path = result_path(args.scale)
+    with open(path, "w", encoding="utf-8") as handle:
         json.dump(record, handle, indent=2)
         handle.write("\n")
 
-    print(f"wrote {RESULT_PATH}")
+    print(f"wrote {path}")
     print(
         f"end-to-end: legacy {record['end_to_end']['legacy_ms']:.2f} ms, "
         f"runtime {record['end_to_end']['runtime_ms']:.2f} ms "
         f"({record['end_to_end']['speedup']:.2f}x)"
+    )
+    par = record["parallel"]
+    print(
+        f"sharded x{par['shards']}: serial {par['serial_ms']:.2f} ms "
+        f"({par['serial_images_per_s']:.1f} img/s), 2-worker pool "
+        f"{par['pooled_ms']:.2f} ms ({par['pooled_images_per_s']:.1f} img/s, "
+        f"{par['pooled_speedup']:.2f}x, {par['workers_available']} core(s) "
+        "available)"
     )
     for row in record["layer_micro"]:
         print(

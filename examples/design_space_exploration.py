@@ -20,6 +20,7 @@ from repro.quant import INT4, convert, prepare_qat
 from repro.reporting import Table
 from repro.snn import Trainer, TrainingConfig, build_vgg9
 from repro.workload import (
+    analytic_sweep_reports,
     balanced_allocation,
     proportional_allocation,
     sweep_budgets,
@@ -81,6 +82,23 @@ def main() -> None:
         curve.add_row(point.budget, point.total_cores, point.bottleneck_cycles)
     print()
     print(curve.render())
+
+    # Bonus 2: the sparsity axis of the design space -- time the LW
+    # point across scaled activity profiles in ONE batched analytic
+    # pass (resources/power are estimated once for the whole sweep).
+    scales = (0.25, 0.5, 1.0, 1.5, 2.0)
+    reports = analytic_sweep_reports(
+        HybridSimulator(deployable, config),
+        [{k: v * s for k, v in events.items()} for s in scales],
+        timesteps=2,
+    )
+    activity = Table(title="Activity sweep on the LW point (batched)",
+                     columns=["activity x", "latency ms", "energy mJ/img"])
+    for scale, point_report in zip(scales, reports):
+        activity.add_row(scale, point_report.latency_ms,
+                         point_report.energy_mj)
+    print()
+    print(activity.render())
 
 
 if __name__ == "__main__":

@@ -1,0 +1,108 @@
+"""Determinism gate for the parallel execution path.
+
+Runs the same sharded evaluation three times -- twice through a 2-worker
+process pool and once through the serial fallback -- renders each merged
+result into a canonical JSON report (logits digest, per-layer spike
+statistics, input totals, dispatch counters), and byte-compares the
+three. Any difference between the two pooled runs, or between pooled and
+serial, is a determinism regression and fails with exit code 1.
+
+Wired into ``scripts/perf_smoke.sh``; run standalone with:
+
+    PYTHONPATH=src python scripts/check_parallel_determinism.py
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if not any(os.path.isdir(os.path.join(p, "repro")) for p in sys.path if p):
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+import numpy as np
+
+from repro.parallel import sharded_forward
+from repro.quant import FP32, convert
+from repro.runtime import runtime_overrides
+from repro.snn import build_vgg9
+from repro.snn.neuron import LIFConfig
+
+SHARDS = 4
+TIMESTEPS = 2
+
+
+def build_workload():
+    network = build_vgg9(
+        num_classes=10,
+        population=200,
+        input_shape=(3, 16, 16),
+        channel_scale=0.125,
+        lif=LIFConfig(threshold=1.0),
+        seed=42,
+    )
+    network.eval()
+    deployable = convert(network, FP32)
+    rng = np.random.default_rng(7)
+    images = rng.random((12, 3, 16, 16)).astype(np.float32)
+    return deployable, images
+
+
+def canonical_report(output) -> bytes:
+    """A byte-stable rendering of everything a merged run produces."""
+    record = {
+        "logits_sha256": hashlib.sha256(
+            np.ascontiguousarray(output.logits).tobytes()
+        ).hexdigest(),
+        "samples": output.stats.samples,
+        "timesteps": output.stats.timesteps,
+        "per_layer": output.stats.per_layer,
+        "per_layer_timestep": output.stats.per_layer_timestep,
+        "input_totals": output.input_spike_totals,
+        "counters": {
+            name: counter.as_dict()
+            for name, counter in (output.runtime_counters or {}).items()
+        },
+    }
+    return json.dumps(record, sort_keys=True).encode("utf-8")
+
+
+def main() -> int:
+    deployable, images = build_workload()
+    with runtime_overrides():  # pin the default runtime config
+        pooled_a = canonical_report(
+            sharded_forward(
+                deployable, images, TIMESTEPS, shards=SHARDS, workers=2
+            )
+        )
+        pooled_b = canonical_report(
+            sharded_forward(
+                deployable, images, TIMESTEPS, shards=SHARDS, workers=2
+            )
+        )
+        serial = canonical_report(
+            sharded_forward(
+                deployable, images, TIMESTEPS, shards=SHARDS, workers=1
+            )
+        )
+    failures = []
+    if pooled_a != pooled_b:
+        failures.append("two 2-worker runs produced different reports")
+    if pooled_a != serial:
+        failures.append("2-worker run differs from the serial fallback")
+    for failure in failures:
+        print(f"PARALLEL NON-DETERMINISM: {failure}", file=sys.stderr)
+    if failures:
+        return 1
+    print(
+        f"parallel determinism gate passed ({SHARDS} shards, 2 workers, "
+        f"{len(pooled_a)}-byte report compared 3 ways)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -5,8 +5,13 @@
 # the event-driven path is slower than the legacy per-timestep loop at
 # any density <= 5%, or if the runtime forward is slower than the legacy
 # forward end-to-end. Wire this into CI so future PRs cannot silently
-# regress the event-driven win. Results land in BENCH_runtime.json at
-# the repo root.
+# regress the event-driven win. Results land in BENCH_runtime.<scale>.json
+# at the repo root (plain BENCH_runtime.json is reserved for the
+# canonical small-scale record tracked across PRs).
+#
+# Also runs the parallel determinism gate: the sharded evaluation path
+# with 2 workers, twice, byte-comparing the merged reports against each
+# other and against the serial fallback (exit 1 on any difference).
 #
 # Usage: scripts/perf_smoke.sh            (tiny scale, the default)
 #        REPRO_BENCH_SCALE=small scripts/perf_smoke.sh
@@ -16,4 +21,5 @@ cd "$(dirname "$0")/.."
 export REPRO_BENCH_SCALE="${REPRO_BENCH_SCALE:-tiny}"
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-exec python benchmarks/bench_runtime_hotpaths.py --smoke
+python benchmarks/bench_runtime_hotpaths.py --smoke
+exec python scripts/check_parallel_determinism.py

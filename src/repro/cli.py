@@ -31,11 +31,30 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--version", action="version", version=__version__)
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def worker_count(value: str) -> int:
+        try:
+            count = int(value)
+        except ValueError:
+            raise argparse.ArgumentTypeError(f"not an integer: {value!r}")
+        if count < 1:
+            raise argparse.ArgumentTypeError(f"must be >= 1, got {count}")
+        return count
+
     def add_common(p: argparse.ArgumentParser) -> None:
         p.add_argument("--scale", default="small", help="tiny | small | paper")
         p.add_argument("--workspace", default="artifacts")
         p.add_argument("--seed", type=int, default=0)
         p.add_argument("--quiet", action="store_true")
+        p.add_argument(
+            "--workers",
+            type=worker_count,
+            default=None,
+            metavar="N",
+            help=(
+                "worker processes for sharded evaluation and sweep cells "
+                "(default: REPRO_WORKERS env var, then cpu count; 1 = serial)"
+            ),
+        )
 
     sub.add_parser("info", help="package / device / preset summary")
 
@@ -103,8 +122,14 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 
 def _make_context(args):
+    import os
+
     from repro.experiments.context import ExperimentContext
 
+    if getattr(args, "workers", None) is not None:
+        # Process-scoped: every parallel entry point resolves through
+        # REPRO_WORKERS (see repro.parallel.config).
+        os.environ["REPRO_WORKERS"] = str(args.workers)
     return ExperimentContext(
         scale=args.scale,
         workspace=args.workspace,

@@ -46,6 +46,10 @@ class WorkloadError(ReproError):
     """The workload model or partitioner received invalid input."""
 
 
+class ParallelError(ReproError):
+    """Sharded or pooled execution was configured or driven incorrectly."""
+
+
 class DatasetError(ReproError):
     """A dataset generator or loader received invalid parameters."""
 

@@ -15,10 +15,18 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from repro.datasets import Dataset, make_dataset, train_test_split
-from repro.errors import ExperimentError
+from repro.errors import ExperimentError, ReproError
 from repro.experiments.presets import ScalePreset, get_preset
+from repro.parallel import sharded_forward
 from repro.quant import DeployableNetwork, convert, prepare_qat
 from repro.quant.schemes import QuantScheme, scheme_by_name
+from repro.runtime import (
+    plan_deployable,
+    plan_sidecar_path,
+    runtime_config,
+    save_plan,
+    try_load_plan,
+)
 from repro.snn import (
     Trainer,
     TrainingConfig,
@@ -112,8 +120,32 @@ class ExperimentContext:
         else:
             model = self._train(dataset, scheme_by_name(scheme), coding)
             model.save(path)
+        self._ensure_plan_sidecar(model, path)
         self._models[key] = model
         return model
+
+    def _ensure_plan_sidecar(self, model: DeployableNetwork, path: str) -> None:
+        """Attach (and persist) the lowered runtime plan next to ``path``.
+
+        Cold-started worker processes load the ``.plan.npz`` sidecar and
+        skip lowering + BLAS-fold calibration; a stale or mismatched
+        sidecar (digest of the stored parameters differs -- e.g. a
+        retrain under an old sidecar) is silently rebuilt from the model.
+        """
+        if not runtime_config().enabled:
+            return
+        sidecar = plan_sidecar_path(path)
+        digest = model.weights_digest()
+        loaded = try_load_plan(sidecar, model_digest=digest)
+        if loaded is not None:
+            try:
+                model.attach_plan(loaded)
+                return
+            except ReproError:
+                pass  # stale artifact from an older model: rebuild below
+        plan = plan_deployable(model)
+        model.attach_plan(plan)
+        save_plan(plan, sidecar, model_digest=digest)
 
     def _train(
         self, dataset: str, scheme: QuantScheme, coding: str
@@ -193,19 +225,42 @@ class ExperimentContext:
             images, labels = images[:max_samples], labels[:max_samples]
         steps = timesteps or self.timesteps_for(coding)
         encoder = make_encoder(coding, seed=self.seed + 99)
-        stats = SpikeStats()
-        input_events: Dict[str, float] = {}
-        correct = 0
         batch = 128
-        for start in range(0, len(images), batch):
-            chunk = images[start : start + batch]
-            out = model.forward(chunk, steps, encoder)
-            stats.merge(out.stats)
-            for name, value in out.input_spike_totals.items():
-                input_events[name] = input_events.get(name, 0.0) + value
-            correct += int(
-                (out.logits.argmax(axis=1) == labels[start : start + batch]).sum()
+        if getattr(encoder, "deterministic", False) and len(images):
+            # Deterministic encodings split freely: shard at the same
+            # 128-sample granularity the serial loop always used (the
+            # merge is bit-identical to it) and let REPRO_WORKERS decide
+            # how many processes serve the shards. Workers cold-start
+            # from the cached .npz + .plan.npz sidecar.
+            model_path = self.model_path(self.model_key(dataset, scheme, coding))
+            out = sharded_forward(
+                model,
+                images,
+                steps,
+                encoder,
+                shard_size=batch,
+                model_path=model_path if os.path.exists(model_path) else None,
             )
+            stats = out.stats
+            input_events = dict(out.input_spike_totals)
+            correct = int((out.logits.argmax(axis=1) == labels).sum())
+        else:
+            # Stateful (stochastic) encoders keep the sequential legacy
+            # loop: their spike streams depend on evaluation order.
+            stats = SpikeStats()
+            input_events = {}
+            correct = 0
+            for start in range(0, len(images), batch):
+                chunk = images[start : start + batch]
+                out = model.forward(chunk, steps, encoder)
+                stats.merge(out.stats)
+                for name, value in out.input_spike_totals.items():
+                    input_events[name] = input_events.get(name, 0.0) + value
+                correct += int(
+                    (
+                        out.logits.argmax(axis=1) == labels[start : start + batch]
+                    ).sum()
+                )
         samples = len(images)
         result = EvaluationResult(
             accuracy=correct / samples if samples else 0.0,

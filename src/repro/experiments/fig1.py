@@ -9,8 +9,11 @@ counts spikes over the test set, and compares.
 
 from __future__ import annotations
 
+from typing import Dict, Sequence, Tuple
+
 from repro.experiments.base import ExperimentResult
 from repro.experiments.context import ExperimentContext
+from repro.parallel import effective_workers, run_tasks
 from repro.reporting.comparison import PaperComparison
 from repro.reporting.tables import Series, Table
 
@@ -23,8 +26,67 @@ PAPER_FIG1 = {
 
 DATASETS = ("svhn", "cifar10", "cifar100")
 
+SCHEMES = ("fp32", "int4")
 
-def run(ctx: ExperimentContext) -> ExperimentResult:
+
+def _evaluation_row(evaluation) -> Dict[str, float]:
+    """The per-cell projection both execution paths must agree on."""
+    return {
+        "accuracy": evaluation.accuracy,
+        "spikes_per_image": evaluation.spikes_per_image,
+    }
+
+
+def _evaluate_cell(spec: Dict) -> Dict[str, float]:
+    """One (dataset, scheme) design-space cell, worker-process entry.
+
+    Builds a fresh context against the shared workspace -- trained
+    models and plan sidecars are disk artifacts, so a cold worker either
+    loads them or (first run) trains them deterministically from the
+    same seed the parent would use.
+    """
+    ctx = ExperimentContext(
+        scale=spec["scale"],
+        workspace=spec["workspace"],
+        seed=spec["seed"],
+        verbose=spec["verbose"],
+    )
+    return _evaluation_row(ctx.evaluate(spec["dataset"], spec["scheme"]))
+
+
+def _evaluate_cells(
+    ctx: ExperimentContext, datasets: Sequence[str]
+) -> Dict[Tuple[str, str], Dict[str, float]]:
+    """All (dataset, scheme) cells, pooled when workers allow.
+
+    Cell ordering (dataset-major, scheme-minor) is fixed, so the merged
+    mapping -- and every table assembled from it -- is identical whether
+    the cells ran pooled or through the serial fallback.
+    """
+    cells = [(d, s) for d in datasets for s in SCHEMES]
+    if effective_workers(payload_count=len(cells)) > 1:
+        specs = [
+            {
+                "scale": ctx.preset.name,
+                "workspace": ctx.workspace,
+                "seed": ctx.seed,
+                "verbose": ctx.verbose,
+                "dataset": dataset,
+                "scheme": scheme,
+            }
+            for dataset, scheme in cells
+        ]
+        rows = run_tasks(_evaluate_cell, specs)
+        return {cell: row for cell, row in zip(cells, rows)}
+    return {
+        (dataset, scheme): _evaluation_row(ctx.evaluate(dataset, scheme))
+        for dataset, scheme in cells
+    }
+
+
+def run(
+    ctx: ExperimentContext, datasets: Sequence[str] = DATASETS
+) -> ExperimentResult:
     """Train fp32 and int4 arms on all three datasets; compare spikes."""
     result = ExperimentResult(
         experiment_id="fig1",
@@ -44,31 +106,36 @@ def run(ctx: ExperimentContext) -> ExperimentResult:
     fp32_series = Series("fp32 spikes", "dataset", "spikes/image")
     int4_series = Series("int4 spikes", "dataset", "spikes/image")
 
-    for dataset in DATASETS:
-        fp32_eval = ctx.evaluate(dataset, "fp32")
-        int4_eval = ctx.evaluate(dataset, "int4")
+    evaluations = _evaluate_cells(ctx, datasets)
+    for dataset in datasets:
+        fp32_eval = evaluations[(dataset, "fp32")]
+        int4_eval = evaluations[(dataset, "int4")]
         reduction = _reduction_percent(
-            fp32_eval.spikes_per_image, int4_eval.spikes_per_image
+            fp32_eval["spikes_per_image"], int4_eval["spikes_per_image"]
         )
         table.add_row(
             dataset,
-            100.0 * fp32_eval.accuracy,
-            100.0 * int4_eval.accuracy,
-            fp32_eval.spikes_per_image,
-            int4_eval.spikes_per_image,
+            100.0 * fp32_eval["accuracy"],
+            100.0 * int4_eval["accuracy"],
+            fp32_eval["spikes_per_image"],
+            int4_eval["spikes_per_image"],
             reduction,
         )
-        fp32_series.add_point(dataset, fp32_eval.spikes_per_image)
-        int4_series.add_point(dataset, int4_eval.spikes_per_image)
+        fp32_series.add_point(dataset, fp32_eval["spikes_per_image"])
+        int4_series.add_point(dataset, int4_eval["spikes_per_image"])
 
         paper_fp32, paper_int4, paper_reduction = PAPER_FIG1[dataset]
         comparison = PaperComparison(name=f"Fig. 1 / {dataset}")
-        comparison.add("fp32 accuracy", paper_fp32, 100.0 * fp32_eval.accuracy, "%")
-        comparison.add("int4 accuracy", paper_int4, 100.0 * int4_eval.accuracy, "%")
+        comparison.add(
+            "fp32 accuracy", paper_fp32, 100.0 * fp32_eval["accuracy"], "%"
+        )
+        comparison.add(
+            "int4 accuracy", paper_int4, 100.0 * int4_eval["accuracy"], "%"
+        )
         comparison.add(
             "accuracy drop (fp32 - int4)",
             paper_fp32 - paper_int4,
-            100.0 * (fp32_eval.accuracy - int4_eval.accuracy),
+            100.0 * (fp32_eval["accuracy"] - int4_eval["accuracy"]),
             "pp",
         )
         comparison.add("spike reduction", paper_reduction, reduction, "%")

@@ -2,11 +2,12 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 from repro.experiments import fig1, fig4, table1, table2, table3
 from repro.experiments.base import ExperimentResult
 from repro.experiments.context import ExperimentContext
+from repro.parallel import effective_workers, run_tasks, workers_override
 
 RUNNERS: Dict[str, Callable[[ExperimentContext], ExperimentResult]] = {
     "fig1": fig1.run,
@@ -17,9 +18,64 @@ RUNNERS: Dict[str, Callable[[ExperimentContext], ExperimentResult]] = {
 }
 
 
-def run_all(ctx: ExperimentContext) -> List[ExperimentResult]:
-    """All experiments, in paper order (fig1 first trains every model)."""
-    return [runner(ctx) for runner in RUNNERS.values()]
+def _experiment_cell(spec: Dict) -> ExperimentResult:
+    """One experiment harness, worker-process entry point.
+
+    Each worker builds its own context against the shared workspace;
+    whatever models fig1 already trained are picked up from the disk
+    cache (with their plan sidecars), anything extra an experiment needs
+    (e.g. table2's rate-coded arm) is trained deterministically in the
+    worker.
+    """
+    ctx = ExperimentContext(
+        scale=spec["scale"],
+        workspace=spec["workspace"],
+        seed=spec["seed"],
+        verbose=spec["verbose"],
+    )
+    return RUNNERS[spec["which"]](ctx)
+
+
+def run_all(
+    ctx: ExperimentContext, workers: Optional[int] = None
+) -> List[ExperimentResult]:
+    """All experiments, in paper order (fig1 first trains every model).
+
+    With more than one resolved worker, fig1 runs first (its cells are
+    themselves pooled, and it populates the shared model cache), then
+    the remaining four independent harnesses are farmed out; results
+    always come back in paper order. ``REPRO_WORKERS=1`` reproduces the
+    sequential shared-context path exactly.
+    """
+    rest = [name for name in RUNNERS if name != "fig1"]
+    if effective_workers(workers, payload_count=len(rest)) <= 1:
+        # Pin the whole pass to one worker so the nested entry points
+        # (fig1's cells, evaluate's sharding) stay sequential too --
+        # run_all(workers=1) means *sequential*, not 'serial here but
+        # pooled inside'.
+        with workers_override(1):
+            return [runner(ctx) for runner in RUNNERS.values()]
+    if workers is not None:
+        # An explicit cap binds the nested entry points too (fig1's own
+        # cell pool, evaluate's sharding), not just the harness fan-out.
+        with workers_override(workers):
+            first = fig1.run(ctx)
+    else:
+        first = fig1.run(ctx)
+    specs = [
+        {
+            "which": name,
+            "scale": ctx.preset.name,
+            "workspace": ctx.workspace,
+            "seed": ctx.seed,
+            "verbose": ctx.verbose,
+        }
+        for name in rest
+    ]
+    results = run_tasks(_experiment_cell, specs, workers=workers)
+    ordered = {"fig1": first}
+    ordered.update(dict(zip(rest, results)))
+    return [ordered[name] for name in RUNNERS]
 
 
 def render_experiments_md(

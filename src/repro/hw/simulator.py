@@ -195,27 +195,73 @@ class HybridSimulator:
             output_spikes_per_layer: optional, only feeds the report's
                 spike totals.
         """
-        layer_stats: List[LayerSimStats] = []
+        return self.run_from_counts_batch(
+            [input_events_per_layer], timesteps, [output_spikes_per_layer]
+        )[0]
+
+    def run_from_counts_batch(
+        self,
+        events_batch: Sequence[Dict[str, float]],
+        timesteps: int,
+        output_spikes_batch: Optional[Sequence[Optional[Dict[str, float]]]] = None,
+    ) -> List["SimulationReport"]:
+        """Analytic timing for many sweep points in one batched pass.
+
+        Bit-identical to calling :meth:`run_from_counts` once per entry
+        of ``events_batch`` (same per-point arithmetic, verified by the
+        parallel equivalence suite), but the layer walk runs once, the
+        activity-independent dense-layer stats are computed once and
+        shared, and -- the dominant per-point cost -- the resource and
+        power estimates are computed once for the whole sweep instead of
+        once per point. Fig. 1 / design-space sweeps evaluating hundreds
+        of (scheme, density) cells therefore pay the network-model walk
+        a single time.
+        """
+        if output_spikes_batch is not None and len(output_spikes_batch) != len(
+            events_batch
+        ):
+            raise HardwareModelError(
+                f"{len(output_spikes_batch)} spike dicts for "
+                f"{len(events_batch)} sweep points"
+            )
+        points = len(events_batch)
+        if points == 0:
+            return []
+        per_point: List[List[LayerSimStats]] = [[] for _ in range(points)]
         for index, layer in enumerate(self.network.layers):
             cores = self.config.allocation[index]
             if index == 0 and self.config.use_dense_core:
-                stats = self._dense_layer_stats(layer, cores, timesteps, 1)
-            else:
-                events = input_events_per_layer.get(layer.name)
+                # Dense-core work is activity-independent: one frozen
+                # stats record serves every sweep point.
+                shared = self._dense_layer_stats(layer, cores, timesteps, 1)
+                for stats_list in per_point:
+                    stats_list.append(shared)
+                continue
+            for j, counts in enumerate(events_batch):
+                events = counts.get(layer.name)
                 if events is None:
                     raise HardwareModelError(
                         f"no event count supplied for layer {layer.name!r}"
                     )
-                stats = self._sparse_layer_stats_analytic(
-                    layer, cores, float(events), timesteps
+                per_point[j].append(
+                    self._sparse_layer_stats_analytic(
+                        layer, cores, float(events), timesteps
+                    )
                 )
-            layer_stats.append(stats)
-        report = self._finalize(layer_stats, timesteps, samples=1, stats=None)
-        if output_spikes_per_layer:
-            report.total_spikes_per_image = float(
-                sum(output_spikes_per_layer.values())
+        resources = self._resource_estimator.estimate(self.network, timesteps)
+        power = self._power_model.estimate(resources)
+        reports: List[SimulationReport] = []
+        for j in range(points):
+            report = self._finalize_with(
+                per_point[j], timesteps, 1, None, resources, power
             )
-        return report
+            spikes = (
+                output_spikes_batch[j] if output_spikes_batch is not None else None
+            )
+            if spikes:
+                report.total_spikes_per_image = float(sum(spikes.values()))
+            reports.append(report)
+        return reports
 
     # ------------------------------------------------------------------
     # Internals
@@ -350,6 +396,19 @@ class HybridSimulator:
     ) -> SimulationReport:
         resources = self._resource_estimator.estimate(self.network, timesteps)
         power = self._power_model.estimate(resources)
+        return self._finalize_with(
+            layer_stats, timesteps, samples, stats, resources, power
+        )
+
+    def _finalize_with(
+        self,
+        layer_stats: List[LayerSimStats],
+        timesteps: int,
+        samples: int,
+        stats,
+        resources: ResourceEstimate,
+        power: PowerReport,
+    ) -> SimulationReport:
         power_by_name = power.by_name()
         energy = build_energy_report(
             names=[s.name for s in layer_stats],

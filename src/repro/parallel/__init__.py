@@ -1,0 +1,74 @@
+"""Sharded, process-parallel evaluation and sweep execution.
+
+The paper's design-space study is embarrassingly parallel -- many
+independent (quantization scheme, sparsity) cells, and within each cell
+a batch of independent images -- yet the seed reproduction ran every
+experiment as one fused loop on one core. This package is the subsystem
+that spreads that work across worker processes without ever changing a
+result:
+
+* :mod:`repro.parallel.config` -- worker-count resolution
+  (``REPRO_WORKERS`` env var, ``workers_override`` scoping, explicit
+  arguments) with ``REPRO_WORKERS=1`` as the universal serial fallback.
+* :mod:`repro.parallel.pool` -- :func:`run_tasks`, the deterministic
+  process-pool executor: module-level cell functions mapped over payload
+  lists, results always in payload order, workers bootstrapped with the
+  parent's runtime configuration and ``REPRO_WORKERS=1`` (no nested
+  pools). Worker processes persist across the cells they execute, so
+  process-wide caches -- conv geometry, BLAS-fold calibration verdicts,
+  loaded model artifacts -- are paid once per worker, not once per cell.
+* :mod:`repro.parallel.shard` -- :func:`sharded_forward`, the batch
+  sharder: contiguous deterministic shard geometry, per-shard forward
+  passes, and an order-fixed merge of logits, ``SpikeStats``,
+  ``LayerCounters``, input totals and recorded trains.
+
+Worker lifecycle
+----------------
+
+``run_tasks`` starts a pool per call (workers bootstrapped once:
+environment pinned, runtime config copied from the parent, caller
+initializer run), hands cells out one at a time, and tears the pool down
+when the map completes. Long-lived state that should out-live one call
+belongs on disk -- which is exactly what the ``.plan.npz`` sidecar
+(:mod:`repro.runtime.plan_io`) provides: cold-started workers load the
+deployable ``.npz`` plus its serialized plan and skip both lowering and
+calibration probes.
+
+Merge semantics and determinism
+-------------------------------
+
+Merges always fold in submission/shard order (ascending sample index,
+ascending payload index). Integer-valued quantities (spike counts,
+dispatch counters, accuracy numerators) merge exactly; analog input
+totals and dispatch counters are pure functions of the shard geometry;
+and for a fixed geometry every worker count -- including the serial
+fallback -- produces bit-identical merged results. ``tests/parallel/``
+locks each of these guarantees down against the serial reference.
+"""
+
+from repro.parallel.config import (
+    WORKERS_ENV,
+    resolve_workers,
+    workers_override,
+)
+from repro.parallel.pool import effective_workers, run_tasks
+from repro.parallel.shard import (
+    DEFAULT_SHARD_SIZE,
+    load_deployable_with_plan,
+    merge_outputs,
+    shard_slices,
+    sharded_forward,
+)
+
+__all__ = [
+    "DEFAULT_SHARD_SIZE",
+    "WORKERS_ENV",
+    "effective_workers",
+    "load_deployable_with_plan",
+    "merge_outputs",
+    "resolve_workers",
+    "run_tasks",
+    "shard_slices",
+    "sharded_forward",
+    "workers_override",
+]

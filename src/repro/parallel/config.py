@@ -1,0 +1,75 @@
+"""Worker-count resolution for the sharded/pooled execution subsystem.
+
+One knob, four sources, strict precedence:
+
+1. an explicit ``workers=`` argument at the call site,
+2. a scoped :func:`workers_override` (tests pin behaviour with it),
+3. the ``REPRO_WORKERS`` environment variable,
+4. ``os.cpu_count()``.
+
+``REPRO_WORKERS=1`` is the documented serial fallback: every parallel
+entry point then runs its shards/cells inline in the calling process,
+with *identical results* (see the package docstring's determinism
+guarantees). Worker processes are always started with ``REPRO_WORKERS=1``
+in their environment so a cell can itself call parallel entry points
+without ever nesting process pools.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.errors import ConfigError
+
+WORKERS_ENV = "REPRO_WORKERS"
+
+_WORKERS_OVERRIDE: Optional[int] = None
+
+
+def _validated(value: int, source: str) -> int:
+    try:
+        value = int(value)
+    except (TypeError, ValueError):
+        raise ConfigError(f"{source} must be an integer, got {value!r}")
+    if value < 1:
+        raise ConfigError(f"{source} must be >= 1, got {value}")
+    return value
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """The worker count to use, honouring the precedence above."""
+    if workers is not None:
+        return _validated(workers, "workers")
+    if _WORKERS_OVERRIDE is not None:
+        return _WORKERS_OVERRIDE
+    env = os.environ.get(WORKERS_ENV)
+    if env is not None:
+        return _validated(env, WORKERS_ENV)
+    return os.cpu_count() or 1
+
+
+def _reset_override_for_worker() -> None:
+    """Drop an inherited override inside a freshly bootstrapped worker.
+
+    Under a ``fork`` start method a scoped :func:`workers_override` in
+    the parent would survive into the child and shadow the child's
+    ``REPRO_WORKERS=1`` environment -- re-enabling the nested pools the
+    bootstrap exists to prevent.
+    """
+    global _WORKERS_OVERRIDE
+    _WORKERS_OVERRIDE = None
+
+
+@contextmanager
+def workers_override(workers: int) -> Iterator[int]:
+    """Temporarily pin the resolved worker count (test/bench scoping)."""
+    global _WORKERS_OVERRIDE
+    workers = _validated(workers, "workers")
+    previous = _WORKERS_OVERRIDE
+    _WORKERS_OVERRIDE = workers
+    try:
+        yield workers
+    finally:
+        _WORKERS_OVERRIDE = previous

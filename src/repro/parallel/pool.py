@@ -1,0 +1,122 @@
+"""Deterministic process-pool execution of independent cells.
+
+:func:`run_tasks` is the one primitive every parallel entry point builds
+on: it maps a *module-level* function over a payload list and returns
+the results **in payload order**, regardless of which worker finished
+first. With a resolved worker count of 1 (or a single payload) it runs
+the same function inline in the calling process -- the serial fallback
+that every equivalence test compares against.
+
+Worker lifecycle
+----------------
+
+Workers are started once per :func:`run_tasks` call and reused for every
+payload they are handed (``chunksize=1`` keeps assignment balanced).
+Each worker is bootstrapped with:
+
+* ``REPRO_WORKERS=1`` in its environment, so cells that themselves call
+  parallel entry points degrade to the serial fallback instead of
+  nesting pools;
+* the parent's exact :class:`~repro.runtime.config.RuntimeConfig`, so a
+  scoped ``runtime_overrides(...)`` in the parent governs the children
+  even under a ``spawn`` start method (under ``fork`` it would be
+  inherited anyway; shipping it explicitly makes both start methods
+  behave identically);
+* an optional caller initializer (e.g. the shard worker's model/image
+  state), which runs once per worker -- per-process caches (plan
+  geometry, BLAS-fold calibration verdicts) therefore warm up once and
+  are reused across every cell the worker executes.
+
+Exceptions raised by a cell propagate to the caller from ``Pool.map``
+exactly as they would from the inline loop.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import sys
+from dataclasses import asdict
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.parallel.config import (
+    WORKERS_ENV,
+    _reset_override_for_worker,
+    resolve_workers,
+)
+from repro.runtime.config import RuntimeConfig, runtime_config, set_runtime_config
+
+
+def pool_start_method() -> str:
+    """The start method every pool in this package uses.
+
+    ``fork`` only on Linux (cheap: workers inherit the parent's memory,
+    so initializer state costs nothing to ship); ``spawn`` everywhere
+    else -- notably macOS, where forking after the Objective-C runtime /
+    Accelerate BLAS initialises is unsafe and CPython itself switched
+    the default to spawn.
+    """
+    if sys.platform.startswith("linux") and "fork" in mp.get_all_start_methods():
+        return "fork"
+    return "spawn"
+
+
+def _bootstrap_worker(
+    config_kwargs: dict,
+    initializer: Optional[Callable],
+    initargs: Tuple,
+) -> None:  # pragma: no cover - runs inside worker processes
+    os.environ[WORKERS_ENV] = "1"
+    _reset_override_for_worker()
+    set_runtime_config(RuntimeConfig(**config_kwargs))
+    if initializer is not None:
+        initializer(*initargs)
+
+
+def run_tasks(
+    fn: Callable,
+    payloads: Iterable,
+    workers: Optional[int] = None,
+    initializer: Optional[Callable] = None,
+    initargs: Tuple = (),
+) -> List:
+    """``[fn(p) for p in payloads]``, fanned out over worker processes.
+
+    ``fn`` (and ``initializer``) must be module-level callables so the
+    pool can pickle them by reference; payloads and results must be
+    picklable. Results are returned in payload order -- submission order
+    is the only ordering the subsystem ever exposes, which is what makes
+    pooled runs byte-comparable with serial ones.
+
+    Under the serial fallback the initializer runs *in the calling
+    process* (that is what makes the fallback exact), so initializers
+    that stash state in module globals leave it there afterwards --
+    callers who cannot tolerate that (or who need the worker-only
+    ``REPRO_WORKERS=1`` pinning) should special-case the single-worker
+    path themselves, as :func:`repro.parallel.shard.sharded_forward`
+    does.
+    """
+    payloads = list(payloads)
+    count = min(resolve_workers(workers), max(1, len(payloads)))
+    if count <= 1 or len(payloads) <= 1:
+        if initializer is not None:
+            initializer(*initargs)
+        return [fn(payload) for payload in payloads]
+    context = mp.get_context(pool_start_method())
+    bootstrap_args = (asdict(runtime_config()), initializer, initargs)
+    with context.Pool(
+        processes=count,
+        initializer=_bootstrap_worker,
+        initargs=bootstrap_args,
+    ) as pool:
+        return pool.map(fn, payloads, chunksize=1)
+
+
+def effective_workers(
+    workers: Optional[int] = None, payload_count: Optional[int] = None
+) -> int:
+    """The worker count :func:`run_tasks` would actually use."""
+    count = resolve_workers(workers)
+    if payload_count is not None:
+        count = min(count, max(1, payload_count))
+    return count

@@ -1,0 +1,300 @@
+"""Batch sharding: split an image set into shards, merge the results.
+
+:func:`sharded_forward` runs one :class:`DeployableNetwork` forward pass
+over ``images`` split into contiguous shards, each shard evaluated by a
+worker process (or inline under the serial fallback), and merges the
+per-shard :class:`DeployableOutput` objects back into one.
+
+Merge semantics (shard order is ascending sample index, always):
+
+* ``logits`` / recorded spike trains -- concatenated along the sample
+  axis in shard order; per-sample forward results are independent of the
+  batch split (the same invariant the runtime's fused-batch chunking
+  already relies on), so these are bit-identical to the unsharded pass.
+* ``stats`` -- :meth:`SpikeStats.merge` folded left-to-right in shard
+  order. Spike counts are integer-valued floats far below 2**53, so the
+  merged totals equal the unsharded ones exactly.
+* ``input_spike_totals`` -- accumulated in shard order. Binary layers
+  are exact integers; the *analog* direct-coded input layer's total is a
+  genuine float sum, whose value depends on the shard geometry (floating
+  point addition is not associative) but never on the worker count.
+* ``runtime_counters`` -- :meth:`LayerCounters.merge` in shard order.
+  Counters tally per-(shard, timestep) dispatch decisions, so their
+  totals scale with the shard count; like the analog totals they are a
+  pure function of the shard geometry.
+
+Determinism guarantees, in decreasing strength:
+
+1. For a fixed shard geometry, results are bit-identical for *every*
+   worker count (``REPRO_WORKERS=1`` serial fallback included): each
+   shard is a pure function of (model, shard images, encoder snapshot),
+   and the merge runs in shard order on the parent.
+2. For deterministic encoders (direct, TTFS), logits, spike trains and
+   ``SpikeStats`` are additionally bit-identical across *all* shard
+   geometries, including the unsharded ``model.forward``.
+3. Stochastic encoders (rate coding) are re-materialised from one
+   pickled snapshot per shard, so every shard draws the same stream the
+   unsharded encoder would start with -- deterministic per geometry, but
+   a different stream alignment than a single sequential pass.
+
+Workers receive the model once, at pool bootstrap: either the live
+object (pickled, for in-memory models) or -- preferably -- the cached
+``.npz`` path, in which case each worker loads the deployable artifact
+plus its ``.plan.npz`` sidecar and skips lowering and BLAS-fold
+calibration outright (see :mod:`repro.runtime.plan_io`).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ParallelError
+from repro.parallel.config import resolve_workers
+from repro.parallel.pool import run_tasks
+from repro.runtime.config import LayerCounters
+from repro.snn.metrics import SpikeStats
+
+#: Default shard granularity -- matches the evaluation batch size the
+#: serial harnesses have always used, so default-sharded evaluation is
+#: bit-identical to the historical batch loop.
+DEFAULT_SHARD_SIZE = 128
+
+
+def shard_slices(
+    total: int,
+    shards: Optional[int] = None,
+    shard_size: Optional[int] = None,
+) -> List[slice]:
+    """Deterministic contiguous split of ``range(total)``.
+
+    Exactly one of ``shards`` (that many near-equal shards, the first
+    ``total % shards`` one sample larger) or ``shard_size`` (fixed-size
+    chunks, last one ragged) may be given; with neither, chunks of
+    :data:`DEFAULT_SHARD_SIZE` are used. The split depends only on the
+    arguments -- never on worker count or scheduling.
+    """
+    if total < 1:
+        raise ParallelError(f"cannot shard an empty batch (total={total})")
+    if shards is not None and shard_size is not None:
+        raise ParallelError("pass either shards or shard_size, not both")
+    if shards is not None:
+        if shards < 1:
+            raise ParallelError(f"shards must be >= 1, got {shards}")
+        shards = min(shards, total)
+        base, extra = divmod(total, shards)
+        slices = []
+        start = 0
+        for index in range(shards):
+            stop = start + base + (1 if index < extra else 0)
+            slices.append(slice(start, stop))
+            start = stop
+        return slices
+    if shard_size is None:
+        shard_size = DEFAULT_SHARD_SIZE
+    if shard_size < 1:
+        raise ParallelError(f"shard_size must be >= 1, got {shard_size}")
+    return [
+        slice(start, min(start + shard_size, total))
+        for start in range(0, total, shard_size)
+    ]
+
+
+def merge_outputs(parts: Sequence) -> "DeployableOutput":
+    """Fold per-shard :class:`DeployableOutput` objects, in shard order."""
+    from repro.quant.convert import DeployableOutput
+
+    if not parts:
+        raise ParallelError("no shard outputs to merge")
+    logits = np.concatenate([part.logits for part in parts], axis=0)
+    stats = SpikeStats()
+    input_totals: Dict[str, float] = {}
+    for part in parts:
+        stats.merge(part.stats)
+        for name, value in part.input_spike_totals.items():
+            input_totals[name] = input_totals.get(name, 0.0) + value
+    counters: Optional[Dict[str, LayerCounters]] = None
+    if all(part.runtime_counters is not None for part in parts):
+        counters = {}
+        for part in parts:
+            for name, counter in part.runtime_counters.items():
+                counters.setdefault(name, LayerCounters()).merge(counter)
+    trains = None
+    stacked = None
+    if all(part.spike_trains is not None for part in parts):
+        trains = {}
+        for name in parts[0].spike_trains:
+            timesteps = len(parts[0].spike_trains[name])
+            trains[name] = [
+                np.concatenate(
+                    [part.spike_trains[name][t] for part in parts], axis=0
+                )
+                for t in range(timesteps)
+            ]
+        if all(part.spike_trains_stacked is not None for part in parts):
+            stacked = {
+                name: np.concatenate(
+                    [part.spike_trains_stacked[name] for part in parts], axis=1
+                )
+                for name in parts[0].spike_trains_stacked
+            }
+    return DeployableOutput(
+        logits=logits,
+        stats=stats,
+        input_spike_totals=input_totals,
+        spike_trains=trains,
+        spike_trains_stacked=stacked,
+        runtime_counters=counters,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+_WORKER_STATE: Optional[Dict] = None
+
+
+def load_deployable_with_plan(path: str):
+    """A :class:`DeployableNetwork` from ``path`` with its plan sidecar.
+
+    When ``<stem>.plan.npz`` exists next to the artifact, the lowered
+    plan is attached and the calibration cache seeded -- the cold-start
+    path the sharded workers take. A sidecar that is stale (model digest
+    mismatch after a retrain), corrupt or otherwise unusable is ignored;
+    the model then lowers itself live on first forward.
+    """
+    from repro.errors import ReproError
+    from repro.quant.convert import DeployableNetwork
+    from repro.runtime.plan_io import plan_sidecar_path, try_load_plan
+
+    model = DeployableNetwork.load(path)
+    plan = try_load_plan(
+        plan_sidecar_path(path), model_digest=model.weights_digest()
+    )
+    if plan is not None:
+        try:
+            model.attach_plan(plan)
+        except ReproError:
+            pass  # mismatched sidecar: fall back to live lowering
+    return model
+
+
+def _materialize_model(payload: Tuple[str, object]):
+    kind, value = payload
+    if kind == "object":
+        return value
+    return load_deployable_with_plan(value)
+
+
+def _init_shard_worker(
+    model_payload: Tuple[str, object],
+    images: Optional[np.ndarray],
+    encoder_blob: bytes,
+) -> None:
+    global _WORKER_STATE
+    _WORKER_STATE = {
+        "model": _materialize_model(model_payload),
+        "images": images,
+        "encoder_blob": encoder_blob,
+    }
+
+
+def _run_shard(task: Tuple[object, int, bool]):
+    """One shard: ``payload`` is (start, stop) bounds into the worker's
+    inherited image array (fork) or the shard's own array (spawn)."""
+    payload, timesteps, record = task
+    state = _WORKER_STATE
+    if state["images"] is None:
+        shard_images = payload
+    else:
+        start, stop = payload
+        shard_images = state["images"][start:stop]
+    encoder = pickle.loads(state["encoder_blob"])
+    return state["model"].forward(
+        shard_images, timesteps, encoder, record=record
+    )
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+def sharded_forward(
+    model,
+    images: np.ndarray,
+    timesteps: int,
+    encoder=None,
+    record: bool = False,
+    shards: Optional[int] = None,
+    shard_size: Optional[int] = None,
+    workers: Optional[int] = None,
+    model_path: Optional[str] = None,
+):
+    """One merged forward pass over ``images``, sharded across workers.
+
+    Args:
+        model: the :class:`DeployableNetwork` to evaluate.
+        images: (N, C, H, W) batch.
+        timesteps: T.
+        encoder: input encoder; snapshotted once and re-materialised per
+            shard (see the module docstring's determinism notes).
+        record: keep per-layer spike trains (merged along the sample
+            axis; costly across processes -- prefer ``record=False`` for
+            dataset-scale evaluation).
+        shards / shard_size: shard geometry, see :func:`shard_slices`.
+        workers: worker count; ``None`` resolves via ``REPRO_WORKERS``.
+        model_path: optional cached ``.npz`` artifact path; when given,
+            workers load the model (and its plan sidecar) from disk
+            instead of receiving a pickled copy.
+    """
+    from repro.snn.encoding import DirectEncoder
+
+    images = np.asarray(images, dtype=np.float32)
+    slices = shard_slices(len(images), shards=shards, shard_size=shard_size)
+    encoder_blob = pickle.dumps(encoder if encoder is not None else DirectEncoder())
+    count = min(resolve_workers(workers), len(slices))
+    if count <= 1 or len(slices) <= 1:
+        parts = []
+        for piece in slices:
+            shard_encoder = pickle.loads(encoder_blob)
+            parts.append(
+                model.forward(
+                    images[piece], timesteps, shard_encoder, record=record
+                )
+            )
+        return merge_outputs(parts)
+    from repro.parallel.pool import pool_start_method
+
+    # Under fork the live object (attached plan, warm caches included)
+    # reaches workers through the inherited address space for free; the
+    # disk artifact + sidecar only pays off when workers must be spawned
+    # from scratch and would otherwise pickle the whole model.
+    use_path = model_path is not None and pool_start_method() != "fork"
+    payload = ("path", model_path) if use_path else ("object", model)
+    if pool_start_method() == "fork":
+        # Workers inherit the parent's memory: the full array in the
+        # initializer costs nothing, tasks carry only bounds.
+        init_images: Optional[np.ndarray] = images
+        tasks = [
+            ((piece.start, piece.stop), timesteps, record) for piece in slices
+        ]
+    else:
+        # spawn pickles everything: ship each sample exactly once by
+        # putting the shard's own slice in its task payload.
+        init_images = None
+        tasks = [
+            (np.ascontiguousarray(images[piece]), timesteps, record)
+            for piece in slices
+        ]
+    parts = run_tasks(
+        _run_shard,
+        tasks,
+        workers=count,
+        initializer=_init_shard_worker,
+        initargs=(payload, init_images, encoder_blob),
+    )
+    return merge_outputs(parts)

@@ -267,6 +267,68 @@ class DeployableNetwork:
         self._runtime_plan = None
         self._runtime_buffers.clear()
 
+    def weights_digest(self) -> str:
+        """Content digest of the stored (quantized) parameters.
+
+        Cheap (no dequantization) and stable across save/load; used to
+        tie a ``.plan.npz`` sidecar to the exact model it was lowered
+        from, so a retrain can never be served by a stale plan.
+        """
+        from repro.runtime import arrays_digest
+
+        arrays = []
+        for layer in self.layers:
+            arrays.append(layer.weight_q)
+            arrays.append(layer.bias_q)
+            if layer.weight_scale is not None:
+                arrays.append(layer.weight_scale)
+            if layer.bias_scale is not None:
+                arrays.append(layer.bias_scale)
+        return arrays_digest(arrays)
+
+    def attach_plan(self, plan) -> None:
+        """Adopt a pre-lowered runtime plan (e.g. a ``.plan.npz`` sidecar).
+
+        The plan must describe this network; origin (a deployable
+        lowering, not a SpikingNetwork one), LIF constants and layer
+        names/shapes are checked, a mismatched plan raises
+        ``QuantizationError`` (weights are deliberately not compared --
+        the sidecar *is* the lowered weight store; staleness is guarded
+        by the ``model_digest`` check in :func:`repro.runtime.load_plan`).
+        """
+        if plan.source != "deployable" or plan.spike_rule != "threshold":
+            raise QuantizationError(
+                f"plan was lowered from {plan.source!r} (spike rule "
+                f"{plan.spike_rule!r}); deployable networks require a "
+                "deployable lowering"
+            )
+        if (
+            plan.num_classes != self.num_classes
+            or plan.population_group != self.population_group
+            or plan.beta != self.lif.beta
+            or plan.threshold != self.lif.threshold
+        ):
+            raise QuantizationError(
+                "plan head/LIF constants do not match this network"
+            )
+        if len(plan.layers) != len(self.layers):
+            raise QuantizationError(
+                f"plan has {len(plan.layers)} layers; network has "
+                f"{len(self.layers)}"
+            )
+        for plan_layer, layer in zip(plan.layers, self.layers):
+            if (
+                plan_layer.name != layer.name
+                or plan_layer.kind != layer.kind
+                or plan_layer.input_shape != tuple(layer.input_shape)
+                or plan_layer.output_shape != tuple(layer.output_shape)
+            ):
+                raise QuantizationError(
+                    f"plan layer {plan_layer.name!r} does not match network "
+                    f"layer {layer.name!r}"
+                )
+        self._runtime_plan = plan
+
     def _layer_current(self, layer: DeployableLayer, x: np.ndarray) -> np.ndarray:
         weight = layer.effective_weight()
         bias = layer.effective_bias()

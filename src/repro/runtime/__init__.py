@@ -57,7 +57,9 @@ from repro.runtime.engine import (
 from repro.runtime.kernels import (
     BufferPool,
     calibrate_event_exact,
+    calibration_key,
     resolve_event_backend,
+    seed_calibration,
 )
 from repro.runtime.plan import (
     ConvGeometry,
@@ -66,6 +68,14 @@ from repro.runtime.plan import (
     conv_geometry,
     plan_deployable,
     plan_spiking,
+)
+from repro.runtime.plan_io import (
+    arrays_digest,
+    load_plan,
+    plan_report,
+    plan_sidecar_path,
+    save_plan,
+    try_load_plan,
 )
 
 __all__ = [
@@ -77,14 +87,22 @@ __all__ = [
     "NetworkPlan",
     "RuntimeConfig",
     "RuntimeResult",
+    "arrays_digest",
     "calibrate_event_exact",
+    "calibration_key",
     "configure",
     "conv_geometry",
+    "load_plan",
     "plan_deployable",
+    "plan_report",
+    "plan_sidecar_path",
     "plan_spiking",
     "resolve_event_backend",
     "runtime_config",
     "runtime_overrides",
+    "save_plan",
+    "seed_calibration",
     "set_runtime_config",
     "stack_encoder_frames",
+    "try_load_plan",
 ]

@@ -182,6 +182,25 @@ def event_conv(
 _CALIBRATION_CACHE: Dict[Tuple, bool] = {}
 
 
+def calibration_key(layer: LayerPlan, backend: str) -> Tuple:
+    """Process-wide calibration-cache key for a conv layer shape."""
+    g = layer.geometry
+    return (
+        g.cin, g.height, g.width, g.kernel, g.padding,
+        layer.out_channels, backend,
+    )
+
+
+def seed_calibration(key: Tuple, exact: bool) -> None:
+    """Pre-populate the calibration cache (plan persistence fast path).
+
+    A verdict already probed live in this process wins over a seeded one,
+    so loading a stale sidecar can never *upgrade* a shape to the event
+    path that the current environment has disproven.
+    """
+    _CALIBRATION_CACHE.setdefault(tuple(key), bool(exact))
+
+
 def calibrate_event_exact(layer: LayerPlan, backend: str) -> bool:
     """True when the event path is bit-identical to the dense path for
     this layer's GEMM shape in the current environment.
@@ -192,11 +211,8 @@ def calibrate_event_exact(layer: LayerPlan, backend: str) -> bool:
     two regimes decisively. The verdict depends only on the layer shape
     (not the weight values) and is cached process-wide.
     """
+    key = calibration_key(layer, backend)
     g = layer.geometry
-    key = (
-        g.cin, g.height, g.width, g.kernel, g.padding,
-        layer.out_channels, backend,
-    )
     cached = _CALIBRATION_CACHE.get(key)
     if cached is not None:
         return cached

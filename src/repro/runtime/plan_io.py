@@ -1,0 +1,291 @@
+"""NetworkPlan persistence and the per-layer plan report.
+
+A lowered :class:`~repro.runtime.plan.NetworkPlan` is expensive to build
+only in two places: dequantizing weights (the lowering itself) and the
+per-shape BLAS-fold *calibration* probes that decide event-path
+eligibility. Both are deterministic, so they can be captured once and
+shipped next to the deployable ``.npz``: :func:`save_plan` writes a
+``<model>.plan.npz`` sidecar holding the lowered weight matrices, bias
+and BN constants plus the calibration verdict of every conv shape;
+:func:`load_plan` rebuilds the plan without touching the network (the
+im2col geometry is recomputed through the shared process-wide cache --
+pure index math, paid once per shape per process) and seeds the
+calibration cache so cold-started worker processes skip the probes
+entirely.
+
+Calibration verdicts are only trusted when the sidecar's environment
+fingerprint (numpy version, platform, BLAS-visible machine) matches the
+loading process -- a different BLAS may fold GEMMs differently, and a
+wrong ``True`` verdict would break bit-exactness. On mismatch the plan
+still loads; the verdicts are simply re-probed on first dispatch.
+
+:func:`plan_report` renders the per-layer lowering outcome -- notably
+which conv shapes failed calibration and stay on the dense fallback (the
+deep-VGG9 ``K >= ~500`` shapes; see ROADMAP's blocked-scatter item).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import zipfile
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.errors import ReproError, RuntimeUnsupportedError
+from repro.runtime.config import runtime_config
+from repro.runtime.kernels import (
+    calibrate_event_exact,
+    calibration_key,
+    resolve_event_backend,
+    seed_calibration,
+)
+from repro.runtime.plan import LayerPlan, NetworkPlan, conv_geometry
+from repro.utils.serialization import load_npz, save_npz
+
+PLAN_SIDECAR_SUFFIX = ".plan.npz"
+
+_BN_FIELDS = ("bn_mu", "bn_inv_std", "bn_gamma", "bn_beta")
+
+
+def _blas_signature() -> str:
+    """Digest of the BLAS/LAPACK numpy was built against.
+
+    The fold a GEMM uses depends on the linked BLAS and its per-CPU
+    kernel selection, not just the numpy version -- two identical numpy
+    wheels on MKL vs OpenBLAS fold differently, and a calibration
+    verdict must never cross that boundary.
+    """
+    try:
+        config = np.show_config(mode="dicts")
+    except TypeError:  # pragma: no cover - numpy < 1.25 has no dicts mode
+        config = None
+    if config is not None:
+        dependencies = config.get("Build Dependencies", {})
+        raw = json.dumps(
+            [dependencies.get("blas", {}), dependencies.get("lapack", {})],
+            sort_keys=True,
+            default=str,
+        )
+    else:  # pragma: no cover - legacy numpy fallback
+        raw = str(getattr(np.__config__, "blas_opt_info", ""))
+    return hashlib.sha256(raw.encode("utf-8")).hexdigest()[:16]
+
+
+def environment_fingerprint() -> Dict[str, str]:
+    """Identity of everything that can change a BLAS fold verdict."""
+    return {
+        "numpy": np.__version__,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "processor": platform.processor(),
+        "blas": _blas_signature(),
+    }
+
+
+def arrays_digest(arrays: Iterable[np.ndarray]) -> str:
+    """Order-sensitive content digest of a sequence of arrays."""
+    digest = hashlib.sha256()
+    for array in arrays:
+        array = np.ascontiguousarray(array)
+        digest.update(str(array.dtype).encode("utf-8"))
+        digest.update(str(array.shape).encode("utf-8"))
+        digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
+def plan_sidecar_path(model_path: str) -> str:
+    """``<dir>/<stem>.plan.npz`` next to a deployable ``.npz`` artifact."""
+    stem, ext = os.path.splitext(model_path)
+    if ext != ".npz":
+        stem = model_path
+    return stem + PLAN_SIDECAR_SUFFIX
+
+
+def save_plan(
+    plan: NetworkPlan,
+    path: str,
+    backend: Optional[str] = None,
+    model_digest: Optional[str] = None,
+) -> None:
+    """Serialize ``plan`` (weights, BN, calibration verdicts) to ``path``.
+
+    ``model_digest`` ties the sidecar to the exact stored parameters of
+    the model it was lowered from (see
+    :meth:`DeployableNetwork.weights_digest`); loaders passing the same
+    digest will reject a stale sidecar left behind by a retrain.
+    """
+    backend = resolve_event_backend(backend or runtime_config().event_backend)
+    arrays: Dict[str, np.ndarray] = {}
+    meta: Dict[str, object] = {
+        "format": "network-plan-v1",
+        "model_digest": model_digest,
+        "beta": plan.beta,
+        "threshold": plan.threshold,
+        "num_classes": plan.num_classes,
+        "population_group": plan.population_group,
+        "spike_rule": plan.spike_rule,
+        "source": plan.source,
+        "backend": backend,
+        "fingerprint": environment_fingerprint(),
+        "layers": [],
+        "calibration": [],
+    }
+    for index, layer in enumerate(plan.layers):
+        prefix = f"layer{index}"
+        arrays[f"{prefix}.wmat"] = layer.wmat
+        arrays[f"{prefix}.bias"] = layer.bias
+        for bn_field in _BN_FIELDS:
+            value = getattr(layer, bn_field)
+            if value is not None:
+                arrays[f"{prefix}.{bn_field}"] = value
+        geometry = layer.geometry
+        meta["layers"].append(
+            {
+                "name": layer.name,
+                "kind": layer.kind,
+                "input_shape": list(layer.input_shape),
+                "output_shape": list(layer.output_shape),
+                "pool_after": layer.pool_after,
+                "is_input_layer": layer.is_input_layer,
+                "kernel": geometry.kernel if geometry is not None else 0,
+                "padding": geometry.padding if geometry is not None else 0,
+                "has_bn": layer.has_bn,
+            }
+        )
+        if layer.kind == "conv":
+            meta["calibration"].append(
+                {
+                    "key": list(calibration_key(layer, backend)),
+                    "exact": calibrate_event_exact(layer, backend),
+                }
+            )
+    save_npz(path, arrays, meta)
+
+
+def load_plan(path: str, model_digest: Optional[str] = None) -> NetworkPlan:
+    """Rebuild a :class:`NetworkPlan` written by :func:`save_plan`.
+
+    Seeds the process-wide calibration cache from the sidecar's verdicts
+    when the environment fingerprint matches, so the loading process
+    never re-probes shapes the saving process already settled. When both
+    sides carry a ``model_digest`` and they differ, the sidecar is stale
+    (the model was retrained under it) and loading fails.
+    """
+    arrays, meta = load_npz(path)
+    if meta.get("format") != "network-plan-v1":
+        raise RuntimeUnsupportedError(
+            f"{path!r} is not a serialized network plan"
+        )
+    stored_digest = meta.get("model_digest")
+    if (
+        model_digest is not None
+        and stored_digest is not None
+        and stored_digest != model_digest
+    ):
+        raise RuntimeUnsupportedError(
+            f"plan sidecar {path!r} was lowered from a different model "
+            "(digest mismatch; retrain left a stale sidecar)"
+        )
+    layers: List[LayerPlan] = []
+    for index, info in enumerate(meta["layers"]):
+        prefix = f"layer{index}"
+        wmat = np.ascontiguousarray(arrays[f"{prefix}.wmat"])
+        input_shape = tuple(info["input_shape"])
+        geometry = (
+            conv_geometry(
+                input_shape[0], input_shape[1], input_shape[2],
+                info["kernel"], info["padding"],
+            )
+            if info["kind"] == "conv"
+            else None
+        )
+        layer = LayerPlan(
+            name=info["name"],
+            kind=info["kind"],
+            wmat=wmat,
+            wT=np.ascontiguousarray(wmat.T),
+            bias=np.ascontiguousarray(arrays[f"{prefix}.bias"]),
+            input_shape=input_shape,
+            output_shape=tuple(info["output_shape"]),
+            geometry=geometry,
+            pool_after=info["pool_after"],
+            is_input_layer=info["is_input_layer"],
+        )
+        if info["has_bn"]:
+            for bn_field in _BN_FIELDS:
+                setattr(layer, bn_field, arrays[f"{prefix}.{bn_field}"])
+        layers.append(layer)
+    plan = NetworkPlan(
+        layers=layers,
+        beta=meta["beta"],
+        threshold=meta["threshold"],
+        num_classes=meta["num_classes"],
+        population_group=meta["population_group"],
+        spike_rule=meta["spike_rule"],
+        source=meta["source"],
+    )
+    if meta.get("fingerprint") == environment_fingerprint():
+        for entry in meta.get("calibration", []):
+            seed_calibration(tuple(entry["key"]), entry["exact"])
+    return plan
+
+
+def try_load_plan(
+    path: str, model_digest: Optional[str] = None
+) -> Optional[NetworkPlan]:
+    """:func:`load_plan`, returning ``None`` instead of raising.
+
+    The one loader every sidecar consumer should use: a missing, stale
+    (digest mismatch), foreign-format, truncated or otherwise corrupt
+    sidecar yields ``None`` -- the caller falls back to live lowering,
+    which is always correct, just slower.
+    """
+    if not os.path.exists(path):
+        return None
+    try:
+        return load_plan(path, model_digest=model_digest)
+    except (ReproError, KeyError, ValueError, OSError, zipfile.BadZipFile):
+        return None
+
+
+def plan_report(plan: NetworkPlan, backend: Optional[str] = None) -> List[Dict]:
+    """Per-layer lowering outcome: kernel shape and dispatch eligibility.
+
+    Each row carries ``event_exact`` (``None`` for FC layers, which never
+    take the event path) and a human-readable ``path`` that flags the
+    dense fallback taken by conv shapes whose BLAS fold failed
+    calibration.
+    """
+    backend = resolve_event_backend(backend or runtime_config().event_backend)
+    rows: List[Dict] = []
+    for layer in plan.layers:
+        if layer.kind != "conv":
+            rows.append(
+                {
+                    "name": layer.name,
+                    "kind": layer.kind,
+                    "k": int(layer.wmat.shape[1]),
+                    "event_exact": None,
+                    "path": "dense (fc layers never dispatch)",
+                }
+            )
+            continue
+        exact = calibrate_event_exact(layer, backend)
+        rows.append(
+            {
+                "name": layer.name,
+                "kind": layer.kind,
+                "k": int(layer.geometry.k),
+                "event_exact": exact,
+                "path": (
+                    "event-eligible"
+                    if exact
+                    else "dense-fallback (BLAS fold mismatch at this shape)"
+                ),
+            }
+        )
+    return rows

@@ -27,6 +27,13 @@ class Encoder:
     #: True when every timestep presents the identical input (lets the
     #: runtime memoise the first-layer current across timesteps).
     time_invariant = False
+    #: True when the encoding is a pure function of (images, t) -- no
+    #: internal random state. Deterministic encoders produce identical
+    #: trains regardless of how a batch is split, which lets the sharded
+    #: evaluation path (repro.parallel) split work freely. Deliberately
+    #: False by default: a stochastic subclass that forgets to set it
+    #: must degrade to the sequential path, never silently shard.
+    deterministic = False
     name = "base"
 
     def encode(self, images: np.ndarray, t: int) -> Tensor:
@@ -41,6 +48,7 @@ class DirectEncoder(Encoder):
 
     analog_input = True
     time_invariant = True
+    deterministic = True
     name = "direct"
 
     def encode(self, images: np.ndarray, t: int) -> Tensor:
@@ -84,6 +92,7 @@ class TtfsEncoder(Encoder):
     """
 
     analog_input = False
+    deterministic = True
     name = "ttfs"
 
     def __init__(self, timesteps: int) -> None:

@@ -20,12 +20,17 @@ from repro.workload.partition import (
     proportional_allocation,
     uniform_allocation,
 )
-from repro.workload.sweep import BudgetSweepPoint, sweep_budgets
+from repro.workload.sweep import (
+    BudgetSweepPoint,
+    analytic_sweep_reports,
+    sweep_budgets,
+)
 
 __all__ = [
     "AllocationResult",
     "BudgetSweepPoint",
     "LayerWorkload",
+    "analytic_sweep_reports",
     "balanced_allocation",
     "dense_workload",
     "estimate_input_events",

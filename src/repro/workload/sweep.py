@@ -1,11 +1,20 @@
-"""Budget sweeps: the resource/latency trade-off curve behind LW -> perf4."""
+"""Budget sweeps: the resource/latency trade-off curve behind LW -> perf4.
+
+Both sweep entry points route through :mod:`repro.parallel`: budget
+points are independent design-space cells and are farmed over the
+process pool when ``REPRO_WORKERS`` allows (results come back in
+ascending-budget order either way), and analytic timing across many
+sweep points goes through the simulator's batched
+:meth:`~repro.hw.simulator.HybridSimulator.run_from_counts_batch`.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import WorkloadError
+from repro.parallel import run_tasks
 from repro.workload.model import LayerWorkload
 from repro.workload.partition import AllocationResult, balanced_allocation
 
@@ -26,22 +35,61 @@ class BudgetSweepPoint:
         return self.result.total_cores
 
 
+def _allocation_cell(
+    payload: Tuple[Tuple[LayerWorkload, ...], int, int]
+) -> BudgetSweepPoint:
+    """One budget point -- module-level so the pool can pickle it."""
+    workloads, budget, dense_rows = payload
+    return BudgetSweepPoint(
+        budget=budget,
+        result=balanced_allocation(workloads, budget, dense_rows),
+    )
+
+
 def sweep_budgets(
     workloads: Sequence[LayerWorkload],
     budgets: Sequence[int],
     dense_rows: int = 1,
+    workers: Optional[int] = None,
 ) -> List[BudgetSweepPoint]:
-    """Balanced allocations across a list of sparse-core budgets."""
+    """Balanced allocations across a list of sparse-core budgets.
+
+    Each budget is an independent binary-search allocation; pass
+    ``workers > 1`` to farm the points over the process pool. Unlike the
+    evaluation entry points this one does *not* default to
+    ``REPRO_WORKERS``: a single allocation costs microseconds, so pool
+    startup only pays off for explicitly requested large sweeps.
+    Ordering (ascending budget) and every result are identical to the
+    serial path.
+    """
     if not budgets:
         raise WorkloadError("no budgets supplied")
-    points = [
-        BudgetSweepPoint(
-            budget=int(budget),
-            result=balanced_allocation(workloads, int(budget), dense_rows),
-        )
-        for budget in sorted(budgets)
+    frozen = tuple(workloads)
+    payloads = [
+        (frozen, int(budget), dense_rows) for budget in sorted(budgets)
     ]
-    return points
+    # Serial unless explicitly asked otherwise; invalid counts (0, -1)
+    # still go through run_tasks' validation and raise ConfigError.
+    return run_tasks(
+        _allocation_cell, payloads, workers=1 if workers is None else workers
+    )
+
+
+def analytic_sweep_reports(
+    simulator,
+    events_batch: Sequence[Dict[str, float]],
+    timesteps: int,
+    output_spikes_batch: Optional[Sequence[Optional[Dict[str, float]]]] = None,
+) -> List:
+    """Analytic simulator reports for many sweep points, batched.
+
+    Thin routing onto :meth:`HybridSimulator.run_from_counts_batch`,
+    kept here so workload-level sweeps have a single entry point for
+    "time all of these activity profiles on this accelerator".
+    """
+    return simulator.run_from_counts_batch(
+        events_batch, timesteps, output_spikes_batch
+    )
 
 
 def pareto_front(points: Sequence[BudgetSweepPoint]) -> List[BudgetSweepPoint]:

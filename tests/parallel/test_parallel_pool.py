@@ -1,0 +1,182 @@
+"""The deterministic pool executor and worker-count resolution."""
+
+import os
+
+import pytest
+
+from repro.errors import ConfigError, ParallelError
+from repro.parallel import (
+    WORKERS_ENV,
+    effective_workers,
+    resolve_workers,
+    run_tasks,
+    shard_slices,
+    workers_override,
+)
+from repro.runtime import runtime_config, runtime_overrides
+
+
+def _square(x):
+    return x * x
+
+
+def _worker_env(_):
+    return {
+        "workers_env": os.environ.get(WORKERS_ENV),
+        "resolved": resolve_workers(),
+        "pid": os.getpid(),
+    }
+
+
+def _runtime_threshold(_):
+    return runtime_config().dispatch_threshold
+
+
+def _boom(x):
+    if x == 2:
+        raise ValueError("cell exploded")
+    return x
+
+
+_INIT_STATE = {}
+
+
+def _remember(value):
+    _INIT_STATE["value"] = value
+
+
+def _read_state(_):
+    return _INIT_STATE.get("value")
+
+
+class TestResolveWorkers:
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "7")
+        assert resolve_workers(3) == 3
+
+    def test_env_variable(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "5")
+        assert resolve_workers() == 5
+
+    def test_default_is_cpu_count(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        assert resolve_workers() == (os.cpu_count() or 1)
+
+    def test_override_beats_env(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "5")
+        with workers_override(2):
+            assert resolve_workers() == 2
+        assert resolve_workers() == 5
+
+    @pytest.mark.parametrize("bad", [0, -1, "x"])
+    def test_invalid_values_rejected(self, monkeypatch, bad):
+        with pytest.raises(ConfigError):
+            resolve_workers(bad)
+        monkeypatch.setenv(WORKERS_ENV, str(bad))
+        with pytest.raises(ConfigError):
+            resolve_workers()
+
+    def test_effective_workers_caps_at_payload_count(self):
+        assert effective_workers(8, payload_count=3) == 3
+        assert effective_workers(2, payload_count=0) == 1
+
+
+class TestRunTasks:
+    def test_results_in_payload_order(self):
+        payloads = list(range(20))
+        assert run_tasks(_square, payloads, workers=2) == [
+            p * p for p in payloads
+        ]
+
+    def test_serial_fallback_matches(self):
+        payloads = list(range(6))
+        assert run_tasks(_square, payloads, workers=1) == run_tasks(
+            _square, payloads, workers=3
+        )
+
+    def test_workers_are_serial_and_env_pinned(self):
+        rows = run_tasks(_worker_env, list(range(4)), workers=2)
+        pids = {row["pid"] for row in rows}
+        # Cells ran in worker processes, not the parent (how many of the
+        # pool's workers got a cell depends on scheduling).
+        assert os.getpid() not in pids
+        for row in rows:
+            assert row["workers_env"] == "1"
+            assert row["resolved"] == 1  # no nested pools
+
+    def test_parent_runtime_overrides_reach_workers(self):
+        with runtime_overrides(dispatch_threshold=0.42):
+            values = run_tasks(_runtime_threshold, [0, 1, 2], workers=2)
+        assert values == [0.42, 0.42, 0.42]
+
+    def test_cell_exception_propagates(self):
+        with pytest.raises(ValueError, match="cell exploded"):
+            run_tasks(_boom, [0, 1, 2, 3], workers=2)
+        with pytest.raises(ValueError, match="cell exploded"):
+            run_tasks(_boom, [0, 1, 2, 3], workers=1)
+
+    def test_initializer_runs_for_serial_fallback(self):
+        _INIT_STATE.clear()
+        values = run_tasks(
+            _read_state, [0, 1], workers=1,
+            initializer=_remember, initargs=("seeded",),
+        )
+        assert values == ["seeded", "seeded"]
+
+    def test_initializer_runs_in_workers(self):
+        _INIT_STATE.clear()
+        values = run_tasks(
+            _read_state, [0, 1, 2], workers=2,
+            initializer=_remember, initargs=("pooled",),
+        )
+        assert values == ["pooled", "pooled", "pooled"]
+        assert _INIT_STATE == {}  # parent state untouched
+
+    def test_empty_payloads(self):
+        assert run_tasks(_square, [], workers=4) == []
+
+
+class TestShardSlices:
+    def test_even_split(self):
+        assert shard_slices(8, shards=4) == [
+            slice(0, 2), slice(2, 4), slice(4, 6), slice(6, 8)
+        ]
+
+    def test_ragged_split_front_loads_remainder(self):
+        assert shard_slices(10, shards=4) == [
+            slice(0, 3), slice(3, 6), slice(6, 8), slice(8, 10)
+        ]
+
+    def test_more_shards_than_samples(self):
+        assert shard_slices(2, shards=8) == [slice(0, 1), slice(1, 2)]
+
+    def test_shard_size_chunking(self):
+        assert shard_slices(10, shard_size=4) == [
+            slice(0, 4), slice(4, 8), slice(8, 10)
+        ]
+
+    def test_default_geometry_is_worker_independent(self):
+        assert shard_slices(300) == [slice(0, 128), slice(128, 256), slice(256, 300)]
+
+    def test_slices_cover_range_exactly(self):
+        for total in (1, 5, 17, 130):
+            for shards in (1, 2, 3, 7):
+                slices = shard_slices(total, shards=shards)
+                indices = [i for s in slices for i in range(s.start, s.stop)]
+                assert indices == list(range(total))
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(shards=0),
+            dict(shard_size=0),
+            dict(shards=2, shard_size=2),
+        ],
+    )
+    def test_invalid_geometry_rejected(self, kwargs):
+        with pytest.raises(ParallelError):
+            shard_slices(10, **kwargs)
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ParallelError):
+            shard_slices(0)

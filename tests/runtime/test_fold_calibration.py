@@ -1,0 +1,137 @@
+"""Fold-calibration coverage for deep-VGG9 conv shapes (K >= 500).
+
+Regression guard for ROADMAP's blocked-scatter follow-on: large-K GEMMs
+use a multi-lane BLAS fold in this environment, so the scatter kernel's
+sequential fold cannot match bit-for-bit -- those shapes must fail
+calibration, be flagged in the plan report, and stay on the dense path
+even when the event path is forced. If a future blocked scatter kernel
+lands and these shapes start calibrating exact, this file is the place
+that tells you the dense fallback is no longer taken.
+"""
+
+import numpy as np
+import pytest
+
+from repro.runtime import plan_report, runtime_overrides
+from repro.runtime.kernels import (
+    calibrate_event_exact,
+    dense_conv,
+    event_conv,
+    resolve_event_backend,
+)
+from repro.runtime.plan import LayerPlan, conv_geometry
+
+#: Deep-VGG9 (CIFAR scale) conv input shapes with K = Cin * 3 * 3 >= 500.
+DEEP_VGG9_SHAPES = [
+    # (cin, height, width, cout) -- conv2_2, conv3_1, conv3_2/3_3
+    (64, 16, 16, 128),
+    (128, 8, 8, 256),
+    (256, 8, 8, 256),
+]
+
+
+def make_conv_plan(cin, height, width, cout, seed=0):
+    geometry = conv_geometry(cin, height, width, 3, 1)
+    rng = np.random.default_rng(seed)
+    wmat = rng.standard_normal((cout, geometry.k)).astype(np.float32)
+    return LayerPlan(
+        name=f"conv{cin}x{height}",
+        kind="conv",
+        wmat=wmat,
+        wT=np.ascontiguousarray(wmat.T),
+        bias=rng.standard_normal(cout).astype(np.float32),
+        input_shape=(cin, height, width),
+        output_shape=(cout, height, width),
+        geometry=geometry,
+    )
+
+
+class TestDeepShapesFallBackDense:
+    @pytest.mark.parametrize("cin,height,width,cout", DEEP_VGG9_SHAPES)
+    def test_large_k_fails_calibration(self, cin, height, width, cout):
+        layer = make_conv_plan(cin, height, width, cout)
+        assert layer.geometry.k >= 500
+        backend = resolve_event_backend("auto")
+        assert calibrate_event_exact(layer, backend) is False
+
+    def test_small_k_still_calibrates_exact(self):
+        # Control: the guard must not be vacuously green because the
+        # whole event path broke.
+        layer = make_conv_plan(16, 16, 16, 32)
+        assert layer.geometry.k < 500
+        backend = resolve_event_backend("auto")
+        assert calibrate_event_exact(layer, backend) is True
+
+
+class TestPlanReportFlagsFallback:
+    def test_dense_fallback_flagged(self):
+        from repro.runtime.plan import NetworkPlan
+
+        small = make_conv_plan(16, 16, 16, 32, seed=1)
+        deep = make_conv_plan(64, 16, 16, 128, seed=2)
+        plan = NetworkPlan(
+            layers=[small, deep],
+            beta=0.5,
+            threshold=1.0,
+            num_classes=10,
+            population_group=1,
+            spike_rule="threshold",
+            source="deployable",
+        )
+        rows = {row["name"]: row for row in plan_report(plan)}
+        assert rows[small.name]["event_exact"] is True
+        assert rows[small.name]["path"] == "event-eligible"
+        assert rows[deep.name]["event_exact"] is False
+        assert "dense-fallback" in rows[deep.name]["path"]
+        assert rows[deep.name]["k"] == 64 * 9
+
+
+class TestDispatcherHonoursFallback:
+    def test_forced_event_path_stays_dense_and_exact(self):
+        """Even under force_path='event' an uncalibrated shape must run
+        dense -- and therefore stay bit-identical to the dense kernel."""
+        from repro.runtime import InferenceEngine
+        from repro.runtime.plan import NetworkPlan
+
+        deep = make_conv_plan(64, 8, 8, 64, seed=3)
+        assert deep.geometry.k >= 500
+        rng_fc = np.random.default_rng(8)
+        fc_w = rng_fc.standard_normal((8, 64 * 8 * 8)).astype(np.float32)
+        head = LayerPlan(
+            name="fc",
+            kind="fc",
+            wmat=fc_w,
+            wT=np.ascontiguousarray(fc_w.T),
+            bias=np.zeros(8, dtype=np.float32),
+            input_shape=(64, 8, 8),
+            output_shape=(8,),
+        )
+        plan = NetworkPlan(
+            layers=[deep, head],
+            beta=0.5,
+            threshold=1.0,
+            num_classes=8,
+            population_group=1,
+            spike_rule="threshold",
+            source="deployable",
+        )
+        rng = np.random.default_rng(7)
+        spikes = (rng.random((2, 3, 64, 8, 8)) < 0.05).astype(np.float32)
+        with runtime_overrides(force_path="event"):
+            result = InferenceEngine(plan).run(spikes)
+        counters = result.counters[deep.name]
+        assert counters.event_steps == 0
+        assert counters.dense_steps == 2
+
+    def test_event_kernel_differs_only_in_last_ulp(self):
+        """Document *why* the fallback exists: the scatter result is
+        numerically close (same math) but not bit-identical (different
+        fold), which is exactly what calibration detects."""
+        layer = make_conv_plan(64, 8, 8, 64, seed=4)
+        backend = resolve_event_backend("auto")
+        rng = np.random.default_rng(11)
+        probe = (rng.random((2, 64, 8, 8)) < 0.1).astype(np.float32)
+        want = dense_conv(layer, probe)
+        got, _ = event_conv(layer, probe, backend)
+        assert not np.array_equal(got, want)
+        np.testing.assert_allclose(got, want, rtol=1e-5, atol=1e-5)
