@@ -10,9 +10,11 @@ Times three implementations of the layer-current computation
 
 across a sweep of input spike densities, plus the end-to-end
 ``DeployableNetwork.forward`` legacy-vs-runtime comparison on a
-small-scale VGG9 at paper-typical spike densities. Results are written
+small-scale VGG9 at paper-typical spike densities, the sharded
+serial-vs-pooled throughput, warm-vs-cold persistent-pool latency and
+the disk-backed evaluation cache's cold/warm split. Results are written
 to ``BENCH_runtime.json`` at the repo root so the perf trajectory is
-tracked across PRs.
+tracked across PRs (field reference: ``docs/BENCHMARKS.md``).
 
 Run:
 
@@ -245,6 +247,99 @@ def bench_parallel(deployable, images, params) -> Dict:
     }
 
 
+def _pool_probe_cell(x: int) -> int:
+    """Trivial module-level cell for the pool-startup micro-bench."""
+    return x * x
+
+
+def bench_persistent_pool(params) -> Dict:
+    """Warm-pool amortization: first pooled call vs steady-state calls.
+
+    The first ``run_tasks`` call after a service shutdown pays the pool
+    startup (the cost PR 2 paid on *every* call); subsequent calls reuse
+    the warm workers and ship only the per-call generation blob. Both
+    are timed on a trivial cell so the delta is pure orchestration
+    overhead, and the service's lifetime counters record how many runs
+    were served warm.
+    """
+    from repro.parallel import (
+        persistent_pool_enabled,
+        run_tasks,
+        service_stats,
+        shutdown_worker_service,
+    )
+
+    payloads = list(range(8))
+    want = [x * x for x in payloads]
+
+    def call():
+        return run_tasks(_pool_probe_cell, payloads, workers=2)
+
+    shutdown_worker_service()
+    before = service_stats()
+    start = time.perf_counter()
+    if call() != want:
+        raise SystemExit("pooled probe cells diverged from the serial map")
+    cold_ms = (time.perf_counter() - start) * 1e3
+    warm_ms = timeit(call, params["repeats"])
+    after = service_stats()
+    return {
+        "enabled": persistent_pool_enabled(),
+        "workers": 2,
+        "payloads": len(payloads),
+        "cold_call_ms": cold_ms,
+        "warm_call_ms": warm_ms,
+        "startup_amortization": cold_ms / warm_ms if warm_ms else float("inf"),
+        "pool_starts": after["pool_starts"] - before["pool_starts"],
+        "warm_runs": after["warm_runs"] - before["warm_runs"],
+        "bit_exact": True,
+    }
+
+
+def bench_eval_cache() -> Dict:
+    """Disk-backed evaluation cache: cold compute vs warm hit.
+
+    Trains (once) and evaluates a tiny model in a throwaway workspace,
+    then re-evaluates through a fresh context -- the warm path must be
+    served entirely from the ``.eval.json`` entry, bit-identically. Hit
+    and store counts come from the per-process cache statistics.
+    """
+    import tempfile
+
+    from repro.experiments.context import ExperimentContext
+    from repro.experiments.evalcache import eval_cache_stats
+
+    with tempfile.TemporaryDirectory() as workspace:
+        before = eval_cache_stats().as_dict()
+        ctx = ExperimentContext(
+            scale="tiny", workspace=workspace, seed=0, eval_cache=True
+        )
+        ctx.trained("svhn", "fp32")  # exclude training from the timings
+        start = time.perf_counter()
+        cold = ctx.evaluate("svhn", "fp32", max_samples=32)
+        cold_ms = (time.perf_counter() - start) * 1e3
+        fresh = ExperimentContext(
+            scale="tiny", workspace=workspace, seed=0, eval_cache=True
+        )
+        start = time.perf_counter()
+        warm = fresh.evaluate("svhn", "fp32", max_samples=32)
+        warm_ms = (time.perf_counter() - start) * 1e3
+        after = eval_cache_stats().as_dict()
+    if warm != cold:
+        raise SystemExit("eval cache hit diverged from the computed result")
+    return {
+        "scale": "tiny",
+        "samples": cold.samples,
+        "cold_ms": cold_ms,
+        "warm_ms": warm_ms,
+        "speedup": cold_ms / warm_ms if warm_ms else float("inf"),
+        "hits": after["hits"] - before["hits"],
+        "misses": after["misses"] - before["misses"],
+        "stores": after["stores"] - before["stores"],
+        "bit_exact": True,
+    }
+
+
 def smoke_check(record: Dict) -> List[str]:
     failures = []
     for row in record["layer_micro"]:
@@ -289,6 +384,8 @@ def main(argv=None) -> int:
             "layer_micro": bench_layer_micro(deployable, params),
             "end_to_end": bench_end_to_end(deployable, images, params),
             "parallel": bench_parallel(deployable, images, params),
+            "persistent_pool": bench_persistent_pool(params),
+            "eval_cache": bench_eval_cache(),
         }
 
     path = result_path(args.scale)
@@ -309,6 +406,19 @@ def main(argv=None) -> int:
         f"{par['pooled_ms']:.2f} ms ({par['pooled_images_per_s']:.1f} img/s, "
         f"{par['pooled_speedup']:.2f}x, {par['workers_available']} core(s) "
         "available)"
+    )
+    pool = record["persistent_pool"]
+    print(
+        f"persistent pool: cold call {pool['cold_call_ms']:.2f} ms, warm "
+        f"call {pool['warm_call_ms']:.2f} ms ({pool['startup_amortization']:.1f}x "
+        f"amortized, {pool['warm_runs']} warm run(s), "
+        f"{pool['pool_starts']} pool start(s))"
+    )
+    cache = record["eval_cache"]
+    print(
+        f"eval cache: cold {cache['cold_ms']:.2f} ms, warm "
+        f"{cache['warm_ms']:.2f} ms ({cache['speedup']:.1f}x, "
+        f"{cache['hits']} hit(s), {cache['stores']} store(s))"
     )
     for row in record["layer_micro"]:
         print(

@@ -1,0 +1,108 @@
+"""Docs drift gate: configuration surface vs docs/CONFIGURATION.md.
+
+Greps ``src/``, ``scripts/`` and ``benchmarks/`` for ``REPRO_*``
+environment variables and walks the ``snn-hybrid`` argument parser
+(including every subcommand) for long option strings, then fails with
+exit code 1 if any of them is missing from ``docs/CONFIGURATION.md`` --
+so a new knob cannot land without its documentation. Wired into
+``scripts/perf_smoke.sh``; run standalone with:
+
+    PYTHONPATH=src python scripts/check_docs.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+from typing import Iterator, Set
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if not any(os.path.isdir(os.path.join(p, "repro")) for p in sys.path if p):
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+CONFIG_DOC = os.path.join(REPO_ROOT, "docs", "CONFIGURATION.md")
+
+#: Where configuration surface can be introduced. Tests are deliberately
+#: excluded: they may reference hypothetical or negative-case values.
+SCAN_DIRS = ("src", "scripts", "benchmarks")
+
+ENV_PATTERN = re.compile(r"REPRO_[A-Z0-9_]+")
+
+
+def repo_env_vars() -> Set[str]:
+    """Every REPRO_* token mentioned anywhere in the scanned trees."""
+    found: Set[str] = set()
+    for scan_dir in SCAN_DIRS:
+        root = os.path.join(REPO_ROOT, scan_dir)
+        for dirpath, dirnames, filenames in os.walk(root):
+            dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+            for name in filenames:
+                if not name.endswith((".py", ".sh")):
+                    continue
+                path = os.path.join(dirpath, name)
+                with open(path, "r", encoding="utf-8") as handle:
+                    found.update(ENV_PATTERN.findall(handle.read()))
+    return found
+
+
+def _walk_options(parser: argparse.ArgumentParser) -> Iterator[str]:
+    for action in parser._actions:
+        for option in action.option_strings:
+            if option.startswith("--") and option != "--help":
+                yield option
+        if isinstance(action, argparse._SubParsersAction):
+            for sub in action.choices.values():
+                yield from _walk_options(sub)
+
+
+def cli_flags() -> Set[str]:
+    """Every long option of the CLI, across all subcommands."""
+    from repro.cli import build_parser
+
+    return set(_walk_options(build_parser()))
+
+
+def _is_documented(token: str, documented: str) -> bool:
+    """Word-boundary membership, not substring membership: a token must
+    not count as documented just because a longer token extending it
+    (same name plus an extra ``_SUFFIX`` or ``-suffix``) appears in the
+    text."""
+    return (
+        re.search(
+            rf"(?<![A-Za-z0-9_-]){re.escape(token)}(?![A-Za-z0-9_-])",
+            documented,
+        )
+        is not None
+    )
+
+
+def main() -> int:
+    with open(CONFIG_DOC, "r", encoding="utf-8") as handle:
+        documented = handle.read()
+    env_vars = repo_env_vars()
+    flags = cli_flags()
+    missing = [
+        token
+        for token in sorted(env_vars | flags)
+        if not _is_documented(token, documented)
+    ]
+    for token in missing:
+        kind = "environment variable" if token.startswith("REPRO_") else "CLI flag"
+        print(
+            f"DOCS DRIFT: {kind} {token} exists in the source tree but is "
+            f"missing from docs/CONFIGURATION.md",
+            file=sys.stderr,
+        )
+    if missing:
+        return 1
+    print(
+        f"docs configuration reference is complete "
+        f"({len(env_vars)} REPRO_* variables, {len(flags)} CLI flags)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,9 +9,11 @@
 # at the repo root (plain BENCH_runtime.json is reserved for the
 # canonical small-scale record tracked across PRs).
 #
-# Also runs the parallel determinism gate: the sharded evaluation path
-# with 2 workers, twice, byte-comparing the merged reports against each
-# other and against the serial fallback (exit 1 on any difference).
+# Also runs the docs drift gate (every REPRO_* variable and CLI flag
+# must be documented in docs/CONFIGURATION.md) and the parallel
+# determinism gate: the sharded evaluation path with 2 workers, twice,
+# byte-comparing the merged reports against each other and against the
+# serial fallback (exit 1 on any difference).
 #
 # Usage: scripts/perf_smoke.sh            (tiny scale, the default)
 #        REPRO_BENCH_SCALE=small scripts/perf_smoke.sh
@@ -22,4 +24,5 @@ export REPRO_BENCH_SCALE="${REPRO_BENCH_SCALE:-tiny}"
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 python benchmarks/bench_runtime_hotpaths.py --smoke
+python scripts/check_docs.py
 exec python scripts/check_parallel_determinism.py

@@ -55,6 +55,24 @@ def build_parser() -> argparse.ArgumentParser:
                 "(default: REPRO_WORKERS env var, then cpu count; 1 = serial)"
             ),
         )
+        cache = p.add_mutually_exclusive_group()
+        cache.add_argument(
+            "--eval-cache",
+            dest="eval_cache",
+            action="store_true",
+            default=None,
+            help=(
+                "persist test-set evaluations as .eval.json entries in the "
+                "workspace and reuse them across runs/workers (default: on, "
+                "governed by REPRO_EVAL_CACHE)"
+            ),
+        )
+        cache.add_argument(
+            "--no-eval-cache",
+            dest="eval_cache",
+            action="store_false",
+            help="disable the disk-backed evaluation cache for this run",
+        )
 
     sub.add_parser("info", help="package / device / preset summary")
 
@@ -125,16 +143,23 @@ def _make_context(args):
     import os
 
     from repro.experiments.context import ExperimentContext
+    from repro.experiments.evalcache import EVAL_CACHE_ENV
 
     if getattr(args, "workers", None) is not None:
         # Process-scoped: every parallel entry point resolves through
         # REPRO_WORKERS (see repro.parallel.config).
         os.environ["REPRO_WORKERS"] = str(args.workers)
+    eval_cache = getattr(args, "eval_cache", None)
+    if eval_cache is not None:
+        # Exported so worker processes (which resolve the env default
+        # when a spec carries no explicit setting) agree with the flag.
+        os.environ[EVAL_CACHE_ENV] = "1" if eval_cache else "0"
     return ExperimentContext(
         scale=args.scale,
         workspace=args.workspace,
         seed=args.seed,
         verbose=not args.quiet,
+        eval_cache=eval_cache,
     )
 
 

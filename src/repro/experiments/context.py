@@ -2,20 +2,30 @@
 
 Training is the expensive step, so deployed models are cached on disk
 keyed by (scale, dataset, scheme, coding, seed); every harness that needs
-"the int4 CIFAR10 model" gets the same artifact. Evaluation results
-(accuracy, spike statistics) are cached in the artifact metadata.
+"the int4 CIFAR10 model" gets the same artifact. Test-set evaluation
+results are memoised in this process *and* persisted as ``.eval.json``
+sidecars next to the model artifacts (:mod:`repro.experiments.evalcache`),
+so pooled workers and later runs share evaluations instead of redoing
+them.
 """
 
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from repro.datasets import Dataset, make_dataset, train_test_split
 from repro.errors import ExperimentError, ReproError
+from repro.experiments.evalcache import (
+    EvaluationResult,
+    eval_cache_enabled,
+    eval_cache_path,
+    invalidate_evaluations,
+    save_evaluation,
+    try_load_evaluation,
+)
 from repro.experiments.presets import ScalePreset, get_preset
 from repro.parallel import sharded_forward
 from repro.quant import DeployableNetwork, convert, prepare_qat
@@ -37,16 +47,7 @@ from repro.snn.metrics import SpikeStats
 
 _DATASET_CLASSES = {"svhn": 10, "cifar10": 10, "cifar100": 100}
 
-
-@dataclass
-class EvaluationResult:
-    """Test-set evaluation of one deployed model."""
-
-    accuracy: float
-    spikes_per_image: float
-    per_layer_spikes: Dict[str, float]
-    input_events_per_image: Dict[str, float]
-    samples: int
+__all__ = ["EvaluationResult", "ExperimentContext"]
 
 
 class ExperimentContext:
@@ -58,6 +59,10 @@ class ExperimentContext:
         seed: master seed; every derived model/dataset is deterministic
             in (scale, seed).
         verbose: print progress (training epochs etc.).
+        eval_cache: persist test-set evaluations as ``.eval.json``
+            sidecars in the workspace and reuse them across processes;
+            ``None`` resolves the ``REPRO_EVAL_CACHE`` environment
+            default (on).
     """
 
     def __init__(
@@ -66,11 +71,15 @@ class ExperimentContext:
         workspace: str = "artifacts",
         seed: int = 0,
         verbose: bool = False,
+        eval_cache: Optional[bool] = None,
     ) -> None:
         self.preset: ScalePreset = get_preset(scale)
         self.workspace = workspace
         self.seed = seed
         self.verbose = verbose
+        self.eval_cache = (
+            eval_cache_enabled() if eval_cache is None else bool(eval_cache)
+        )
         self._datasets: Dict[str, Tuple[Dataset, Dataset]] = {}
         self._models: Dict[str, DeployableNetwork] = {}
         self._evaluations: Dict[str, EvaluationResult] = {}
@@ -211,7 +220,14 @@ class ExperimentContext:
         max_samples: Optional[int] = None,
         timesteps: Optional[int] = None,
     ) -> EvaluationResult:
-        """Test-set accuracy + spike statistics of a cached model."""
+        """Test-set accuracy + spike statistics of a cached model.
+
+        Results are memoised in-process and -- unless the evaluation
+        cache is disabled -- persisted as a ``.eval.json`` sidecar next
+        to the model artifact, guarded by the model's weights digest so
+        a retrain invalidates the entry. A warm entry is returned
+        bit-identically without touching the test set.
+        """
         cache_key = (
             f"{self.model_key(dataset, scheme, coding)}"
             f"_n{max_samples}_t{timesteps}"
@@ -219,6 +235,16 @@ class ExperimentContext:
         if cache_key in self._evaluations:
             return self._evaluations[cache_key]
         model = self.trained(dataset, scheme, coding)
+        if self.eval_cache:
+            cached = try_load_evaluation(
+                self.eval_cache_file(cache_key),
+                model_digest=model.weights_digest(),
+            )
+            if cached is not None:
+                if self.verbose:
+                    print(f"[ctx] eval cache hit: {cache_key}")
+                self._evaluations[cache_key] = cached
+                return cached
         _train, test = self.dataset(dataset)
         images, labels = test.images, test.labels
         if max_samples is not None:
@@ -274,8 +300,26 @@ class ExperimentContext:
             },
             samples=samples,
         )
+        if self.eval_cache:
+            save_evaluation(
+                self.eval_cache_file(cache_key),
+                result,
+                model_digest=model.weights_digest(),
+            )
         self._evaluations[cache_key] = result
         return result
+
+    def eval_cache_file(self, cache_key: str) -> str:
+        """Disk path of one evaluation-cache entry in this workspace."""
+        return eval_cache_path(
+            os.path.join(self.workspace, "models"), cache_key
+        )
+
+    def invalidate_eval_cache(self) -> int:
+        """Drop every persisted evaluation in this workspace (and the
+        in-process memo); returns the number of disk entries removed."""
+        self._evaluations.clear()
+        return invalidate_evaluations(os.path.join(self.workspace, "models"))
 
     def sim_images(self, dataset: str) -> Tuple[np.ndarray, np.ndarray]:
         """A fixed batch for hardware simulation runs."""

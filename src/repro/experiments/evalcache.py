@@ -1,0 +1,242 @@
+"""Disk-backed evaluation cache: ``EvaluationResult`` sidecars.
+
+The in-memory ``ExperimentContext._evaluations`` memo dies with its
+process, so pooled ``run_all`` workers used to re-run test-set
+evaluations that fig1's cells had already computed in a sibling worker.
+This module persists each :class:`EvaluationResult` as a small JSON
+sidecar next to the model artifacts -- ``<workspace>/models/
+<cache_key>.eval.json``, sibling to the ``.npz`` weights and the
+``.plan.npz`` plan sidecars from :mod:`repro.runtime.plan_io` -- keyed
+by the exact in-memory cache key ``ExperimentContext.evaluate`` already
+uses, so any process that shares the workspace shares the work.
+
+Staleness and corruption guards mirror the plan sidecar's:
+
+* every entry records the ``weights_digest`` of the model it was
+  evaluated against; a retrain changes the digest and the entry is
+  ignored (then overwritten by the recompute);
+* a missing, truncated, corrupt, foreign-format or stale entry makes
+  :func:`try_load_evaluation` return ``None`` -- the caller recomputes,
+  which is always correct, just slower;
+* writes are atomic (temp file + ``os.replace``), so a crash can never
+  leave a half-written entry that a later run would trust.
+
+Bit-identity: entries round-trip through :func:`json.dumps` /
+:func:`json.loads`, whose float encoding is the shortest repr that
+parses back to the identical IEEE-754 double -- a cache hit returns
+exactly the values the original evaluation produced (values are
+normalised to builtin ``float``/``int`` on save; NumPy scalars compare
+exactly equal to them).
+
+``REPRO_EVAL_CACHE=0`` (or ``--no-eval-cache`` on the CLI) disables the
+cache; :func:`invalidate_evaluations` is the explicit invalidation path.
+Per-process hit/miss/store counters are kept in
+:func:`eval_cache_stats` for logging and the runtime bench's
+``eval_cache`` section.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import ExperimentError
+
+EVAL_CACHE_ENV = "REPRO_EVAL_CACHE"
+
+EVAL_CACHE_SUFFIX = ".eval.json"
+
+_FORMAT = "evaluation-result-v1"
+
+
+@dataclass
+class EvaluationResult:
+    """Test-set evaluation of one deployed model."""
+
+    accuracy: float
+    spikes_per_image: float
+    per_layer_spikes: Dict[str, float]
+    input_events_per_image: Dict[str, float]
+    samples: int
+
+
+def eval_cache_enabled() -> bool:
+    """Whether evaluations are persisted/looked up on disk by default.
+
+    On unless ``REPRO_EVAL_CACHE=0``; ``ExperimentContext`` resolves its
+    ``eval_cache=None`` constructor default through this, so worker
+    processes (which inherit the environment) agree with their parent.
+    """
+    return os.environ.get(EVAL_CACHE_ENV, "1") != "0"
+
+
+@dataclass
+class CacheStats:
+    """Per-process evaluation-cache counters."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    invalidations: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "invalidations": self.invalidations,
+        }
+
+
+_STATS = CacheStats()
+
+
+def eval_cache_stats() -> CacheStats:
+    """This process's cache counters (workers each count their own)."""
+    return _STATS
+
+
+def reset_eval_cache_stats() -> None:
+    global _STATS
+    _STATS = CacheStats()
+
+
+def eval_cache_path(models_dir: str, cache_key: str) -> str:
+    """``<models_dir>/<cache_key>.eval.json`` next to the model ``.npz``."""
+    return os.path.join(models_dir, cache_key + EVAL_CACHE_SUFFIX)
+
+
+def save_evaluation(
+    path: str, result: EvaluationResult, model_digest: Optional[str] = None
+) -> None:
+    """Atomically persist ``result`` (and its staleness guard) to ``path``.
+
+    ``model_digest`` ties the entry to the exact stored parameters of the
+    evaluated model (:meth:`DeployableNetwork.weights_digest`); loaders
+    passing the same digest will reject an entry left behind by a
+    retrain.
+    """
+    payload = {
+        "format": _FORMAT,
+        "model_digest": model_digest,
+        "result": {
+            "accuracy": float(result.accuracy),
+            "spikes_per_image": float(result.spikes_per_image),
+            "per_layer_spikes": {
+                str(name): float(value)
+                for name, value in result.per_layer_spikes.items()
+            },
+            "input_events_per_image": {
+                str(name): float(value)
+                for name, value in result.input_events_per_image.items()
+            },
+            "samples": int(result.samples),
+        },
+    }
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".eval.tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp_path, path)
+    except BaseException:
+        if os.path.exists(tmp_path):
+            os.remove(tmp_path)
+        raise
+    _STATS.stores += 1
+
+
+def load_evaluation(
+    path: str, model_digest: Optional[str] = None
+) -> EvaluationResult:
+    """Load an entry written by :func:`save_evaluation`, strictly.
+
+    Raises :class:`ExperimentError` on a foreign format or a digest
+    mismatch (the model was retrained under the entry); malformed JSON
+    or missing keys raise their native exceptions. Most callers want
+    :func:`try_load_evaluation` instead.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if payload.get("format") != _FORMAT:
+        raise ExperimentError(
+            f"{path!r} is not a serialized evaluation result"
+        )
+    stored_digest = payload.get("model_digest")
+    if (
+        model_digest is not None
+        and stored_digest is not None
+        and stored_digest != model_digest
+    ):
+        raise ExperimentError(
+            f"evaluation cache entry {path!r} belongs to a different model "
+            "(digest mismatch; retrain left a stale entry)"
+        )
+    result = payload["result"]
+    return EvaluationResult(
+        accuracy=float(result["accuracy"]),
+        spikes_per_image=float(result["spikes_per_image"]),
+        per_layer_spikes={
+            str(name): float(value)
+            for name, value in result["per_layer_spikes"].items()
+        },
+        input_events_per_image={
+            str(name): float(value)
+            for name, value in result["input_events_per_image"].items()
+        },
+        samples=int(result["samples"]),
+    )
+
+
+def try_load_evaluation(
+    path: str, model_digest: Optional[str] = None
+) -> Optional[EvaluationResult]:
+    """:func:`load_evaluation`, returning ``None`` instead of raising.
+
+    The one loader cache consumers should use: a missing, stale (digest
+    mismatch), foreign-format, truncated or otherwise corrupt entry
+    yields ``None`` -- recompute and overwrite. Counts a hit or a miss
+    in :func:`eval_cache_stats` either way.
+    """
+    result = None
+    if os.path.exists(path):
+        try:
+            result = load_evaluation(path, model_digest=model_digest)
+        except (ExperimentError, KeyError, TypeError, ValueError, OSError):
+            result = None
+    if result is None:
+        _STATS.misses += 1
+    else:
+        _STATS.hits += 1
+    return result
+
+
+def invalidate_evaluation(path: str) -> bool:
+    """Drop one cache entry; ``True`` if something was removed."""
+    if not os.path.exists(path):
+        return False
+    os.remove(path)
+    _STATS.invalidations += 1
+    return True
+
+
+def invalidate_evaluations(models_dir: str) -> int:
+    """Drop every ``*.eval.json`` entry under ``models_dir``.
+
+    The explicit invalidation path -- e.g. after editing evaluation code
+    in ways the (model digest, cache key) guards cannot see. Returns the
+    number of entries removed; a missing directory removes zero.
+    """
+    if not os.path.isdir(models_dir):
+        return 0
+    removed = 0
+    for name in sorted(os.listdir(models_dir)):
+        if name.endswith(EVAL_CACHE_SUFFIX):
+            if invalidate_evaluation(os.path.join(models_dir, name)):
+                removed += 1
+    return removed

@@ -50,6 +50,7 @@ def _evaluate_cell(spec: Dict) -> Dict[str, float]:
         workspace=spec["workspace"],
         seed=spec["seed"],
         verbose=spec["verbose"],
+        eval_cache=spec.get("eval_cache"),
     )
     return _evaluation_row(ctx.evaluate(spec["dataset"], spec["scheme"]))
 
@@ -71,6 +72,7 @@ def _evaluate_cells(
                 "workspace": ctx.workspace,
                 "seed": ctx.seed,
                 "verbose": ctx.verbose,
+                "eval_cache": ctx.eval_cache,
                 "dataset": dataset,
                 "scheme": scheme,
             }

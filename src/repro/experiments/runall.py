@@ -32,6 +32,7 @@ def _experiment_cell(spec: Dict) -> ExperimentResult:
         workspace=spec["workspace"],
         seed=spec["seed"],
         verbose=spec["verbose"],
+        eval_cache=spec.get("eval_cache"),
     )
     return RUNNERS[spec["which"]](ctx)
 
@@ -42,10 +43,12 @@ def run_all(
     """All experiments, in paper order (fig1 first trains every model).
 
     With more than one resolved worker, fig1 runs first (its cells are
-    themselves pooled, and it populates the shared model cache), then
-    the remaining four independent harnesses are farmed out; results
-    always come back in paper order. ``REPRO_WORKERS=1`` reproduces the
-    sequential shared-context path exactly.
+    themselves pooled, and it populates the shared model *and*
+    evaluation caches -- every ``.eval.json`` its cells write is a
+    test-set evaluation the farmed harnesses load instead of redoing),
+    then the remaining four independent harnesses are farmed out;
+    results always come back in paper order. ``REPRO_WORKERS=1``
+    reproduces the sequential shared-context path exactly.
     """
     rest = [name for name in RUNNERS if name != "fig1"]
     if effective_workers(workers, payload_count=len(rest)) <= 1:
@@ -69,6 +72,7 @@ def run_all(
             "workspace": ctx.workspace,
             "seed": ctx.seed,
             "verbose": ctx.verbose,
+            "eval_cache": ctx.eval_cache,
         }
         for name in rest
     ]

@@ -21,18 +21,29 @@ result:
   sharder: contiguous deterministic shard geometry, per-shard forward
   passes, and an order-fixed merge of logits, ``SpikeStats``,
   ``LayerCounters``, input totals and recorded trains.
+* :mod:`repro.parallel.service` -- :class:`WorkerService`, the
+  persistent pool behind ``run_tasks``: lazily started, reused across
+  calls, per-call state shipped as versioned *generations*, shut down
+  via context manager / ``shutdown_worker_service`` / ``atexit``.
 
 Worker lifecycle
 ----------------
 
-``run_tasks`` starts a pool per call (workers bootstrapped once:
-environment pinned, runtime config copied from the parent, caller
-initializer run), hands cells out one at a time, and tears the pool down
-when the map completes. Long-lived state that should out-live one call
-belongs on disk -- which is exactly what the ``.plan.npz`` sidecar
-(:mod:`repro.runtime.plan_io`) provides: cold-started workers load the
-deployable ``.npz`` plus its serialized plan and skip both lowering and
-calibration probes.
+Pooled ``run_tasks`` calls are served by the process-wide persistent
+:class:`~repro.parallel.service.WorkerService` (disable with
+``REPRO_PERSISTENT_POOL=0`` to get a pool per call): the pool starts
+lazily on the first pooled call and is reused afterwards, amortizing
+the ~20 ms pool startup that used to be paid per call. Workers are
+bootstrapped once (environment pinned to ``REPRO_WORKERS=1``); per-call
+state -- the parent's runtime config plus the caller's initializer --
+travels with the tasks as a *generation* and is applied once per worker
+per call. Long-lived state that should out-live one call still belongs
+on disk -- which is exactly what the ``.plan.npz`` sidecar
+(:mod:`repro.runtime.plan_io`) and the ``.eval.json`` evaluation cache
+(:mod:`repro.experiments.evalcache`) provide: cold-started workers load
+the deployable ``.npz`` plus its serialized plan and skip lowering,
+calibration probes and -- with a warm evaluation cache -- whole
+test-set evaluations.
 
 Merge semantics and determinism
 -------------------------------
@@ -52,6 +63,15 @@ from repro.parallel.config import (
     workers_override,
 )
 from repro.parallel.pool import effective_workers, run_tasks
+from repro.parallel.service import (
+    PERSISTENT_POOL_ENV,
+    START_METHOD_ENV,
+    WorkerService,
+    persistent_pool_enabled,
+    service_stats,
+    shared_service,
+    shutdown_worker_service,
+)
 from repro.parallel.shard import (
     DEFAULT_SHARD_SIZE,
     load_deployable_with_plan,
@@ -62,13 +82,20 @@ from repro.parallel.shard import (
 
 __all__ = [
     "DEFAULT_SHARD_SIZE",
+    "PERSISTENT_POOL_ENV",
+    "START_METHOD_ENV",
     "WORKERS_ENV",
+    "WorkerService",
     "effective_workers",
     "load_deployable_with_plan",
     "merge_outputs",
+    "persistent_pool_enabled",
     "resolve_workers",
     "run_tasks",
+    "service_stats",
     "shard_slices",
     "sharded_forward",
+    "shared_service",
+    "shutdown_worker_service",
     "workers_override",
 ]

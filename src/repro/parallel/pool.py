@@ -10,9 +10,14 @@ that every equivalence test compares against.
 Worker lifecycle
 ----------------
 
-Workers are started once per :func:`run_tasks` call and reused for every
-payload they are handed (``chunksize=1`` keeps assignment balanced).
-Each worker is bootstrapped with:
+By default pooled calls are served by the process-wide persistent
+:class:`~repro.parallel.service.WorkerService`: the pool starts once,
+lazily, and is reused across calls, with per-call state shipped as a
+versioned *generation* (see :mod:`repro.parallel.service`). With
+``REPRO_PERSISTENT_POOL=0`` the pre-service behaviour returns: workers
+are started once per :func:`run_tasks` call and reused for every payload
+they are handed (``chunksize=1`` keeps assignment balanced). Either way
+each worker observes the same bootstrap state:
 
 * ``REPRO_WORKERS=1`` in its environment, so cells that themselves call
   parallel entry points degrade to the serial fallback instead of
@@ -102,6 +107,16 @@ def run_tasks(
         if initializer is not None:
             initializer(*initargs)
         return [fn(payload) for payload in payloads]
+    from repro.parallel.service import persistent_pool_enabled, shared_service
+
+    if persistent_pool_enabled():
+        return shared_service().run(
+            fn,
+            payloads,
+            workers=count,
+            initializer=initializer,
+            initargs=initargs,
+        )
     context = mp.get_context(pool_start_method())
     bootstrap_args = (asdict(runtime_config()), initializer, initargs)
     with context.Pool(

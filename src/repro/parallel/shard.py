@@ -183,8 +183,13 @@ def load_deployable_with_plan(path: str):
     return model
 
 
-def _materialize_model(payload: Tuple[str, object]):
-    kind, value = payload
+def _materialize_model(payload: Tuple[str, object, Optional[str]]):
+    # The digest member exists for the parent side: it makes the pickled
+    # payload -- and therefore the persistent service's generation
+    # identity -- track the *contents* behind a path, so replacing the
+    # artifact at an unchanged path can never let warm workers keep
+    # serving the old weights (see WorkerService's generation reuse).
+    kind, value, _digest = payload
     if kind == "object":
         return value
     return load_deployable_with_plan(value)
@@ -268,14 +273,25 @@ def sharded_forward(
             )
         return merge_outputs(parts)
     from repro.parallel.pool import pool_start_method
+    from repro.parallel.service import persistent_pool_enabled
 
-    # Under fork the live object (attached plan, warm caches included)
-    # reaches workers through the inherited address space for free; the
-    # disk artifact + sidecar only pays off when workers must be spawned
-    # from scratch and would otherwise pickle the whole model.
-    use_path = model_path is not None and pool_start_method() != "fork"
-    payload = ("path", model_path) if use_path else ("object", model)
-    if pool_start_method() == "fork":
+    # Fork-time memory inheritance only exists when the pool is created
+    # for this call: the persistent service's workers were forked at
+    # service start and see none of the parent's later allocations, so
+    # under the service every per-call byte must travel with the tasks.
+    inherit = pool_start_method() == "fork" and not persistent_pool_enabled()
+    # Under fork-per-call the live object (attached plan, warm caches
+    # included) reaches workers through the inherited address space for
+    # free; the disk artifact + sidecar pays off whenever workers must
+    # materialise state explicitly (spawn, or the persistent service)
+    # and would otherwise be shipped the whole pickled model.
+    use_path = model_path is not None and not inherit
+    payload = (
+        ("path", model_path, model.weights_digest())
+        if use_path
+        else ("object", model, None)
+    )
+    if inherit:
         # Workers inherit the parent's memory: the full array in the
         # initializer costs nothing, tasks carry only bounds.
         init_images: Optional[np.ndarray] = images
@@ -283,8 +299,9 @@ def sharded_forward(
             ((piece.start, piece.stop), timesteps, record) for piece in slices
         ]
     else:
-        # spawn pickles everything: ship each sample exactly once by
-        # putting the shard's own slice in its task payload.
+        # Everything is pickled (spawn start, or the persistent
+        # service's generation shipping): send each sample exactly once
+        # by putting the shard's own slice in its task payload.
         init_images = None
         tasks = [
             (np.ascontiguousarray(images[piece]), timesteps, record)

@@ -57,8 +57,11 @@ def sweep_budgets(
     Each budget is an independent binary-search allocation; pass
     ``workers > 1`` to farm the points over the process pool. Unlike the
     evaluation entry points this one does *not* default to
-    ``REPRO_WORKERS``: a single allocation costs microseconds, so pool
-    startup only pays off for explicitly requested large sweeps.
+    ``REPRO_WORKERS``: a single allocation costs microseconds, so
+    pooling only pays off for explicitly requested large sweeps -- and
+    when it is requested, the points ride the persistent
+    :class:`~repro.parallel.service.WorkerService`, so consecutive
+    sweeps reuse warm workers instead of re-paying pool startup.
     Ordering (ascending budget) and every result are identical to the
     serial path.
     """

@@ -1,0 +1,244 @@
+"""Disk-backed evaluation cache: round trips, staleness, fallbacks.
+
+Mirrors ``tests/runtime/test_plan_io.py``'s sidecar guarantees for the
+``.eval.json`` entries: corrupt, truncated, foreign-format or
+stale-digest entries must silently fall back to recompute, and a warm
+entry must be bit-identical to the evaluation that produced it.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.context import ExperimentContext
+from repro.experiments.evalcache import (
+    EVAL_CACHE_ENV,
+    EVAL_CACHE_SUFFIX,
+    EvaluationResult,
+    eval_cache_enabled,
+    eval_cache_path,
+    eval_cache_stats,
+    invalidate_evaluation,
+    invalidate_evaluations,
+    load_evaluation,
+    save_evaluation,
+    try_load_evaluation,
+)
+
+
+@pytest.fixture
+def result():
+    return EvaluationResult(
+        accuracy=0.8125,
+        spikes_per_image=1234.5678901234567,
+        per_layer_spikes={"conv1_1": 700.25, "fc1": 0.1 + 0.2},
+        input_events_per_image={"conv1_1": 96.0625},
+        samples=48,
+    )
+
+
+@pytest.fixture
+def entry(tmp_path, result):
+    path = eval_cache_path(str(tmp_path), "tiny_svhn_fp32_direct_s0_n48_t2")
+    save_evaluation(path, result, model_digest="digest-a")
+    return path
+
+
+class TestRoundTrip:
+    def test_exact_float_round_trip(self, entry, result):
+        loaded = load_evaluation(entry, model_digest="digest-a")
+        assert loaded == result
+        # Bit-exact, not approximately equal: 0.1 + 0.2 must survive.
+        assert loaded.per_layer_spikes["fc1"] == 0.1 + 0.2
+        assert loaded.spikes_per_image == result.spikes_per_image
+
+    def test_path_layout_is_models_sibling(self):
+        assert eval_cache_path("/ws/models", "key") == (
+            "/ws/models/key" + EVAL_CACHE_SUFFIX
+        )
+
+    def test_numpy_scalars_normalised(self, tmp_path):
+        import numpy as np
+
+        path = eval_cache_path(str(tmp_path), "np-entry")
+        save_evaluation(
+            path,
+            EvaluationResult(
+                accuracy=np.float64(0.5),
+                spikes_per_image=np.float64(10.5),
+                per_layer_spikes={"conv1_1": np.float64(3.25)},
+                input_events_per_image={},
+                samples=np.int64(4),
+            ),
+        )
+        loaded = load_evaluation(path)
+        assert loaded.accuracy == 0.5
+        assert loaded.samples == 4
+        assert isinstance(loaded.samples, int)
+
+    def test_without_digest_loads(self, entry):
+        assert load_evaluation(entry) is not None
+        assert try_load_evaluation(entry) is not None
+
+
+class TestStalenessGuards:
+    def test_digest_mismatch_raises_and_try_load_recovers(self, entry):
+        with pytest.raises(ExperimentError):
+            load_evaluation(entry, model_digest="digest-RETRAINED")
+        assert try_load_evaluation(entry, model_digest="digest-RETRAINED") is None
+
+    def test_missing_entry(self, tmp_path):
+        assert try_load_evaluation(str(tmp_path / "nope.eval.json")) is None
+
+    def test_corrupt_entry(self, entry):
+        with open(entry, "wb") as handle:
+            handle.write(b"\x00not json at all")
+        assert try_load_evaluation(entry) is None
+
+    def test_truncated_entry(self, entry):
+        with open(entry, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        with open(entry, "w", encoding="utf-8") as handle:
+            handle.write(text[: len(text) // 2])
+        assert try_load_evaluation(entry) is None
+
+    def test_foreign_format_rejected(self, tmp_path):
+        path = eval_cache_path(str(tmp_path), "foreign")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump({"format": "something-else", "result": {}}, handle)
+        with pytest.raises(ExperimentError):
+            load_evaluation(path)
+        assert try_load_evaluation(path) is None
+
+    def test_missing_result_fields(self, entry):
+        with open(entry, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        del payload["result"]["accuracy"]
+        with open(entry, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        assert try_load_evaluation(entry) is None
+
+    def test_stats_count_hits_and_misses(self, entry):
+        before = eval_cache_stats().as_dict()
+        try_load_evaluation(entry)
+        try_load_evaluation(entry + ".missing")
+        after = eval_cache_stats().as_dict()
+        assert after["hits"] - before["hits"] == 1
+        assert after["misses"] - before["misses"] == 1
+
+
+class TestInvalidation:
+    def test_invalidate_single_entry(self, entry):
+        assert invalidate_evaluation(entry)
+        assert not os.path.exists(entry)
+        assert not invalidate_evaluation(entry)  # second call is a no-op
+
+    def test_invalidate_workspace(self, tmp_path, result):
+        for key in ("a", "b", "c"):
+            save_evaluation(eval_cache_path(str(tmp_path), key), result)
+        (tmp_path / "model.npz").write_bytes(b"weights, not an entry")
+        assert invalidate_evaluations(str(tmp_path)) == 3
+        assert sorted(os.listdir(tmp_path)) == ["model.npz"]
+
+    def test_invalidate_missing_directory(self, tmp_path):
+        assert invalidate_evaluations(str(tmp_path / "absent")) == 0
+
+
+class TestEnvironmentDefault:
+    def test_enabled_by_default(self, monkeypatch):
+        monkeypatch.delenv(EVAL_CACHE_ENV, raising=False)
+        assert eval_cache_enabled()
+
+    def test_disabled_by_env(self, monkeypatch):
+        monkeypatch.setenv(EVAL_CACHE_ENV, "0")
+        assert not eval_cache_enabled()
+        ctx = ExperimentContext(scale="tiny", workspace="unused-ws")
+        assert not ctx.eval_cache
+
+    def test_explicit_argument_beats_env(self, monkeypatch):
+        monkeypatch.setenv(EVAL_CACHE_ENV, "0")
+        ctx = ExperimentContext(
+            scale="tiny", workspace="unused-ws", eval_cache=True
+        )
+        assert ctx.eval_cache
+
+
+class TestContextIntegration:
+    """End-to-end through ExperimentContext (tiny scale, one training)."""
+
+    @pytest.fixture(scope="class")
+    def workspace(self, tmp_path_factory):
+        return str(tmp_path_factory.mktemp("evalcache-ws"))
+
+    @pytest.fixture(scope="class")
+    def warm_result(self, workspace):
+        ctx = ExperimentContext(scale="tiny", workspace=workspace, seed=0)
+        assert ctx.eval_cache
+        return ctx.evaluate("svhn", "fp32", max_samples=24)
+
+    def test_entry_written_next_to_model(self, workspace, warm_result):
+        entries = [
+            name
+            for name in os.listdir(os.path.join(workspace, "models"))
+            if name.endswith(EVAL_CACHE_SUFFIX)
+        ]
+        assert entries == ["tiny_svhn_fp32_direct_s0_n24_tNone.eval.json"]
+
+    def test_fresh_context_hits_without_recompute(
+        self, workspace, warm_result, monkeypatch
+    ):
+        """A warm entry must be served with zero test-set evaluations."""
+        monkeypatch.setattr(
+            "repro.experiments.context.sharded_forward",
+            lambda *a, **k: pytest.fail("evaluation re-ran despite warm cache"),
+        )
+        fresh = ExperimentContext(scale="tiny", workspace=workspace, seed=0)
+        cached = fresh.evaluate("svhn", "fp32", max_samples=24)
+        assert cached == warm_result  # bit-identical fields
+
+    def test_corrupt_entry_falls_back_to_recompute(
+        self, workspace, warm_result
+    ):
+        fresh = ExperimentContext(scale="tiny", workspace=workspace, seed=0)
+        entry = fresh.eval_cache_file("tiny_svhn_fp32_direct_s0_n24_tNone")
+        with open(entry, "wb") as handle:
+            handle.write(b"truncated\x00")
+        recomputed = fresh.evaluate("svhn", "fp32", max_samples=24)
+        assert recomputed == warm_result
+        # The recompute repaired the entry on disk.
+        assert try_load_evaluation(entry) == warm_result
+
+    def test_stale_digest_falls_back_to_recompute(
+        self, workspace, warm_result
+    ):
+        fresh = ExperimentContext(scale="tiny", workspace=workspace, seed=0)
+        entry = fresh.eval_cache_file("tiny_svhn_fp32_direct_s0_n24_tNone")
+        with open(entry, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        payload["model_digest"] = "stale-after-retrain"
+        payload["result"]["accuracy"] = 0.0  # poisoned value must not leak
+        with open(entry, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        recomputed = fresh.evaluate("svhn", "fp32", max_samples=24)
+        assert recomputed == warm_result
+
+    def test_disabled_context_writes_nothing(self, workspace, warm_result):
+        ctx = ExperimentContext(
+            scale="tiny", workspace=workspace, seed=0, eval_cache=False
+        )
+        ctx.invalidate_eval_cache()
+        ctx.evaluate("svhn", "fp32", max_samples=24)
+        entries = [
+            name
+            for name in os.listdir(os.path.join(workspace, "models"))
+            if name.endswith(EVAL_CACHE_SUFFIX)
+        ]
+        assert entries == []
+
+    def test_invalidate_eval_cache_counts(self, workspace, warm_result):
+        ctx = ExperimentContext(scale="tiny", workspace=workspace, seed=0)
+        ctx.evaluate("svhn", "fp32", max_samples=24)  # repopulate
+        assert ctx.invalidate_eval_cache() == 1
+        assert ctx.invalidate_eval_cache() == 0

@@ -1,0 +1,301 @@
+"""The persistent WorkerService: warm reuse, generations, bit-identity."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.parallel import (
+    PERSISTENT_POOL_ENV,
+    WORKERS_ENV,
+    WorkerService,
+    persistent_pool_enabled,
+    run_tasks,
+    service_stats,
+    sharded_forward,
+    shared_service,
+    shutdown_worker_service,
+)
+from repro.parallel.service import service_start_method
+from repro.quant import FP32, convert
+from repro.runtime import runtime_config, runtime_overrides
+from repro.snn import build_network
+
+
+def _square(x):
+    return x * x
+
+
+def _pid(_):
+    return os.getpid()
+
+
+def _slow_pid(_):
+    # Slow enough that every pool worker takes at least one task, so the
+    # returned pid set is the full pool membership, not a scheduling race.
+    import time
+
+    time.sleep(0.05)
+    return os.getpid()
+
+
+def _worker_env(_):
+    return os.environ.get(WORKERS_ENV)
+
+
+def _threshold(_):
+    return runtime_config().dispatch_threshold
+
+
+_INIT_STATE = {}
+
+
+def _remember(value):
+    _INIT_STATE["value"] = value
+
+
+def _read_state(_):
+    return _INIT_STATE.get("value")
+
+
+@pytest.fixture(scope="module")
+def deployable():
+    net = build_network(
+        "8C3-MP2-16C3-MP2-40", input_shape=(3, 8, 8), num_classes=10, seed=77
+    )
+    net.eval()
+    return convert(net, FP32)
+
+
+@pytest.fixture(scope="module")
+def images():
+    rng = np.random.default_rng(41)
+    return rng.random((11, 3, 8, 8)).astype(np.float32)
+
+
+class TestSharedServiceReuse:
+    def test_pool_started_once_across_calls(self):
+        shutdown_worker_service()
+        before = service_stats()
+        first = run_tasks(_square, list(range(6)), workers=2)
+        second = run_tasks(_square, list(range(6)), workers=2)
+        after = service_stats()
+        assert first == second == [x * x for x in range(6)]
+        assert after["pool_starts"] - before["pool_starts"] == 1
+        assert after["warm_runs"] - before["warm_runs"] >= 1
+
+    def test_workers_persist_across_calls(self):
+        shutdown_worker_service()
+        first = set(run_tasks(_slow_pid, list(range(4)), workers=2))
+        second = set(run_tasks(_slow_pid, list(range(4)), workers=2))
+        assert os.getpid() not in first
+        assert len(first) == 2
+        assert first == second  # same worker processes served both calls
+
+    def test_growing_worker_count_restarts_pool(self):
+        shutdown_worker_service()
+        before = service_stats()
+        run_tasks(_square, list(range(4)), workers=2)
+        run_tasks(_square, list(range(6)), workers=3)
+        after = service_stats()
+        assert after["pool_starts"] - before["pool_starts"] == 2
+
+    def test_shrinking_worker_count_reuses_pool(self):
+        """Alternating wide and narrow fan-outs must not thrash startup."""
+        shutdown_worker_service()
+        before = service_stats()
+        run_tasks(_square, list(range(6)), workers=3)
+        narrow = run_tasks(_square, list(range(6)), workers=2)
+        wide = run_tasks(_square, list(range(6)), workers=3)
+        after = service_stats()
+        assert narrow == wide == [x * x for x in range(6)]
+        assert after["pool_starts"] - before["pool_starts"] == 1
+
+    def test_narrow_cap_on_wide_pool_limits_concurrency(self):
+        """workers= stays a concurrency cap when reusing a wider pool:
+        submissions are chunked so at most that many workers serve the
+        call."""
+        shutdown_worker_service()
+        run_tasks(_square, list(range(6)), workers=3)  # pool of 3
+        pids = set(run_tasks(_slow_pid, list(range(6)), workers=2))
+        assert len(pids) <= 2
+
+    def test_large_generation_state_spilled_to_disk(self):
+        """Initializer state past the inline limit ships via a temp file
+        (read once per worker), not through the pipe once per task."""
+        import numpy as np
+
+        shutdown_worker_service()
+        before = service_stats()
+        big = np.arange(262144, dtype=np.float64)  # 2 MiB >> inline limit
+        values = run_tasks(
+            _read_state, list(range(5)), workers=2,
+            initializer=_remember, initargs=(big,),
+        )
+        after = service_stats()
+        for value in values:
+            assert np.array_equal(value, big)
+        assert after["blob_spills"] - before["blob_spills"] == 1
+        # Small generations keep riding inline.
+        run_tasks(_square, [1, 2], workers=2)
+        assert service_stats()["blob_spills"] == after["blob_spills"]
+
+    def test_env_pinned_in_persistent_workers(self):
+        assert all(
+            value == "1"
+            for value in run_tasks(_worker_env, list(range(4)), workers=2)
+        )
+
+    def test_runtime_overrides_reach_warm_workers(self):
+        run_tasks(_square, [0, 1], workers=2)  # warm the pool first
+        with runtime_overrides(dispatch_threshold=0.37):
+            values = run_tasks(_threshold, [0, 1, 2], workers=2)
+        assert values == [0.37, 0.37, 0.37]
+        # And the override is rolled back for the next generation.
+        assert set(run_tasks(_threshold, [0, 1, 2], workers=2)) == {
+            runtime_config().dispatch_threshold
+        }
+
+    def test_initializer_refreshed_per_call(self):
+        """Warm workers must never serve a stale initializer's state."""
+        first = run_tasks(
+            _read_state, [0, 1, 2], workers=2,
+            initializer=_remember, initargs=("alpha",),
+        )
+        second = run_tasks(
+            _read_state, [0, 1, 2], workers=2,
+            initializer=_remember, initargs=("beta",),
+        )
+        assert first == ["alpha"] * 3
+        assert second == ["beta"] * 3
+        assert _INIT_STATE == {}  # parent state untouched
+
+    def test_disabled_service_falls_back_to_pool_per_call(self, monkeypatch):
+        monkeypatch.setenv(PERSISTENT_POOL_ENV, "0")
+        assert not persistent_pool_enabled()
+        shutdown_worker_service()
+        before = service_stats()
+        pooled = run_tasks(_square, list(range(5)), workers=2)
+        assert pooled == [x * x for x in range(5)]
+        assert service_stats() == before  # service never touched
+
+
+class TestStandaloneService:
+    def test_context_manager_shuts_down(self):
+        with WorkerService(workers=2) as service:
+            assert service.run(_square, [1, 2, 3]) == [1, 4, 9]
+            assert service.running
+            assert service.pool_workers == 2
+        assert not service.running
+        assert service.pool_workers == 0
+
+    def test_restarts_lazily_after_shutdown(self):
+        service = WorkerService(workers=2)
+        try:
+            assert service.run(_square, [2, 3]) == [4, 9]
+            service.shutdown()
+            assert service.run(_square, [4, 5]) == [16, 25]
+            assert service.stats.pool_starts == 2
+        finally:
+            service.shutdown()
+
+    def test_serial_fallback_runs_inline(self):
+        service = WorkerService(workers=1)
+        assert service.run(_pid, [0, 1]) == [os.getpid()] * 2
+        assert not service.running  # no pool for the serial path
+
+    def test_single_payload_runs_inline(self):
+        service = WorkerService(workers=4)
+        assert service.run(_pid, [0]) == [os.getpid()]
+        assert not service.running
+
+    def test_cell_exception_propagates_and_pool_survives(self):
+        with WorkerService(workers=2) as service:
+            with pytest.raises(ValueError, match="cell exploded"):
+                service.run(_boom, [0, 1, 2])
+            # The pool survives a failed map and keeps serving.
+            assert service.run(_square, [3, 4]) == [9, 16]
+            assert service.stats.pool_starts == 1
+
+    def test_invalid_start_method_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_START_METHOD", "teleport")
+        with pytest.raises(ConfigError):
+            service_start_method()
+
+    def test_explicit_start_method_honoured(self, monkeypatch):
+        monkeypatch.setenv("REPRO_START_METHOD", "fork")
+        assert service_start_method() == "fork"
+
+
+def _boom(x):
+    raise ValueError("cell exploded")
+
+
+class TestWarmColdBitIdentity:
+    """The ISSUE's acceptance gate: warm pools never change a bit."""
+
+    def test_sharded_forward_warm_equals_cold_equals_serial(
+        self, deployable, images
+    ):
+        serial = sharded_forward(
+            deployable, images, 2, shards=4, workers=1, record=True
+        )
+        shutdown_worker_service()
+        cold = sharded_forward(
+            deployable, images, 2, shards=4, workers=2, record=True
+        )
+        warm = sharded_forward(
+            deployable, images, 2, shards=4, workers=2, record=True
+        )
+        for pooled in (cold, warm):
+            assert np.array_equal(pooled.logits, serial.logits)
+            assert pooled.stats.per_layer == serial.stats.per_layer
+            assert (
+                pooled.stats.per_layer_timestep
+                == serial.stats.per_layer_timestep
+            )
+            assert pooled.input_spike_totals == serial.input_spike_totals
+            for name, series in serial.spike_trains.items():
+                for t, train in enumerate(series):
+                    assert np.array_equal(pooled.spike_trains[name][t], train)
+
+    def test_replaced_artifact_at_same_path_is_not_served_stale(
+        self, images, tmp_path
+    ):
+        """Generation reuse is keyed on contents, not the path string:
+        overwriting the artifact behind an unchanged model_path must
+        re-initialize warm workers, never serve the old weights."""
+        def fresh_model(seed):
+            net = build_network(
+                "8C3-MP2-16C3-MP2-40",
+                input_shape=(3, 8, 8),
+                num_classes=10,
+                seed=seed,
+            )
+            net.eval()
+            return convert(net, FP32)
+
+        model_path = str(tmp_path / "model.npz")
+        old, new = fresh_model(seed=5), fresh_model(seed=6)
+        old.save(model_path)
+        stale = sharded_forward(
+            old, images, 2, shards=2, workers=2, model_path=model_path
+        )
+        new.save(model_path)  # retrain lands at the same path
+        got = sharded_forward(
+            new, images, 2, shards=2, workers=2, model_path=model_path
+        )
+        want = sharded_forward(new, images, 2, shards=2, workers=1)
+        assert np.array_equal(got.logits, want.logits)
+        assert not np.array_equal(got.logits, stale.logits)
+
+    def test_shared_service_survives_mixed_workloads(self, deployable, images):
+        """Interleaving unrelated run_tasks calls between sharded runs
+        must not leak one call's generation state into the next."""
+        serial = sharded_forward(deployable, images, 2, shards=2, workers=1)
+        sharded_forward(deployable, images, 2, shards=2, workers=2)
+        run_tasks(_square, list(range(8)), workers=2)
+        again = sharded_forward(deployable, images, 2, shards=2, workers=2)
+        assert np.array_equal(again.logits, serial.logits)
+        assert again.stats.per_layer == serial.stats.per_layer
