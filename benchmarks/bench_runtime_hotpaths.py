@@ -8,9 +8,12 @@ Times three implementations of the layer-current computation
   batched matmul for all timesteps),
 * **event** -- the runtime's event-driven scatter kernel,
 
-across a sweep of input spike densities, plus the end-to-end
-``DeployableNetwork.forward`` legacy-vs-runtime comparison on a
-small-scale VGG9 at paper-typical spike densities, the sharded
+across a sweep of input spike densities, plus the ``blocked_scatter``
+deep-VGG9 micro (blocked event vs dense kernel on a K >= 500 shape --
+the shapes only the canonical blocked k-fold can keep on the event
+path, with the measured cost model's routing verdict per density), the
+end-to-end ``DeployableNetwork.forward`` legacy-vs-runtime comparison on
+a small-scale VGG9 at paper-typical spike densities, the sharded
 serial-vs-pooled throughput, warm-vs-cold persistent-pool latency and
 the disk-backed evaluation cache's cold/warm split. Results are written
 to ``BENCH_runtime.json`` at the repo root so the perf trajectory is
@@ -52,13 +55,29 @@ from repro.runtime import (
     calibrate_event_exact,
     plan_deployable,
     resolve_event_backend,
+    resolve_event_block,
     runtime_overrides,
 )
-from repro.runtime.kernels import dense_conv, event_conv
+from repro.runtime.costmodel import probe_cost_state
+from repro.runtime.kernels import dense_conv, event_conv, event_conv_blocked
+from repro.runtime.refshapes import DEEP_VGG9_SHAPES, make_conv_layer_plan
 from repro.snn import build_vgg9
 from repro.snn.neuron import LIFConfig
 
 DENSITIES = (0.01, 0.05, 0.20, 0.50)
+
+#: Densities for the deep-layer blocked-scatter micro-bench. The two
+#: sparsest are the perf gate: they bracket the near-silent regime the
+#: deepest VGG9 layers actually run at (0.0-0.02 in end_to_end), where
+#: the event path must beat the dense kernel outright. The denser two
+#: document where the crossover sits -- that is the cost model's job to
+#: detect at dispatch time, not a regression.
+BLOCKED_DENSITIES = (0.002, 0.01, 0.05, 0.2)
+
+#: One canonical deep-VGG9 shape (conv2_2 at CIFAR scale, K=576). Fixed
+#: across bench scales so the blocked_scatter record is comparable
+#: between the tiny smoke run and the canonical small-scale record.
+BLOCKED_SHAPE = DEEP_VGG9_SHAPES[0]
 
 
 def result_path(scale: str) -> str:
@@ -164,12 +183,102 @@ def bench_layer_micro(deployable, params) -> List[Dict]:
     return rows
 
 
+def bench_blocked_scatter(params) -> Dict:
+    """Deep-VGG9 layer micro: blocked event vs (blocked) dense kernel.
+
+    The shapes this section times are exactly the ones the unblocked
+    fold locked out of the event path (K >= 500): the blocked k-fold is
+    what lets them dispatch at all. Bit-exactness of blocked event vs
+    blocked dense is asserted before any timing; the rows also record
+    the measured cost model's prediction for each density so the record
+    shows where (and why) the dispatcher flips to dense as activity
+    rises.
+    """
+    cin, height, width, cout = BLOCKED_SHAPE
+    layer = make_conv_layer_plan(cin, height, width, cout, seed=19)
+    geometry = layer.geometry
+    rng = np.random.default_rng(19)
+    backend = resolve_event_backend("auto")
+    block = resolve_event_block(layer, backend)
+    if not block:
+        raise SystemExit(
+            f"deep shape K={geometry.k} failed to resolve a k-block"
+        )
+    cost = probe_cost_state(layer, backend, block)
+    batch = params["timesteps"] * params["batch"]
+    rows = []
+    for density in BLOCKED_DENSITIES:
+        x = (
+            rng.random((batch, cin, height, width)) < density
+        ).astype(np.float32)
+
+        def run_dense_blocked():
+            return dense_conv(layer, x, kblock=block)
+
+        def run_dense_unblocked():
+            return dense_conv(layer, x)
+
+        def run_event_blocked():
+            return event_conv_blocked(layer, x, backend, block)[0]
+
+        want = run_dense_blocked()
+        got, updates = event_conv_blocked(layer, x, backend, block)
+        if not np.array_equal(got, want):
+            raise SystemExit(
+                f"blocked event diverged from blocked dense at density "
+                f"{density} (K={geometry.k}, block={block})"
+            )
+        predicted_event = cost.predict_event_ms(updates)
+        predicted_dense = cost.predict_dense_ms(batch)
+        rows.append(
+            {
+                "density": density,
+                "updates": int(updates),
+                "dense_ms": timeit(run_dense_blocked, params["repeats"]),
+                "dense_unblocked_ms": timeit(
+                    run_dense_unblocked, params["repeats"]
+                ),
+                "event_ms": timeit(run_event_blocked, params["repeats"]),
+                "cost_model_routes_event": bool(
+                    predicted_event <= predicted_dense
+                ),
+            }
+        )
+    return {
+        "shape": {
+            "cin": cin, "height": height, "width": width, "cout": cout,
+        },
+        "k": int(geometry.k),
+        "k_block": int(block),
+        "backend": backend,
+        "batch": batch,
+        "bit_exact": True,
+        "rows": rows,
+    }
+
+
 def bench_end_to_end(deployable, images, params) -> Dict:
     timesteps = params["timesteps"]
     legacy_out = deployable.forward_legacy(images, timesteps)
+    # Two distinct exactness contracts, asserted separately. (1) With
+    # blocking disabled every layer computes the same unblocked fold the
+    # legacy loop uses, so the runtime must match legacy bit for bit.
+    # (2) With blocking on (the default being timed), deep K>=500 layers
+    # compute through the canonical blocked fold, whose currents differ
+    # from legacy in the last ulp *by construction* -- what is
+    # guaranteed there is dispatch invariance: forced-dense and routed
+    # runs share the fold and must agree bitwise. Whether the blocked
+    # logits also happen to match legacy (they do while the deep layers
+    # stay near-silent) is recorded, not gated.
+    with runtime_overrides(event_kblock=0):
+        unblocked_out = deployable.forward(images, timesteps)
+    if not np.array_equal(legacy_out.logits, unblocked_out.logits):
+        raise SystemExit("unblocked runtime forward diverged from legacy")
     runtime_out = deployable.forward(images, timesteps)
-    if not np.array_equal(legacy_out.logits, runtime_out.logits):
-        raise SystemExit("runtime forward diverged from legacy forward")
+    with runtime_overrides(force_path="dense"):
+        forced_dense_out = deployable.forward(images, timesteps)
+    if not np.array_equal(runtime_out.logits, forced_dense_out.logits):
+        raise SystemExit("default routing diverged from forced dense")
     legacy_ms = timeit(
         lambda: deployable.forward_legacy(images, timesteps), params["repeats"]
     )
@@ -190,7 +299,10 @@ def bench_end_to_end(deployable, images, params) -> Dict:
         "legacy_ms": legacy_ms,
         "runtime_ms": runtime_ms,
         "speedup": legacy_ms / runtime_ms if runtime_ms else float("inf"),
-        "bit_exact": True,
+        "bit_exact": True,  # unblocked==legacy and routed==forced-dense
+        "blocked_matches_legacy": bool(
+            np.array_equal(legacy_out.logits, runtime_out.logits)
+        ),
         "layer_output_densities": densities,
         "dispatch_counters": counters,
     }
@@ -355,6 +467,18 @@ def smoke_check(record: Dict) -> List[str]:
             f"runtime forward ({e2e['runtime_ms']:.2f} ms) slower than "
             f"legacy ({e2e['legacy_ms']:.2f} ms)"
         )
+    # Blocked-scatter gate: at the two sparsest micro densities the
+    # blocked event kernel must beat the dense kernel on the deep shape
+    # -- otherwise unlocking the event path there bought nothing.
+    blocked = record["blocked_scatter"]
+    sparsest = sorted(blocked["rows"], key=lambda row: row["density"])[:2]
+    for row in sparsest:
+        if row["event_ms"] > row["dense_ms"]:
+            failures.append(
+                f"blocked event ({row['event_ms']:.2f} ms) slower than "
+                f"dense ({row['dense_ms']:.2f} ms) at density "
+                f"{row['density']:.1%} on the K={blocked['k']} deep shape"
+            )
     return failures
 
 
@@ -382,6 +506,7 @@ def main(argv=None) -> int:
                 "event_backend": resolve_event_backend("auto"),
             },
             "layer_micro": bench_layer_micro(deployable, params),
+            "blocked_scatter": bench_blocked_scatter(params),
             "end_to_end": bench_end_to_end(deployable, images, params),
             "parallel": bench_parallel(deployable, images, params),
             "persistent_pool": bench_persistent_pool(params),
@@ -425,6 +550,18 @@ def main(argv=None) -> int:
             f"  {row['layer']} @ {row['density']:.0%}: "
             f"legacy {row['legacy_ms']:.3f} ms | fused {row['fused_ms']:.3f} ms"
             f" | event {row['event_ms']:.3f} ms"
+        )
+    blocked = record["blocked_scatter"]
+    print(
+        f"blocked scatter (K={blocked['k']}, k_block={blocked['k_block']}, "
+        f"batch {blocked['batch']}):"
+    )
+    for row in blocked["rows"]:
+        routed = "event" if row["cost_model_routes_event"] else "dense"
+        print(
+            f"  @ {row['density']:.1%}: dense {row['dense_ms']:.3f} ms | "
+            f"event {row['event_ms']:.3f} ms ({row['updates']} updates, "
+            f"cost model routes {routed})"
         )
     if args.smoke:
         failures = smoke_check(record)

@@ -3,17 +3,21 @@
 #
 # Runs the runtime hot-path bench at tiny scale and fails (exit 1) if
 # the event-driven path is slower than the legacy per-timestep loop at
-# any density <= 5%, or if the runtime forward is slower than the legacy
-# forward end-to-end. Wire this into CI so future PRs cannot silently
-# regress the event-driven win. Results land in BENCH_runtime.<scale>.json
-# at the repo root (plain BENCH_runtime.json is reserved for the
-# canonical small-scale record tracked across PRs).
+# any density <= 5%, if the runtime forward is slower than the legacy
+# forward end-to-end, or if the blocked event kernel is slower than the
+# dense kernel at the two sparsest blocked_scatter densities on the
+# deep-VGG9 (K >= 500) shape. Wire this into CI so future PRs cannot
+# silently regress the event-driven win. Results land in
+# BENCH_runtime.<scale>.json at the repo root (plain BENCH_runtime.json
+# is reserved for the canonical small-scale record tracked across PRs).
 #
-# Also runs the docs drift gate (every REPRO_* variable and CLI flag
-# must be documented in docs/CONFIGURATION.md) and the parallel
-# determinism gate: the sharded evaluation path with 2 workers, twice,
-# byte-comparing the merged reports against each other and against the
-# serial fallback (exit 1 on any difference).
+# Also runs the blocked routing gate (every deep-VGG9 conv shape must
+# calibrate a k-block and route its density <= 5% timesteps to the
+# event path bit-exactly), the docs drift gate (every REPRO_* variable
+# and CLI flag must be documented in docs/CONFIGURATION.md) and the
+# parallel determinism gate: the sharded evaluation path with 2
+# workers, twice, byte-comparing the merged reports against each other
+# and against the serial fallback (exit 1 on any difference).
 #
 # Usage: scripts/perf_smoke.sh            (tiny scale, the default)
 #        REPRO_BENCH_SCALE=small scripts/perf_smoke.sh
@@ -24,5 +28,6 @@ export REPRO_BENCH_SCALE="${REPRO_BENCH_SCALE:-tiny}"
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 python benchmarks/bench_runtime_hotpaths.py --smoke
+python scripts/check_blocked_routing.py
 python scripts/check_docs.py
 exec python scripts/check_parallel_determinism.py

@@ -13,7 +13,16 @@ configuration and produces, for a batch of images:
 Two timing modes:
 
 * **exact** (:meth:`run`): replays recorded spike trains; used whenever
-  the network is small enough to execute functionally.
+  the network is small enough to execute functionally. Accepts a shard
+  geometry (``shards`` / ``shard_size`` / ``workers``): each shard then
+  executes its forward pass *and* reduces its trains to per-(layer,
+  timestep) cycle **sums** locally -- only ``(T,)`` float64 vectors (plus
+  the slim functional output) travel back, never the trains themselves.
+  The sums are integer-valued and therefore merge exactly; the single
+  mean-per-timestep division happens once, on the merged totals, in the
+  same order the unsharded path uses -- so sharded cycle statistics are
+  bit-identical to the unsharded run for deterministic encoders, at any
+  shard geometry and worker count.
 * **analytic** (:meth:`run_from_counts`): needs only per-layer event
   counts (e.g. the paper-scale workload profile); used by the Table I /
   Table III harnesses where only cycle/power structure matters.
@@ -21,9 +30,10 @@ Two timing modes:
 
 from __future__ import annotations
 
+import pickle
 from dataclasses import dataclass, field
 from math import ceil
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -109,6 +119,120 @@ class SimulationReport:
         return "\n".join(lines)
 
 
+def sparse_layer_cycle_sums(
+    layer, cores: int, trains: np.ndarray, chunk_bits: int
+) -> Dict[str, np.ndarray]:
+    """Per-timestep cycle *sums* over samples for one sparse layer.
+
+    The whole stacked ``(T, N, ...)`` train goes through
+    :func:`compression_cycles_batch` in one vectorised pass; the
+    per-sample compression / accumulation / busy (their overlapped max,
+    Sec. IV-B) and event values are then summed over the sample axis per
+    timestep, in float64. Every summand is an exact integer, so the
+    ``(T,)`` sums are exact and shard-order independent -- adding the
+    sums of two shards equals the sum over their union bit-for-bit,
+    which is what lets :meth:`HybridSimulator.run` merge sharded cycle
+    statistics without ever shipping trains.
+    """
+    owned = ceil(layer.out_channels / cores)
+    timesteps, n = trains.shape[0], trains.shape[1]
+    if layer.kind == "conv":
+        taps = layer.kernel * layer.kernel
+        maps = trains.reshape(timesteps, n, layer.input_shape[0], -1)
+        compr_all = compression_cycles_batch(maps, chunk_bits).sum(axis=2)
+        events_all = maps.sum(axis=(2, 3), dtype=np.float64)
+        accum_all = events_all * (taps * owned)
+    else:
+        binary = trains.reshape(timesteps, n, -1)
+        compr_all = compression_cycles_batch(binary, chunk_bits)
+        events_all = binary.sum(axis=2, dtype=np.float64)
+        accum_all = events_all * owned
+    # Compression and accumulation overlap (Sec. IV-B): per sample and
+    # timestep the layer is busy for the slower of the two.
+    busy_all = np.maximum(compr_all, accum_all)
+    return {
+        "compr": compr_all.sum(axis=1),
+        "accum": accum_all.sum(axis=1),
+        "events": events_all.sum(axis=1),
+        "busy": busy_all.sum(axis=1),
+        "samples": np.float64(n),
+    }
+
+
+def merge_cycle_sums(
+    parts: Sequence[Dict[str, Dict[str, np.ndarray]]]
+) -> Dict[str, Dict[str, np.ndarray]]:
+    """Fold per-shard ``{layer: sums}`` dicts (exact: integer sums)."""
+    merged: Dict[str, Dict[str, np.ndarray]] = {}
+    for part in parts:
+        for name, sums in part.items():
+            target = merged.get(name)
+            if target is None:
+                merged[name] = {key: np.copy(value) for key, value in sums.items()}
+            else:
+                for key, value in sums.items():
+                    target[key] = target[key] + value
+    return merged
+
+
+# ---------------------------------------------------------------------------
+# Sharded exact mode: worker-side cells (module level for pickling)
+# ---------------------------------------------------------------------------
+
+_SIM_WORKER_STATE: Optional[Dict] = None
+
+
+def _sim_shard_result(model, config: AcceleratorConfig, out) -> Tuple:
+    """Reduce one shard's forward output to what travels back: the slim
+    functional output (no trains) plus per-layer cycle sums."""
+    from repro.quant.convert import DeployableOutput
+
+    stacked_trains = getattr(out, "spike_trains_stacked", None) or {}
+    sums: Dict[str, Dict[str, np.ndarray]] = {}
+    for index, layer in enumerate(model.layers):
+        if index == 0 and config.use_dense_core:
+            continue  # dense-core layer: activity-independent timing
+        stacked = stacked_trains.get(layer.name)
+        if stacked is None:
+            stacked = np.stack(out.spike_trains[layer.name])
+        sums[layer.name] = sparse_layer_cycle_sums(
+            layer, config.allocation[index], stacked,
+            config.compression_chunk_bits,
+        )
+    slim = DeployableOutput(
+        logits=out.logits,
+        stats=out.stats,
+        input_spike_totals=out.input_spike_totals,
+        runtime_counters=out.runtime_counters,
+    )
+    return slim, sums
+
+
+def _init_sim_worker(model_payload, config, images, encoder_blob) -> None:
+    from repro.parallel.shard import _materialize_model
+
+    global _SIM_WORKER_STATE
+    _SIM_WORKER_STATE = {
+        "model": _materialize_model(model_payload),
+        "config": config,
+        "images": images,
+        "encoder_blob": encoder_blob,
+    }
+
+
+def _run_sim_shard(task: Tuple[object, int]):
+    from repro.parallel.shard import resolve_task_images
+
+    payload, timesteps = task
+    state = _SIM_WORKER_STATE
+    shard_images = resolve_task_images(payload, state["images"])
+    encoder = pickle.loads(state["encoder_blob"])
+    out = state["model"].forward(
+        shard_images, timesteps, encoder, record=True
+    )
+    return _sim_shard_result(state["model"], state["config"], out)
+
+
 class HybridSimulator:
     """Simulates a deployable network on the hybrid accelerator."""
 
@@ -134,24 +258,112 @@ class HybridSimulator:
         timesteps: int,
         encoder: Optional[Encoder] = None,
         labels: Optional[np.ndarray] = None,
+        shards: Optional[int] = None,
+        shard_size: Optional[int] = None,
+        workers: Optional[int] = None,
     ) -> SimulationReport:
-        """Functionally execute a batch and time every recorded train."""
+        """Functionally execute a batch and time every recorded train.
+
+        With a shard geometry (``shards`` / ``shard_size`` /
+        ``workers``) the batch is split exactly like
+        :func:`~repro.parallel.shard.sharded_forward` splits it, each
+        shard reduces its own trains to per-(layer, timestep) cycle sums
+        in place (in a worker process, or inline under the serial
+        fallback), and the merged statistics are bit-identical to the
+        unsharded run for deterministic encoders -- see the module
+        docstring. Stochastic (rate) encoders follow the sharding
+        subsystem's snapshot-per-shard semantics.
+        """
         encoder = encoder or DirectEncoder()
         self._check_encoder(encoder)
+        if shards is not None or shard_size is not None or workers is not None:
+            return self._run_sharded(
+                images, timesteps, encoder, labels,
+                shards=shards, shard_size=shard_size, workers=workers,
+            )
         out = self.network.forward(images, timesteps, encoder, record=True)
-        stacked_trains = getattr(out, "spike_trains_stacked", None) or {}
-        samples = len(images)
+        slim, sums = _sim_shard_result(self.network, self.config, out)
+        return self._report_from_sums(
+            slim, sums, timesteps, len(images), encoder, labels
+        )
+
+    def _run_sharded(
+        self,
+        images: np.ndarray,
+        timesteps: int,
+        encoder: Encoder,
+        labels: Optional[np.ndarray],
+        shards: Optional[int],
+        shard_size: Optional[int],
+        workers: Optional[int],
+    ) -> SimulationReport:
+        """Exact mode over shards: ship (slim output, cycle sums) only."""
+        from repro.parallel.config import resolve_workers
+        from repro.parallel.pool import run_tasks
+        from repro.parallel.shard import (
+            merge_outputs,
+            plan_task_images,
+            shard_slices,
+        )
+
+        images = np.asarray(images, dtype=np.float32)
+        slices = shard_slices(len(images), shards=shards, shard_size=shard_size)
+        encoder_blob = pickle.dumps(encoder)
+        count = min(resolve_workers(workers), len(slices))
+        if count <= 1 or len(slices) <= 1:
+            parts = []
+            for piece in slices:
+                shard_encoder = pickle.loads(encoder_blob)
+                out = self.network.forward(
+                    images[piece], timesteps, shard_encoder, record=True
+                )
+                parts.append(
+                    _sim_shard_result(self.network, self.config, out)
+                )
+        else:
+            init_images, image_payloads, cleanup = plan_task_images(
+                images, slices
+            )
+            tasks = [(payload, timesteps) for payload in image_payloads]
+            try:
+                parts = run_tasks(
+                    _run_sim_shard,
+                    tasks,
+                    workers=count,
+                    initializer=_init_sim_worker,
+                    initargs=(
+                        ("object", self.network, None),
+                        self.config,
+                        init_images,
+                        encoder_blob,
+                    ),
+                )
+            finally:
+                cleanup()
+        merged_out = merge_outputs([slim for slim, _ in parts])
+        merged_sums = merge_cycle_sums([sums for _, sums in parts])
+        return self._report_from_sums(
+            merged_out, merged_sums, timesteps, len(images), encoder, labels
+        )
+
+    def _report_from_sums(
+        self,
+        out,
+        sums: Dict[str, Dict[str, np.ndarray]],
+        timesteps: int,
+        samples: int,
+        encoder: Encoder,
+        labels: Optional[np.ndarray],
+    ) -> SimulationReport:
+        """Assemble the report from a (merged) slim output + cycle sums."""
         layer_stats: List[LayerSimStats] = []
         for index, layer in enumerate(self.network.layers):
             cores = self.config.allocation[index]
             if self._runs_on_dense(index, encoder):
                 stats = self._dense_layer_stats(layer, cores, timesteps, samples)
             else:
-                stacked = stacked_trains.get(layer.name)
-                if stacked is None:
-                    stacked = np.stack(out.spike_trains[layer.name])
-                stats = self._sparse_layer_stats(
-                    layer, cores, stacked, samples
+                stats = self._sparse_layer_stats_from_sums(
+                    layer, cores, sums[layer.name], timesteps
                 )
             layer_stats.append(stats)
         report = self._finalize(layer_stats, timesteps, samples, out.stats)
@@ -304,42 +516,46 @@ class HybridSimulator:
         trains: np.ndarray,
         samples: int,
     ) -> LayerSimStats:
-        """Exact timing from the stacked (T, N, ...) recorded input train.
+        """Exact timing from the stacked (T, N, ...) recorded input train."""
+        sums = sparse_layer_cycle_sums(
+            layer, cores, trains, self.config.compression_chunk_bits
+        )
+        return self._sparse_layer_stats_from_sums(
+            layer, cores, sums, trains.shape[0]
+        )
 
-        The whole train is pushed through :func:`compression_cycles_batch`
-        in one vectorised pass; the per-timestep reduction below then
-        replays the legacy accumulation order so cycle statistics stay
-        bit-identical to the old timestep-by-timestep walk.
+    def _sparse_layer_stats_from_sums(
+        self,
+        layer,
+        cores: int,
+        sums: Dict[str, np.ndarray],
+        timesteps: int,
+    ) -> LayerSimStats:
+        """Exact per-image averages from (possibly merged) cycle sums.
+
+        One float64 division per timestep and quantity, accumulated in
+        timestep order -- the same reduction order whether the sums came
+        from one pass over the whole batch or were merged from shards,
+        which (with the sums being exact integers) is what makes sharded
+        cycle statistics bit-identical to unsharded ones.
         """
-        chunk = self.config.compression_chunk_bits
         owned = ceil(layer.out_channels / cores)
-        timesteps, n = trains.shape[0], trains.shape[1]
         if layer.kind == "conv":
-            taps = layer.kernel * layer.kernel
             activation = (
                 layer.output_shape[1] * layer.output_shape[2] * owned
             ) * timesteps
-            maps = trains.reshape(timesteps, n, layer.input_shape[0], -1)
-            compr_all = compression_cycles_batch(maps, chunk).sum(axis=2)
-            events_all = maps.sum(axis=(2, 3))
-            accum_all = events_all * taps * owned
         else:
             activation = owned * timesteps
-            binary = trains.reshape(timesteps, n, -1)
-            compr_all = compression_cycles_batch(binary, chunk)
-            events_all = binary.sum(axis=2)
-            accum_all = events_all * owned
+        n = float(sums["samples"])
         total_compr = 0.0
         total_accum = 0.0
         total_events = 0.0
         busy = 0.0
         for t in range(timesteps):
-            total_compr += float(compr_all[t].mean())
-            total_accum += float(accum_all[t].mean())
-            total_events += float(events_all[t].mean())
-            # Compression and accumulation overlap (Sec. IV-B): per
-            # timestep the layer is busy for the slower of the two.
-            busy += float(np.maximum(compr_all[t], accum_all[t]).mean())
+            total_compr += float(sums["compr"][t] / n)
+            total_accum += float(sums["accum"][t] / n)
+            total_events += float(sums["events"][t] / n)
+            busy += float(sums["busy"][t] / n)
         cycles = busy + activation
         return LayerSimStats(
             name=layer.name,

@@ -42,13 +42,29 @@ object (pickled, for in-memory models) or -- preferably -- the cached
 ``.npz`` path, in which case each worker loads the deployable artifact
 plus its ``.plan.npz`` sidecar and skips lowering and BLAS-fold
 calibration outright (see :mod:`repro.runtime.plan_io`).
+
+Image payload routing (:func:`plan_task_images` /
+:func:`resolve_task_images`, shared with the sharded simulator):
+
+* **fork, pool-per-call** -- workers inherit the parent's memory, so the
+  full array travels through the initializer for free and tasks carry
+  only ``(start, stop)`` bounds;
+* **persistent** :class:`~repro.parallel.service.WorkerService` -- the
+  array is written once to a temp ``.npy`` and every task ships a
+  ``('mmap', path, start, stop)`` row slice; workers memory-map the file
+  and copy out only their rows, so the per-call generation blob and the
+  task pipes stay small no matter how large the evaluation set is. When
+  the temp file cannot be created the payloads fall back inline;
+* **spawn, pool-per-call** -- each task carries its own shard array
+  (every sample pickled exactly once).
 """
 
 from __future__ import annotations
 
 import os
 import pickle
-from typing import Dict, List, Optional, Sequence, Tuple
+import tempfile
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -152,6 +168,107 @@ def merge_outputs(parts: Sequence) -> "DeployableOutput":
 
 
 # ---------------------------------------------------------------------------
+# Image payload planning (parent side) and resolution (worker side)
+# ---------------------------------------------------------------------------
+
+def _inherit_via_fork() -> bool:
+    """Workers see the parent's memory only under fork-per-call pools."""
+    from repro.parallel.pool import pool_start_method
+    from repro.parallel.service import persistent_pool_enabled
+
+    # Fork-time memory inheritance only exists when the pool is created
+    # for this call: the persistent service's workers were forked at
+    # service start and see none of the parent's later allocations, so
+    # under the service every per-call byte must travel with the tasks.
+    return pool_start_method() == "fork" and not persistent_pool_enabled()
+
+
+def _write_shard_file(images: np.ndarray) -> Optional[str]:
+    """``images`` as a temp ``.npy`` for memory-mapped shard payloads.
+
+    Returns ``None`` when the file cannot be created or written (no
+    usable temp dir, disk full, ...) -- callers then fall back to inline
+    per-task arrays, which is always correct, just heavier on the pipes.
+    """
+    try:
+        fd, path = tempfile.mkstemp(prefix="repro-shard-", suffix=".npy")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                np.save(handle, images)
+        except BaseException:
+            os.unlink(path)
+            raise
+        return path
+    except OSError:
+        return None
+
+
+def plan_task_images(
+    images: np.ndarray, slices: Sequence[slice]
+) -> Tuple[Optional[np.ndarray], List[object], Callable[[], None]]:
+    """Decide how each shard's rows of ``images`` reach the workers.
+
+    Returns ``(init_images, payloads, cleanup)``: ``init_images`` is the
+    array to hand the worker initializer (fork inheritance) or ``None``;
+    ``payloads[i]`` is what shard ``i``'s task carries (bounds, an
+    ``('mmap', path, start, stop)`` slice, or the shard's own array);
+    ``cleanup`` must be called -- after the pooled call returns -- to
+    remove any temp file (a no-op otherwise; already-mapped workers keep
+    reading through their open mapping even after the unlink).
+    """
+    if _inherit_via_fork():
+        return (
+            images,
+            [(piece.start, piece.stop) for piece in slices],
+            lambda: None,
+        )
+    from repro.parallel.service import persistent_pool_enabled
+
+    if persistent_pool_enabled():
+        path = _write_shard_file(images)
+        if path is not None:
+            def cleanup(path=path):
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+            return (
+                None,
+                [
+                    ("mmap", path, piece.start, piece.stop)
+                    for piece in slices
+                ],
+                cleanup,
+            )
+    return (
+        None,
+        [np.ascontiguousarray(images[piece]) for piece in slices],
+        lambda: None,
+    )
+
+
+_MMAP_CACHE: Dict[str, np.ndarray] = {}
+
+
+def resolve_task_images(
+    payload: object, init_images: Optional[np.ndarray]
+) -> np.ndarray:
+    """A task's image rows from whatever :func:`plan_task_images` shipped."""
+    if isinstance(payload, np.ndarray):
+        return payload
+    if isinstance(payload, tuple) and payload and payload[0] == "mmap":
+        _, path, start, stop = payload
+        mapped = _MMAP_CACHE.get(path)
+        if mapped is None:
+            _MMAP_CACHE.clear()  # one eval file at a time; old paths are gone
+            mapped = np.load(path, mmap_mode="r")
+            _MMAP_CACHE[path] = mapped
+        return np.array(mapped[start:stop])
+    start, stop = payload
+    return init_images[start:stop]
+
+
+# ---------------------------------------------------------------------------
 # Worker side
 # ---------------------------------------------------------------------------
 
@@ -209,15 +326,12 @@ def _init_shard_worker(
 
 
 def _run_shard(task: Tuple[object, int, bool]):
-    """One shard: ``payload`` is (start, stop) bounds into the worker's
-    inherited image array (fork) or the shard's own array (spawn)."""
+    """One shard: ``payload`` is whatever :func:`plan_task_images`
+    shipped -- inherited-array bounds (fork), a memory-mapped row slice
+    (persistent service) or the shard's own array (spawn)."""
     payload, timesteps, record = task
     state = _WORKER_STATE
-    if state["images"] is None:
-        shard_images = payload
-    else:
-        start, stop = payload
-        shard_images = state["images"][start:stop]
+    shard_images = resolve_task_images(payload, state["images"])
     encoder = pickle.loads(state["encoder_blob"])
     return state["model"].forward(
         shard_images, timesteps, encoder, record=record
@@ -272,46 +386,29 @@ def sharded_forward(
                 )
             )
         return merge_outputs(parts)
-    from repro.parallel.pool import pool_start_method
-    from repro.parallel.service import persistent_pool_enabled
-
-    # Fork-time memory inheritance only exists when the pool is created
-    # for this call: the persistent service's workers were forked at
-    # service start and see none of the parent's later allocations, so
-    # under the service every per-call byte must travel with the tasks.
-    inherit = pool_start_method() == "fork" and not persistent_pool_enabled()
     # Under fork-per-call the live object (attached plan, warm caches
     # included) reaches workers through the inherited address space for
     # free; the disk artifact + sidecar pays off whenever workers must
     # materialise state explicitly (spawn, or the persistent service)
     # and would otherwise be shipped the whole pickled model.
-    use_path = model_path is not None and not inherit
+    use_path = model_path is not None and not _inherit_via_fork()
     payload = (
         ("path", model_path, model.weights_digest())
         if use_path
         else ("object", model, None)
     )
-    if inherit:
-        # Workers inherit the parent's memory: the full array in the
-        # initializer costs nothing, tasks carry only bounds.
-        init_images: Optional[np.ndarray] = images
-        tasks = [
-            ((piece.start, piece.stop), timesteps, record) for piece in slices
-        ]
-    else:
-        # Everything is pickled (spawn start, or the persistent
-        # service's generation shipping): send each sample exactly once
-        # by putting the shard's own slice in its task payload.
-        init_images = None
-        tasks = [
-            (np.ascontiguousarray(images[piece]), timesteps, record)
-            for piece in slices
-        ]
-    parts = run_tasks(
-        _run_shard,
-        tasks,
-        workers=count,
-        initializer=_init_shard_worker,
-        initargs=(payload, init_images, encoder_blob),
-    )
+    init_images, image_payloads, cleanup = plan_task_images(images, slices)
+    tasks = [
+        (image_payload, timesteps, record) for image_payload in image_payloads
+    ]
+    try:
+        parts = run_tasks(
+            _run_shard,
+            tasks,
+            workers=count,
+            initializer=_init_shard_worker,
+            initargs=(payload, init_images, encoder_blob),
+        )
+    finally:
+        cleanup()
     return merge_outputs(parts)

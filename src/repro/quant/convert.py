@@ -152,9 +152,13 @@ class DeployableNetwork:
     ) -> DeployableOutput:
         """Run ``timesteps`` of inference on an image batch.
 
-        Routes through the fused inference runtime (bit-exact vs. the
-        legacy per-timestep loop) unless the runtime is disabled; see
-        :mod:`repro.runtime`.
+        Routes through the fused inference runtime unless it is
+        disabled; see :mod:`repro.runtime`. Shapes on the unblocked
+        fold (every layer, when ``event_kblock=0``) are bit-exact
+        against :meth:`forward_legacy`; deep conv shapes on the default
+        canonical blocked fold are bit-exact across every dispatch
+        setting (forced dense == forced event == cost-routed) but may
+        differ from the legacy loop's full-``K`` GEMM in the last ulp.
         """
         images = np.asarray(images, dtype=np.float32)
         if images.ndim != 4 or images.shape[1:] != self.input_shape:

@@ -33,12 +33,19 @@ Execution model
 Bit-exactness is enforced, not assumed: the scatter kernel reproduces a
 sequential ascending-``k`` BLAS fold while skipping zero terms, and each
 conv layer shape is *calibrated* once against the environment's actual
-BLAS kernel (:func:`~repro.runtime.kernels.calibrate_event_exact`);
-shapes whose GEMM uses a different fold stay on the dense path. Dispatch
-therefore affects speed only -- logits, spike trains and simulator cycle
-counts are exactly those of the legacy loops. Dispatch decisions are
-tallied per layer in :class:`~repro.runtime.config.LayerCounters` and
-surfaced in simulation reports.
+BLAS kernel (:func:`~repro.runtime.kernels.calibrate_event_exact`).
+Shapes whose full-``K`` GEMM folds multi-lane (deep conv layers,
+``K >= ~500`` here) switch both kernels to the canonical **blocked
+k-fold** (:func:`~repro.runtime.kernels.calibrate_event_block` picks the
+largest block size whose within-block fold proves single-lane), so the
+event path stays open at any depth; only shapes with no bit-exact
+configuration at all remain on the dense fallback. Dispatch therefore
+affects speed only, and under the default measured cost model
+(:mod:`repro.runtime.costmodel`) each eligible timestep takes whichever
+calibrated kernel is predicted cheaper on this machine. Dispatch
+decisions -- with the reason for every dense one -- are tallied per
+layer in :class:`~repro.runtime.config.LayerCounters` and surfaced in
+simulation reports and :func:`~repro.runtime.plan_io.plan_report`.
 """
 
 from repro.runtime.config import (
@@ -54,11 +61,16 @@ from repro.runtime.engine import (
     RuntimeResult,
     stack_encoder_frames,
 )
+from repro.runtime.costmodel import LayerCostState, ensure_cost_state
 from repro.runtime.kernels import (
+    KBLOCK_CANDIDATES,
     BufferPool,
+    calibrate_block_exact,
     calibrate_event_exact,
     calibration_key,
     resolve_event_backend,
+    resolve_event_block,
+    seed_block_resolution,
     seed_calibration,
 )
 from repro.runtime.plan import (
@@ -82,25 +94,31 @@ __all__ = [
     "BufferPool",
     "ConvGeometry",
     "InferenceEngine",
+    "KBLOCK_CANDIDATES",
+    "LayerCostState",
     "LayerCounters",
     "LayerPlan",
     "NetworkPlan",
     "RuntimeConfig",
     "RuntimeResult",
     "arrays_digest",
+    "calibrate_block_exact",
     "calibrate_event_exact",
     "calibration_key",
     "configure",
     "conv_geometry",
+    "ensure_cost_state",
     "load_plan",
     "plan_deployable",
     "plan_report",
     "plan_sidecar_path",
     "plan_spiking",
     "resolve_event_backend",
+    "resolve_event_block",
     "runtime_config",
     "runtime_overrides",
     "save_plan",
+    "seed_block_resolution",
     "seed_calibration",
     "set_runtime_config",
     "stack_encoder_frames",

@@ -26,26 +26,50 @@ class RuntimeConfig:
     Attributes:
         enabled: route eligible forwards through the runtime at all.
         dispatch_threshold: input spike density (fraction of set bits) at
-            or below which a layer-timestep takes the event-driven path;
-            0 disables the event path, 1 forces it whenever legal.
+            or below which a layer-timestep is *eligible* for the
+            event-driven path; 0 disables the event path, 1 forces it
+            whenever legal.
+        dispatch_policy: how eligible timesteps are routed. ``'cost'``
+            (default) predicts each side's wall time from measured
+            per-layer rates (seeded by a one-shot probe, refined online;
+            see :mod:`repro.runtime.costmodel`) and takes the cheaper
+            kernel; ``'density'`` restores the pre-cost-model behaviour
+            (eligible == event). Cost routing depends on wall-clock
+            measurements, so dispatch *counters* may vary between runs
+            under ``'cost'`` -- results never do (both kernels are
+            calibrated bit-identical); pin ``'density'`` where counters
+            are byte-compared.
         force_path: pin every eligible layer-timestep to ``'dense'`` or
             ``'event'`` regardless of density (equivalence testing).
         event_backend: ``'scipy'`` (CSR scatter-matmul), ``'numpy'``
             (sorted ``np.add.at``), or ``'auto'`` (scipy when available).
+        event_kblock: canonical blocked k-fold control. ``None`` (auto)
+            calibrates per shape and picks the largest bit-exact block
+            for shapes whose unblocked fold fails; ``0`` disables
+            blocking (deep shapes return to the dense fallback); ``B >
+            0`` forces that block size for every blockable conv shape
+            (still probe-guarded). Env default: ``REPRO_EVENT_KBLOCK``.
         max_fused_elements: cap on the im2col buffer (elements) per fused
             dense call; larger batches are chunked (bit-exact either way).
     """
 
     enabled: bool = True
     dispatch_threshold: float = 0.05
+    dispatch_policy: str = "cost"
     force_path: Optional[str] = None
     event_backend: str = "auto"
+    event_kblock: Optional[int] = None
     max_fused_elements: int = 1 << 24
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.dispatch_threshold <= 1.0:
             raise ConfigError(
                 f"dispatch_threshold must be in [0, 1], got {self.dispatch_threshold}"
+            )
+        if self.dispatch_policy not in ("cost", "density"):
+            raise ConfigError(
+                f"dispatch_policy must be 'cost' or 'density', "
+                f"got {self.dispatch_policy!r}"
             )
         if self.force_path not in (None, "dense", "event"):
             raise ConfigError(
@@ -56,13 +80,42 @@ class RuntimeConfig:
                 f"event_backend must be 'auto', 'scipy' or 'numpy', "
                 f"got {self.event_backend!r}"
             )
+        if self.event_kblock is not None and self.event_kblock < 0:
+            raise ConfigError(
+                f"event_kblock must be None (auto) or >= 0, "
+                f"got {self.event_kblock}"
+            )
         if self.max_fused_elements < 1:
             raise ConfigError(
                 f"max_fused_elements must be >= 1, got {self.max_fused_elements}"
             )
 
 
-_CONFIG = RuntimeConfig(enabled=os.environ.get("REPRO_RUNTIME", "1") != "0")
+def _env_event_kblock() -> Optional[int]:
+    """``REPRO_EVENT_KBLOCK``: ``auto`` (default) -> None, else an int.
+
+    Unparseable values fall back to auto -- consistent with the lenient
+    ``REPRO_RUNTIME`` handling (a typo must not break every import)."""
+    raw = os.environ.get("REPRO_EVENT_KBLOCK", "auto").strip().lower()
+    if raw in ("", "auto"):
+        return None
+    try:
+        return max(0, int(raw))
+    except ValueError:
+        return None
+
+
+def _env_dispatch_policy() -> str:
+    """``REPRO_DISPATCH_POLICY``: ``cost`` (default) or ``density``."""
+    raw = os.environ.get("REPRO_DISPATCH_POLICY", "cost").strip().lower()
+    return raw if raw in ("cost", "density") else "cost"
+
+
+_CONFIG = RuntimeConfig(
+    enabled=os.environ.get("REPRO_RUNTIME", "1") != "0",
+    dispatch_policy=_env_dispatch_policy(),
+    event_kblock=_env_event_kblock(),
+)
 
 
 def runtime_config() -> RuntimeConfig:
@@ -95,20 +148,55 @@ def runtime_overrides(**overrides) -> Iterator[RuntimeConfig]:
 
 @dataclass
 class LayerCounters:
-    """Dispatch statistics for one layer across one forward pass."""
+    """Dispatch statistics for one layer across one forward pass.
+
+    ``dense_steps`` is the total; the ``dense_*_steps`` fields attribute
+    each dense decision to its cause so a report can explain *why* a
+    layer stayed dense: ``density`` (input activity above the dispatch
+    threshold, or the event path disabled), ``cost`` (eligible, but the
+    measured cost model predicted the dense kernel cheaper),
+    ``calibration`` (no bit-exact event configuration at this shape --
+    the dense fallback), ``forced`` (``force_path='dense'``). Steps that
+    are ineligible by construction (FC layers, analog or non-binary
+    input) are counted in the total only.
+    """
 
     dense_steps: int = 0
     event_steps: int = 0
     event_updates: int = 0  # scatter contributions routed through the event path
+    dense_density_steps: int = 0
+    dense_cost_steps: int = 0
+    dense_calibration_steps: int = 0
+    dense_forced_steps: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
             "dense_steps": self.dense_steps,
             "event_steps": self.event_steps,
             "event_updates": self.event_updates,
+            "dense_density_steps": self.dense_density_steps,
+            "dense_cost_steps": self.dense_cost_steps,
+            "dense_calibration_steps": self.dense_calibration_steps,
+            "dense_forced_steps": self.dense_forced_steps,
         }
+
+    def count_dense(self, reason: Optional[str], steps: int = 1) -> None:
+        """Tally ``steps`` dense layer-timesteps attributed to ``reason``."""
+        self.dense_steps += steps
+        if reason == "density":
+            self.dense_density_steps += steps
+        elif reason == "cost":
+            self.dense_cost_steps += steps
+        elif reason == "calibration":
+            self.dense_calibration_steps += steps
+        elif reason == "forced":
+            self.dense_forced_steps += steps
 
     def merge(self, other: "LayerCounters") -> None:
         self.dense_steps += other.dense_steps
         self.event_steps += other.event_steps
         self.event_updates += other.event_updates
+        self.dense_density_steps += other.dense_density_steps
+        self.dense_cost_steps += other.dense_cost_steps
+        self.dense_calibration_steps += other.dense_calibration_steps
+        self.dense_forced_steps += other.dense_forced_steps

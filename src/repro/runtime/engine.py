@@ -8,35 +8,49 @@ feeds the next layer. Because the network is feed-forward and LIF state
 is purely per-layer, this reordering of the legacy time-major loop is
 exact.
 
-Per layer and timestep the density dispatcher measures input activity
-and routes the step to the dense gather-matmul kernel or the
-event-driven scatter kernel (see :mod:`repro.runtime.kernels`); both are
-bit-identical, so dispatch never changes results -- only speed. The
-engine also memoises the first-layer current under time-invariant
-encodings (direct coding presents the same frame every timestep), which
-removes ``(T-1)/T`` of the dense-core work outright.
+Per layer and timestep the dispatcher measures input activity and routes
+the step to the dense gather-matmul kernel or the event-driven scatter
+kernel (see :mod:`repro.runtime.kernels`); both are calibrated
+bit-identical -- for deep conv shapes via the canonical blocked k-fold,
+which both kernels share -- so dispatch never changes results, only
+speed. Which fold a layer uses is a pure function of the layer shape and
+``event_kblock``; the routing knobs (``force_path``,
+``dispatch_threshold``, ``dispatch_policy``) choose between
+already-bit-identical kernels. Under ``dispatch_policy='cost'``
+(default) eligible timesteps are routed by predicted wall time from the
+measured per-layer cost model (:mod:`repro.runtime.costmodel`), and
+every dense decision is attributed to its cause (density, cost,
+calibration, forced) in the layer counters. The engine also memoises the
+first-layer current under time-invariant encodings (direct coding
+presents the same frame every timestep), which removes ``(T-1)/T`` of
+the dense-core work outright.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.runtime.config import LayerCounters, RuntimeConfig, runtime_config
+from repro.runtime.costmodel import ensure_cost_state
 from repro.runtime.kernels import (
     BufferPool,
-    calibrate_event_exact,
     dense_conv,
     dense_fc,
     event_conv,
+    event_conv_blocked,
     or_pool,
     resolve_event_backend,
+    resolve_event_block,
 )
 from repro.runtime.plan import LayerPlan, NetworkPlan
 from repro.snn.metrics import SpikeStats
 from repro.snn.neuron import lif_scan
+
+_UNRESOLVED = object()
 
 
 def stack_encoder_frames(encoder, images: np.ndarray, timesteps: int, record: bool = False):
@@ -91,9 +105,38 @@ class InferenceEngine:
         self.plan = plan
         self.config = config
         self.buffers = buffers if buffers is not None else BufferPool()
+        self._block_by_layer: Dict[str, Optional[int]] = {}
 
     def _config(self) -> RuntimeConfig:
         return self.config if self.config is not None else runtime_config()
+
+    def _layer_block(self, layer: LayerPlan) -> Optional[int]:
+        """The layer's calibrated fold: ``None`` (no exact event config,
+        dense fallback on the unblocked fold), ``0`` (unblocked event
+        path exact) or a block size.
+
+        A pure function of (shape, ``event_kblock``, backend) -- never of
+        the routing knobs -- so forcing a path or changing the dispatch
+        policy can never change which fold a layer computes with. This
+        is deliberate even for dense-only configurations
+        (``force_path='dense'``, threshold 0): they pay the one-time
+        resolution probes and the slightly slower blocked dense GEMM on
+        deep shapes so their results stay bit-comparable with routed
+        runs -- the property every equivalence test and determinism gate
+        relies on. Opting a deployment out of blocking entirely is what
+        ``event_kblock=0`` is for.
+        """
+        cached = self._block_by_layer.get(layer.name, _UNRESOLVED)
+        if cached is not _UNRESOLVED:
+            return cached
+        config = self._config()
+        block = resolve_event_block(
+            layer,
+            resolve_event_backend(config.event_backend),
+            config.event_kblock,
+        )
+        self._block_by_layer[layer.name] = block
+        return block
 
     # ------------------------------------------------------------------
     # Execution
@@ -201,19 +244,25 @@ class InferenceEngine:
         counter: LayerCounters,
     ) -> np.ndarray:
         timesteps, samples = x.shape[0], x.shape[1]
+        block = (
+            self._layer_block(layer)
+            if layer.kind == "conv" and not analog
+            else None
+        )
         if time_invariant:
-            cur0, used_event, updates = self._batch_current(
+            cur0, used_event, updates, reason = self._batch_current(
                 layer,
                 x[0],
                 t_sums[0],
                 t_nnz[0] if t_nnz is not None else None,
                 analog,
+                block,
             )
             if used_event:
                 counter.event_steps += timesteps
                 counter.event_updates += updates
             else:
-                counter.dense_steps += timesteps
+                counter.count_dense(reason, timesteps)
             return np.broadcast_to(cur0, (timesteps,) + cur0.shape)
 
         config = self._config()
@@ -223,9 +272,12 @@ class InferenceEngine:
             else (layer.out_channels,)
         )
         if t_nnz is None:  # dispatch disabled: everything is dense
-            counter.dense_steps += timesteps
+            reason = "forced" if config.force_path == "dense" else "density"
+            if layer.kind != "conv" or analog:
+                reason = None
+            counter.count_dense(reason, timesteps)
             fused = x.reshape((timesteps * samples,) + x.shape[2:])
-            return self._kernel_dense(layer, fused).reshape(
+            return self._kernel_dense(layer, fused, block).reshape(
                 (timesteps, samples) + out_spatial
             )
         slice_size = x[0].size
@@ -239,13 +291,16 @@ class InferenceEngine:
         for t in range(timesteps):
             if t_nnz[t] == 0:
                 empty_ts.append(t)
-            elif self._take_event_path(
-                config, layer, analog, t_sums[t], t_nnz[t], slice_size
-            ):
+                continue
+            use_event, reason = self._classify_step(
+                config, layer, block, analog,
+                t_sums[t], t_nnz[t], slice_size, samples,
+            )
+            if use_event:
                 event_ts.append(t)
             else:
                 dense_ts.append(t)
-        counter.dense_steps += len(dense_ts)
+                counter.count_dense(reason)
         counter.event_steps += len(event_ts) + len(empty_ts)
         bias_cast = layer.bias.reshape(
             (1, 1, -1) + (1,) * (len(out_spatial) - 1)
@@ -254,12 +309,12 @@ class InferenceEngine:
             return np.broadcast_to(bias_cast, (timesteps, samples) + out_spatial)
         if not event_ts and not empty_ts:
             fused = x.reshape((timesteps * samples,) + x.shape[2:])
-            return self._kernel_dense(layer, fused).reshape(
+            return self._kernel_dense(layer, fused, block).reshape(
                 (timesteps, samples) + out_spatial
             )
         if not dense_ts and not empty_ts:
             fused = x.reshape((timesteps * samples,) + x.shape[2:])
-            cur, updates = self._kernel_event(layer, fused)
+            cur, updates = self._kernel_event(layer, fused, block)
             counter.event_updates += updates
             return cur.reshape((timesteps, samples) + out_spatial)
         current = np.empty((timesteps, samples) + out_spatial, dtype=np.float32)
@@ -267,68 +322,125 @@ class InferenceEngine:
             current[empty_ts] = bias_cast[0]
         if dense_ts:
             batch_d = x[dense_ts].reshape((-1,) + x.shape[2:])
-            current[dense_ts] = self._kernel_dense(layer, batch_d).reshape(
+            current[dense_ts] = self._kernel_dense(layer, batch_d, block).reshape(
                 (len(dense_ts), samples) + out_spatial
             )
         if event_ts:
             batch_e = x[event_ts].reshape((-1,) + x.shape[2:])
-            cur_e, updates = self._kernel_event(layer, batch_e)
+            cur_e, updates = self._kernel_event(layer, batch_e, block)
             counter.event_updates += updates
             current[event_ts] = cur_e.reshape(
                 (len(event_ts), samples) + out_spatial
             )
         return current
 
-    def _take_event_path(
+    def _classify_step(
         self,
         config: RuntimeConfig,
         layer: LayerPlan,
+        block: Optional[int],
         analog: bool,
         t_sum: float,
         nnz: int,
         size: int,
-    ) -> bool:
+        samples: int,
+    ) -> Tuple[bool, Optional[str]]:
+        """Route one layer-timestep: ``(use_event, dense_reason)``.
+
+        ``dense_reason`` attributes a dense decision for the counters:
+        ``None`` (ineligible by construction), ``'forced'``,
+        ``'density'``, ``'calibration'`` or ``'cost'``.
+        """
         if layer.kind != "conv" or analog or size == 0:
-            return False
+            return False, None
         binary = float(nnz) == t_sum  # non-negative spikes: sum==nnz <=> {0,1}
         if not binary:
-            return False
+            return False, None
         if config.force_path == "dense":
-            return False
-        if config.force_path != "event":
-            if config.dispatch_threshold <= 0.0:
-                return False
-            if nnz / size > config.dispatch_threshold:
-                return False
-        # Never dispatch to a shape whose scatter fold has not proven
-        # bit-identical to this environment's BLAS (see kernels docs).
-        return calibrate_event_exact(
-            layer, resolve_event_backend(config.event_backend)
-        )
+            return False, "forced"
+        if config.force_path == "event":
+            # Never dispatch to a shape without a calibrated bit-exact
+            # event configuration (see kernels docs).
+            if block is None:
+                return False, "calibration"
+            return True, None
+        if config.dispatch_threshold <= 0.0:
+            return False, "density"
+        if (
+            config.dispatch_threshold < 1.0
+            and nnz / size > config.dispatch_threshold
+        ):
+            return False, "density"
+        if block is None:
+            return False, "calibration"
+        if config.dispatch_policy == "cost" and config.dispatch_threshold < 1.0:
+            backend = resolve_event_backend(config.event_backend)
+            state = ensure_cost_state(layer, backend, block or None)
+            updates = nnz * layer.geometry.avg_taps
+            if state.predict_event_ms(updates) > state.predict_dense_ms(samples):
+                return False, "cost"
+        return True, None
 
-    def _batch_current(self, layer, xb, b_sum, b_nnz, analog):
+    def _batch_current(self, layer, xb, b_sum, b_nnz, analog, block):
         """Single-batch current with dispatch (time-invariant memo path)."""
         config = self._config()
-        if b_nnz is not None and self._take_event_path(
-            config, layer, analog, b_sum, b_nnz, xb.size
-        ):
-            cur, updates = self._kernel_event(layer, xb)
-            return cur, True, updates
-        return self._kernel_dense(layer, xb), False, 0
+        if b_nnz is not None:
+            if b_nnz == 0 and layer.kind == "conv" and not analog:
+                # Empty-input shortcut, same as the per-timestep path.
+                bias_cast = layer.bias.reshape(
+                    (1, -1) + (1,) * (xb.ndim - 2)
+                )
+                shape = (xb.shape[0], layer.out_channels,
+                         layer.geometry.oh, layer.geometry.ow)
+                return np.broadcast_to(bias_cast, shape), True, 0, None
+            use_event, reason = self._classify_step(
+                config, layer, block, analog, b_sum, b_nnz, xb.size,
+                xb.shape[0],
+            )
+            if use_event:
+                cur, updates = self._kernel_event(layer, xb, block)
+                return cur, True, updates, None
+        else:
+            reason = "forced" if config.force_path == "dense" else "density"
+            if layer.kind != "conv" or analog:
+                reason = None
+        return self._kernel_dense(layer, xb, block), False, 0, reason
 
     # ------------------------------------------------------------------
     # Kernels
     # ------------------------------------------------------------------
-    def _kernel_dense(self, layer: LayerPlan, batch: np.ndarray) -> np.ndarray:
+    def _kernel_dense(
+        self, layer: LayerPlan, batch: np.ndarray, block: Optional[int] = None
+    ) -> np.ndarray:
         if layer.kind == "conv":
-            return dense_conv(
+            start = time.perf_counter()
+            out = dense_conv(
                 layer,
                 batch,
                 buffers=self.buffers,
                 max_elements=self._config().max_fused_elements,
+                kblock=block if block else None,
             )
+            state = layer.cost_state
+            if state is not None:
+                state.observe_dense(
+                    (time.perf_counter() - start) * 1e3, batch.shape[0]
+                )
+            return out
         return dense_fc(layer, batch.reshape(batch.shape[0], -1))
 
-    def _kernel_event(self, layer: LayerPlan, batch: np.ndarray):
+    def _kernel_event(
+        self, layer: LayerPlan, batch: np.ndarray, block: Optional[int] = None
+    ):
         backend = resolve_event_backend(self._config().event_backend)
-        return event_conv(layer, batch, backend)
+        start = time.perf_counter()
+        if block:
+            result = event_conv_blocked(layer, batch, backend, block)
+        else:
+            result = event_conv(layer, batch, backend)
+        state = layer.cost_state
+        if state is not None:
+            state.observe_event(
+                (time.perf_counter() - start) * 1e3, result[1]
+            )
+        return result

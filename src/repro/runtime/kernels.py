@@ -23,9 +23,22 @@ may split ``k`` over several accumulator lanes). The runtime therefore
 :func:`calibrate_event_exact` probes the scatter kernel against the
 dense kernel on random binary inputs -- and the dispatcher only ever
 routes layers to the event path after their shape has proven
-bit-identical in this environment. FC layers always take the dense path:
-their single small GEMM is negligible host cost and their BLAS shape is
-the multi-lane one.
+bit-identical in this environment.
+
+Deep conv shapes (``K >= ~500`` in this environment) fail that unblocked
+probe: their full-``K`` GEMM folds multi-lane. For them the runtime
+switches both kernels to a **canonical blocked k-fold**: the im2col
+reduction is split into fixed-size k-blocks, each block is reduced on
+its own (a small block GEMM on the dense side, a per-block scatter on
+the event side), and the per-block partial sums are folded in the same
+ascending block order by both kernels. Bit-exactness then only requires
+the *within-block* GEMM to fold single-lane, which holds for small
+enough blocks; :func:`calibrate_event_block` probes candidate block
+sizes largest-first and picks the biggest one that proves exact, so the
+event path stays open at any depth -- the software twin of the blocked
+event-accumulation pipelines in sparse-SNN accelerators (Sommer et al.,
+ExSpike). FC layers always take the dense path: their single small GEMM
+is negligible host cost and their BLAS shape is the multi-lane one.
 """
 
 from __future__ import annotations
@@ -79,6 +92,7 @@ def dense_conv(
     x: np.ndarray,
     buffers: Optional[BufferPool] = None,
     max_elements: int = 1 << 24,
+    kblock: Optional[int] = None,
 ) -> np.ndarray:
     """Unfold-matmul convolution over a fused (B, Cin, H, W) batch.
 
@@ -89,6 +103,13 @@ def dense_conv(
     whose im2col buffer would exceed ``max_elements`` are chunked --
     bit-exact either way, since per-sample GEMM results are independent
     of the batch split.
+
+    With ``kblock`` set, the ``k`` reduction runs as the canonical
+    blocked fold instead of one full-``K`` GEMM: one block GEMM per
+    ``kblock``-sized slice of the im2col rows, partial sums accumulated
+    in ascending block order. :func:`event_conv_blocked` folds the same
+    partials in the same order, which is what makes the two bit-identical
+    at shapes whose full-``K`` fold is multi-lane (see module docs).
     """
     g = layer.geometry
     batch = x.shape[0]
@@ -96,6 +117,7 @@ def dense_conv(
     kernel = g.kernel
     out = np.empty((batch, cout, g.p), dtype=np.float32)
     chunk = max(1, min(batch, max_elements // max(1, g.k * g.p)))
+    tables = layer.block_tables(kblock) if kblock else None
     for start in range(0, batch, chunk):
         stop = min(batch, start + chunk)
         xc = x[start:stop]
@@ -113,7 +135,25 @@ def dense_conv(
             cols.reshape(stop - start, g.cin, kernel, kernel, g.oh, g.ow),
             windows.transpose(0, 1, 4, 5, 2, 3),
         )
-        np.matmul(layer.wmat, cols, out=out[start:stop])
+        out_chunk = out[start:stop]
+        if tables is None or tables.nblocks == 1:
+            np.matmul(layer.wmat, cols, out=out_chunk)
+        else:
+            if buffers is not None:
+                partial = buffers.get("kpartial", out_chunk.shape)
+            else:
+                partial = np.empty(out_chunk.shape, dtype=np.float32)
+            edges = tables.edges
+            np.matmul(
+                tables.wmat_blocks[0], cols[:, edges[0]:edges[1], :],
+                out=out_chunk,
+            )
+            for i in range(1, tables.nblocks):
+                np.matmul(
+                    tables.wmat_blocks[i], cols[:, edges[i]:edges[i + 1], :],
+                    out=partial,
+                )
+                np.add(out_chunk, partial, out=out_chunk)
     out = out.reshape(batch, cout, g.oh, g.ow)
     np.add(out, layer.bias.reshape(1, -1, 1, 1), out=out)
     return out
@@ -179,7 +219,84 @@ def event_conv(
     return current, updates
 
 
+def event_conv_blocked(
+    layer: LayerPlan, x: np.ndarray, backend: str, kblock: int
+) -> Tuple[np.ndarray, int]:
+    """Blocked event-driven convolution over a (B, Cin, H, W) binary batch.
+
+    The event coordinates are extracted once, sorted by im2col row ``k``
+    (stable, so the within-row order is untouched), and partitioned into
+    ``kblock``-sized k-ranges with one ``searchsorted`` against the
+    plan's precomputed block edges. Each block's contributions are
+    scatter-accumulated against that block's contiguous weight slice --
+    ascending ``k`` within the block, exactly as :func:`event_conv` does
+    for the whole row range -- and the per-block partial sums are folded
+    in ascending block order, mirroring the blocked dense fold term for
+    term. Blocks that received no events are skipped: their dense-side
+    partial is exactly zero, so the fold is unchanged (calibration
+    probes sparse inputs and would catch any environment where it is
+    not).
+
+    Returns the layer current and the number of scatter contributions,
+    exactly like :func:`event_conv`.
+    """
+    g = layer.geometry
+    batch = x.shape[0]
+    cout = layer.out_channels
+    tables = layer.block_tables(kblock)
+    n_rows = batch * g.p
+    b_idx, pix = np.nonzero(x.reshape(batch, -1))
+    updates = 0
+    out2d: Optional[np.ndarray] = None
+    if b_idx.size:
+        valid = g.contrib_valid[pix]
+        k_all = g.contrib_k[pix][valid]
+        q_all = (b_idx[:, None].astype(np.int64) * g.p + g.contrib_p[pix])[valid]
+        updates = int(k_all.size)
+        order = np.argsort(k_all, kind="stable")
+        k_sorted = k_all[order]
+        q_sorted = q_all[order]
+        edges = tables.edges
+        splits = np.searchsorted(k_sorted, edges)
+        for i in range(tables.nblocks):
+            lo, hi = int(splits[i]), int(splits[i + 1])
+            if lo == hi:
+                continue
+            partial = _scatter_columns(
+                q_sorted[lo:hi],
+                k_sorted[lo:hi] - edges[i],
+                tables.wT_blocks[i],
+                n_rows,
+                backend,
+            )
+            if out2d is None:
+                out2d = partial
+            else:
+                np.add(out2d, partial, out=out2d)
+    if out2d is None:
+        out2d = np.zeros((n_rows, cout), dtype=np.float32)
+    current = np.ascontiguousarray(
+        out2d.reshape(batch, g.p, cout).transpose(0, 2, 1)
+    ).reshape(batch, cout, g.oh, g.ow)
+    np.add(current, layer.bias.reshape(1, -1, 1, 1), out=current)
+    return current, updates
+
+
 _CALIBRATION_CACHE: Dict[Tuple, bool] = {}
+
+#: Candidate k-block sizes probed largest-first by the auto resolution.
+#: In practice the within-block GEMM stays single-lane up to a few
+#: hundred k rows on common BLAS builds, so the largest candidates keep
+#: the per-block overhead lowest while the small ones are the safety net.
+KBLOCK_CANDIDATES = (512, 256, 128, 64, 32)
+
+# (shape key, block) -> the blocked kernels proved bit-identical.
+_BLOCK_EXACT_CACHE: Dict[Tuple, bool] = {}
+# shape key -> auto-resolved block (0 = unblocked exact, >0 = blocked
+# with that size, None = no exact configuration; dense fallback).
+_BLOCK_CHOICE_CACHE: Dict[Tuple, Optional[int]] = {}
+
+_UNRESOLVED = object()  # distinguishes "never probed" from "probed: None"
 
 
 def calibration_key(layer: LayerPlan, backend: str) -> Tuple:
@@ -229,6 +346,98 @@ def calibrate_event_exact(layer: LayerPlan, backend: str) -> bool:
             break
     _CALIBRATION_CACHE[key] = exact
     return exact
+
+
+def calibrate_block_exact(layer: LayerPlan, backend: str, kblock: int) -> bool:
+    """True when the blocked event and blocked dense kernels are
+    bit-identical for this layer's shape at block size ``kblock``.
+
+    The probe compares the two kernels *at the same block size* -- the
+    canonical blocked fold is the reference, not the unblocked GEMM (at
+    deep shapes those differ in the last ulp by construction, which is
+    the whole reason the blocked fold exists). A block that is too large
+    for this environment's BLAS to fold single-lane within the block
+    fails on essentially every random probe, exactly like the unblocked
+    probe at deep shapes, so wrong fold orders are rejected decisively.
+    """
+    key = (calibration_key(layer, backend), int(kblock))
+    cached = _BLOCK_EXACT_CACHE.get(key)
+    if cached is not None:
+        return cached
+    g = layer.geometry
+    rng = np.random.default_rng(0xC0FFEE)
+    exact = True
+    for density in (0.02, 0.1, 0.3):
+        probe = (
+            rng.random((2, g.cin, g.height, g.width)) < density
+        ).astype(np.float32)
+        want = dense_conv(layer, probe, kblock=kblock)
+        got, _ = event_conv_blocked(layer, probe, backend, kblock)
+        if not np.array_equal(got, want):
+            exact = False
+            break
+    _BLOCK_EXACT_CACHE[key] = exact
+    return exact
+
+
+def resolve_event_block(
+    layer: LayerPlan, backend: str, kblock: Optional[int] = None
+) -> Optional[int]:
+    """The layer's calibrated event-path configuration.
+
+    Returns ``0`` when the plain (unblocked) event path is bit-exact,
+    a block size ``B > 0`` when only the blocked fold is, and ``None``
+    when no probed configuration is exact (the layer stays on the dense
+    fallback). ``kblock`` mirrors ``RuntimeConfig.event_kblock``:
+
+    * ``None`` (auto) -- prefer the unblocked path, else the largest
+      exact :data:`KBLOCK_CANDIDATES` entry;
+    * ``0`` -- blocking disabled: unblocked-or-dense (pre-blocking
+      behaviour);
+    * ``B > 0`` -- force block size ``B`` (still subject to the
+      exactness probe; an inexact forced block falls back like auto
+      would at that single candidate).
+    """
+    if layer.kind != "conv" or layer.geometry is None:
+        return None
+    k = int(layer.geometry.k)
+    if kblock is not None and kblock > 0:
+        if kblock >= k:  # one block spanning all of k == unblocked
+            return 0 if calibrate_event_exact(layer, backend) else None
+        return kblock if calibrate_block_exact(layer, backend, kblock) else None
+    if kblock == 0:
+        return 0 if calibrate_event_exact(layer, backend) else None
+    key = calibration_key(layer, backend)
+    choice = _BLOCK_CHOICE_CACHE.get(key, _UNRESOLVED)
+    if choice is not _UNRESOLVED:
+        return choice
+    if calibrate_event_exact(layer, backend):
+        choice = 0
+    else:
+        choice = None
+        for candidate in KBLOCK_CANDIDATES:
+            if candidate >= k:
+                continue
+            if calibrate_block_exact(layer, backend, candidate):
+                choice = candidate
+                break
+    _BLOCK_CHOICE_CACHE[key] = choice
+    return choice
+
+
+def seed_block_resolution(key: Tuple, block: Optional[int]) -> None:
+    """Pre-populate the auto block choice (plan persistence fast path).
+
+    Same live-wins semantics as :func:`seed_calibration`: a resolution
+    probed in this process is never overwritten by a sidecar. A seeded
+    positive block also seeds its (shape, block) exactness verdict, so a
+    cold worker runs zero probe GEMMs for shapes its sidecar settled.
+    """
+    key = tuple(key)
+    if key not in _BLOCK_CHOICE_CACHE:
+        _BLOCK_CHOICE_CACHE[key] = None if block is None else int(block)
+        if block:
+            _BLOCK_EXACT_CACHE.setdefault((key, int(block)), True)
 
 
 # ---------------------------------------------------------------------------

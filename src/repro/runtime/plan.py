@@ -19,7 +19,7 @@ math.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -47,6 +47,7 @@ class ConvGeometry:
     contrib_k: np.ndarray  # (Cin*H*W, K*K) int32 -- im2col row per pixel/tap
     contrib_p: np.ndarray  # (Cin*H*W, K*K) int32 -- output position per pixel/tap
     contrib_valid: np.ndarray  # (Cin*H*W, K*K) bool -- in-bounds taps
+    avg_taps: float  # mean in-bounds taps per input pixel (cost prediction)
 
 
 def conv_geometry(
@@ -95,11 +96,36 @@ def conv_geometry(
         contrib_k=np.ascontiguousarray(contrib_k),
         contrib_p=np.ascontiguousarray(contrib_p),
         contrib_valid=np.ascontiguousarray(valid),
+        avg_taps=float(valid.sum()) / max(1, valid.shape[0]),
     )
     if len(_GEOMETRY_CACHE) >= _GEOMETRY_CACHE_MAX:
         _GEOMETRY_CACHE.pop(next(iter(_GEOMETRY_CACHE)))
     _GEOMETRY_CACHE[key] = geometry
     return geometry
+
+
+@dataclass
+class BlockTables:
+    """Per-k-block weight slices for the canonical blocked fold.
+
+    ``edges`` are the k boundaries ``[0, B, 2B, ..., K]`` (last block
+    ragged); ``wmat_blocks[i]`` / ``wT_blocks[i]`` are contiguous copies
+    of the weight columns/rows of block ``i``, so neither kernel slices
+    (or re-copies) weights in the hot loop. Both kernels fold the
+    per-block partial sums in ascending ``edges`` order -- that shared
+    sequential block fold is what makes the blocked dense and blocked
+    event kernels bit-identical by construction (see
+    :mod:`repro.runtime.kernels`).
+    """
+
+    block: int
+    edges: np.ndarray  # (nblocks + 1,) int64 k boundaries
+    wmat_blocks: List[np.ndarray]  # each (Cout, bk) contiguous float32
+    wT_blocks: List[np.ndarray]  # each (bk, Cout) contiguous float32
+
+    @property
+    def nblocks(self) -> int:
+        return len(self.wmat_blocks)
 
 
 @dataclass
@@ -121,6 +147,13 @@ class LayerPlan:
     bn_inv_std: Optional[np.ndarray] = None
     bn_gamma: Optional[np.ndarray] = None
     bn_beta: Optional[np.ndarray] = None
+    # Lazily built per-block weight slices, keyed by block size.
+    _block_tables: Dict[int, BlockTables] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+    # Measured dispatch-cost state (repro.runtime.costmodel), seeded by a
+    # one-shot probe and refined online; never persisted.
+    cost_state: Optional[object] = field(default=None, repr=False, compare=False)
 
     @property
     def out_channels(self) -> int:
@@ -129,6 +162,32 @@ class LayerPlan:
     @property
     def has_bn(self) -> bool:
         return self.bn_mu is not None
+
+    def block_tables(self, block: int) -> BlockTables:
+        """The (cached) per-block weight slices for ``block``-sized k-folds."""
+        tables = self._block_tables.get(block)
+        if tables is None:
+            k = int(self.wmat.shape[1])
+            edges = np.arange(0, k + block, block, dtype=np.int64)
+            edges[-1] = k
+            if edges.size >= 2 and edges[-1] == edges[-2]:
+                edges = edges[:-1]
+            wmat_blocks = [
+                np.ascontiguousarray(self.wmat[:, e0:e1])
+                for e0, e1 in zip(edges[:-1], edges[1:])
+            ]
+            wT_blocks = [
+                np.ascontiguousarray(self.wT[e0:e1])
+                for e0, e1 in zip(edges[:-1], edges[1:])
+            ]
+            tables = BlockTables(
+                block=block,
+                edges=edges,
+                wmat_blocks=wmat_blocks,
+                wT_blocks=wT_blocks,
+            )
+            self._block_tables[block] = tables
+        return tables
 
 
 @dataclass

@@ -19,9 +19,18 @@ loading process -- a different BLAS may fold GEMMs differently, and a
 wrong ``True`` verdict would break bit-exactness. On mismatch the plan
 still loads; the verdicts are simply re-probed on first dispatch.
 
-:func:`plan_report` renders the per-layer lowering outcome -- notably
-which conv shapes failed calibration and stay on the dense fallback (the
-deep-VGG9 ``K >= ~500`` shapes; see ROADMAP's blocked-scatter item).
+:func:`plan_report` renders the per-layer lowering outcome -- which conv
+shapes take the unblocked event path, which needed the canonical blocked
+k-fold (and at what block size), and which have no bit-exact event
+configuration at all and stay on the dense fallback. Passing a run's
+dispatch counters additionally explains every dense *decision* taken at
+runtime (density vs calibration vs cost vs forced).
+
+Sidecar format history: ``network-plan-v2`` (current) extends each
+calibration entry with the auto-resolved k-block; ``network-plan-v1``
+sidecars (written before the blocked fold existed) still load -- their
+verdicts seed the unblocked calibration cache only, and the block
+resolution re-probes lazily on first dispatch.
 """
 
 from __future__ import annotations
@@ -41,12 +50,17 @@ from repro.runtime.kernels import (
     calibrate_event_exact,
     calibration_key,
     resolve_event_backend,
+    resolve_event_block,
+    seed_block_resolution,
     seed_calibration,
 )
 from repro.runtime.plan import LayerPlan, NetworkPlan, conv_geometry
 from repro.utils.serialization import load_npz, save_npz
 
 PLAN_SIDECAR_SUFFIX = ".plan.npz"
+
+#: Accepted sidecar formats, newest first. v1 lacks per-entry ``block``.
+_PLAN_FORMATS = ("network-plan-v2", "network-plan-v1")
 
 _BN_FIELDS = ("bn_mu", "bn_inv_std", "bn_gamma", "bn_beta")
 
@@ -121,7 +135,7 @@ def save_plan(
     backend = resolve_event_backend(backend or runtime_config().event_backend)
     arrays: Dict[str, np.ndarray] = {}
     meta: Dict[str, object] = {
-        "format": "network-plan-v1",
+        "format": "network-plan-v2",
         "model_digest": model_digest,
         "beta": plan.beta,
         "threshold": plan.threshold,
@@ -161,6 +175,10 @@ def save_plan(
                 {
                     "key": list(calibration_key(layer, backend)),
                     "exact": calibrate_event_exact(layer, backend),
+                    # Auto resolution (None = dense fallback, 0 =
+                    # unblocked, >0 = blocked): probed here once so cold
+                    # loaders skip every block-candidate GEMM.
+                    "block": resolve_event_block(layer, backend),
                 }
             )
     save_npz(path, arrays, meta)
@@ -176,7 +194,7 @@ def load_plan(path: str, model_digest: Optional[str] = None) -> NetworkPlan:
     (the model was retrained under it) and loading fails.
     """
     arrays, meta = load_npz(path)
-    if meta.get("format") != "network-plan-v1":
+    if meta.get("format") not in _PLAN_FORMATS:
         raise RuntimeUnsupportedError(
             f"{path!r} is not a serialized network plan"
         )
@@ -230,7 +248,12 @@ def load_plan(path: str, model_digest: Optional[str] = None) -> NetworkPlan:
     )
     if meta.get("fingerprint") == environment_fingerprint():
         for entry in meta.get("calibration", []):
-            seed_calibration(tuple(entry["key"]), entry["exact"])
+            key = tuple(entry["key"])
+            seed_calibration(key, entry["exact"])
+            # v1 sidecars carry no block resolution: leave the choice
+            # cache untouched so it is probed live on first dispatch.
+            if "block" in entry:
+                seed_block_resolution(key, entry["block"])
     return plan
 
 
@@ -252,40 +275,56 @@ def try_load_plan(
         return None
 
 
-def plan_report(plan: NetworkPlan, backend: Optional[str] = None) -> List[Dict]:
+def plan_report(
+    plan: NetworkPlan,
+    backend: Optional[str] = None,
+    counters: Optional[Dict] = None,
+) -> List[Dict]:
     """Per-layer lowering outcome: kernel shape and dispatch eligibility.
 
     Each row carries ``event_exact`` (``None`` for FC layers, which never
-    take the event path) and a human-readable ``path`` that flags the
-    dense fallback taken by conv shapes whose BLAS fold failed
-    calibration.
+    take the event path), the resolved ``k_block`` (``None`` = no exact
+    event configuration, ``0`` = unblocked, ``B > 0`` = canonical
+    blocked fold at that size) and a human-readable ``path`` that
+    distinguishes the *calibration* dense fallback (no bit-exact fold at
+    this shape) from shapes that are event-eligible and merely routed
+    dense at runtime. Passing a run's dispatch counters (a mapping of
+    layer name to :class:`~repro.runtime.config.LayerCounters`) adds a
+    ``dispatch`` column explaining every dense decision of that run --
+    density above threshold vs cost-model veto vs calibration fallback
+    vs forced.
     """
     backend = resolve_event_backend(backend or runtime_config().event_backend)
+    kblock = runtime_config().event_kblock
     rows: List[Dict] = []
     for layer in plan.layers:
         if layer.kind != "conv":
-            rows.append(
-                {
-                    "name": layer.name,
-                    "kind": layer.kind,
-                    "k": int(layer.wmat.shape[1]),
-                    "event_exact": None,
-                    "path": "dense (fc layers never dispatch)",
-                }
-            )
-            continue
-        exact = calibrate_event_exact(layer, backend)
-        rows.append(
-            {
+            row = {
+                "name": layer.name,
+                "kind": layer.kind,
+                "k": int(layer.wmat.shape[1]),
+                "event_exact": None,
+                "k_block": None,
+                "path": "dense (fc layers never dispatch)",
+            }
+        else:
+            exact = calibrate_event_exact(layer, backend)
+            block = resolve_event_block(layer, backend, kblock)
+            if block is None:
+                path = "dense-fallback (calibration: no bit-exact fold at this shape)"
+            elif block == 0:
+                path = "event-eligible"
+            else:
+                path = f"event-eligible (blocked fold, k_block={block})"
+            row = {
                 "name": layer.name,
                 "kind": layer.kind,
                 "k": int(layer.geometry.k),
                 "event_exact": exact,
-                "path": (
-                    "event-eligible"
-                    if exact
-                    else "dense-fallback (BLAS fold mismatch at this shape)"
-                ),
+                "k_block": block,
+                "path": path,
             }
-        )
+        if counters is not None and layer.name in counters:
+            row["dispatch"] = counters[layer.name].as_dict()
+        rows.append(row)
     return rows

@@ -88,8 +88,10 @@ class TestDensityEdges:
         assert counters["conv1_1"].dense_steps == 2
         assert counters["conv2_1"].event_steps == 2
 
-    def test_inexact_shape_never_dispatches_to_event(self):
-        """Layers whose GEMM fold fails calibration must stay dense."""
+    def test_uncalibrated_shape_never_dispatches_to_event(self):
+        """With blocking disabled, a deep shape whose full-K GEMM fold
+        fails the unblocked probe must stay dense -- the pre-blocked-fold
+        fallback contract, now opt-in via event_kblock=0."""
         from repro.runtime import calibrate_event_exact, resolve_event_backend
         from repro.runtime.plan import plan_deployable
 
@@ -104,13 +106,43 @@ class TestDensityEdges:
         )
         images = np.random.default_rng(1).random((3, 64, 8, 8)).astype(np.float32)
         legacy = deployable.forward_legacy(images, 2, RateEncoder(seed=2))
-        with runtime_overrides(force_path="event"):
+        with runtime_overrides(force_path="event", event_kblock=0):
             out = deployable.forward(images, 2, RateEncoder(seed=2))
-        # Bit-exact either way; event dispatch only if the shape proved
-        # exact in this environment (K=64*9 typically folds multi-lane).
+        # Bit-exact either way; unblocked event dispatch only if the
+        # shape proved exact (K=64*9 folds multi-lane here, so it does
+        # not) -- the dense decision is attributed to calibration.
         assert np.array_equal(legacy.logits, out.logits)
+        counters = out.runtime_counters["conv1_1"]
         expected_steps = 2 if verdict else 0
-        assert out.runtime_counters["conv1_1"].event_steps == expected_steps
+        assert counters.event_steps == expected_steps
+        if not verdict:
+            assert counters.dense_calibration_steps == 2
+
+    def test_deep_shape_dispatches_event_through_blocked_fold(self):
+        """The same deep shape with blocking on (default) takes the
+        event path, bit-identically to its own forced-dense run: both
+        kernels share the canonical blocked k-fold."""
+        from repro.runtime import resolve_event_backend, resolve_event_block
+        from repro.runtime.plan import plan_deployable
+
+        net = build_network(
+            "64C3-MP2-40", input_shape=(64, 8, 8), num_classes=10, seed=9
+        )
+        net.eval()
+        deployable = convert(net, FP32)
+        plan = plan_deployable(deployable)
+        block = resolve_event_block(
+            plan.layers[0], resolve_event_backend("auto")
+        )
+        assert block is not None and block > 0
+        images = np.random.default_rng(1).random((3, 64, 8, 8)).astype(np.float32)
+        with runtime_overrides(force_path="event"):
+            event = deployable.forward(images, 2, RateEncoder(seed=2))
+        with runtime_overrides(force_path="dense"):
+            dense = deployable.forward(images, 2, RateEncoder(seed=2))
+        assert np.array_equal(event.logits, dense.logits)
+        assert event.runtime_counters["conv1_1"].event_steps == 2
+        assert dense.runtime_counters["conv1_1"].dense_forced_steps == 2
 
     def test_non_binary_input_detected_and_kept_dense(self, deployable):
         images = np.zeros((4, 3, 8, 8), dtype=np.float32)

@@ -353,3 +353,69 @@ class TestAttachPlan:
         assert np.array_equal(
             reloaded.forward(probe, 2).logits, model.forward(probe, 2).logits
         )
+
+
+class TestSchemaCompat:
+    """PR 2/3 sidecars (network-plan-v1) must keep loading after the v2
+    schema bump that added per-entry k-block resolutions."""
+
+    def _downgrade_to_v1(self, path):
+        arrays, meta = load_npz(path)
+        meta["format"] = "network-plan-v1"
+        for entry in meta["calibration"]:
+            entry.pop("block", None)
+        save_npz(path, arrays, meta)
+
+    def test_v1_sidecar_loads_and_seeds_unblocked_verdicts(
+        self, deployable, images, tmp_path, monkeypatch
+    ):
+        live = plan_deployable(deployable)
+        path = str(tmp_path / "legacy.plan.npz")
+        save_plan(live, path)
+        self._downgrade_to_v1(path)
+        from repro.runtime import kernels
+
+        monkeypatch.setattr(kernels, "_CALIBRATION_CACHE", {})
+        monkeypatch.setattr(kernels, "_BLOCK_CHOICE_CACHE", {})
+        loaded = load_plan(path)
+        # Unblocked verdicts seeded; block choices left for live probing.
+        assert kernels._CALIBRATION_CACHE
+        assert kernels._BLOCK_CHOICE_CACHE == {}
+        want = engine_outputs(live, images)
+        got = engine_outputs(loaded, images)
+        assert np.array_equal(got.accumulated, want.accumulated)
+
+    def test_v2_sidecar_seeds_block_resolution(
+        self, deployable, tmp_path, monkeypatch
+    ):
+        from repro.runtime import kernels
+        from repro.runtime.kernels import resolve_event_backend
+
+        live = plan_deployable(deployable)
+        backend = resolve_event_backend("auto")
+        path = str(tmp_path / "current.plan.npz")
+        save_plan(live, path)
+        expected = {
+            calibration_key(layer, backend): kernels.resolve_event_block(
+                layer, backend
+            )
+            for layer in live.layers
+            if layer.kind == "conv"
+        }
+        monkeypatch.setattr(kernels, "_CALIBRATION_CACHE", {})
+        monkeypatch.setattr(kernels, "_BLOCK_CHOICE_CACHE", {})
+        monkeypatch.setattr(kernels, "_BLOCK_EXACT_CACHE", {})
+        load_plan(path)
+        assert kernels._BLOCK_CHOICE_CACHE == expected
+
+    def test_unknown_future_format_rejected(self, deployable, tmp_path):
+        from repro.errors import RuntimeUnsupportedError
+
+        live = plan_deployable(deployable)
+        path = str(tmp_path / "future.plan.npz")
+        save_plan(live, path)
+        arrays, meta = load_npz(path)
+        meta["format"] = "network-plan-v99"
+        save_npz(path, arrays, meta)
+        with pytest.raises(RuntimeUnsupportedError):
+            load_plan(path)
