@@ -1,11 +1,24 @@
 """Determinism gate for the parallel execution path.
 
-Runs the same sharded evaluation three times -- twice through a 2-worker
-process pool and once through the serial fallback -- renders each merged
-result into a canonical JSON report (logits digest, per-layer spike
-statistics, input totals, dispatch counters), and byte-compares the
-three. Any difference between the two pooled runs, or between pooled and
-serial, is a determinism regression and fails with exit code 1.
+Two workloads, both rendered into canonical JSON reports (logits digest,
+per-layer spike statistics, input totals, dispatch counters) and
+byte-compared:
+
+* **direct-coded**: the same sharded evaluation three times -- twice
+  through a 2-worker process pool and once through the serial fallback.
+  Any difference between the two pooled runs, or between pooled and
+  serial, is a determinism regression.
+* **rate-coded**: counter-based encoding streams make rate coding a
+  pure function of (seed, global sample index, timestep), so the gate
+  demands more -- for the multi-shard geometries {2, 4} the full
+  2-worker report (dispatch counters included) must byte-match the
+  same-geometry serial run, and logits, spike statistics and input
+  totals must byte-match the *unsharded* ``model.forward`` across all
+  geometries {1, 2, 4}. (Dispatch counters tally per-(shard, timestep)
+  decisions, so they are compared per geometry, not across geometries
+  -- see ``repro/parallel/shard.py``.) Rate coding was exempt from this
+  gate while encoder snapshots made it geometry-dependent; any
+  difference now is a regression of the counter-stream invariant.
 
 Wired into ``scripts/perf_smoke.sh``; run standalone with:
 
@@ -29,10 +42,16 @@ from repro.parallel import sharded_forward
 from repro.quant import FP32, convert
 from repro.runtime import runtime_overrides
 from repro.snn import build_vgg9
+from repro.snn.encoding import RateEncoder
 from repro.snn.neuron import LIFConfig
 
 SHARDS = 4
 TIMESTEPS = 2
+
+RATE_GEOMETRIES = (1, 2, 4)
+RATE_WORKERS = (1, 2)
+RATE_TIMESTEPS = 4
+RATE_SEED = 11
 
 
 def build_workload():
@@ -51,8 +70,13 @@ def build_workload():
     return deployable, images
 
 
-def canonical_report(output) -> bytes:
-    """A byte-stable rendering of everything a merged run produces."""
+def canonical_report(output, counters: bool = True) -> bytes:
+    """A byte-stable rendering of everything a merged run produces.
+
+    ``counters=False`` drops the dispatch counters -- the one quantity
+    that legitimately depends on the shard geometry -- for the
+    cross-geometry comparisons.
+    """
     record = {
         "logits_sha256": hashlib.sha256(
             np.ascontiguousarray(output.logits).tobytes()
@@ -62,12 +86,70 @@ def canonical_report(output) -> bytes:
         "per_layer": output.stats.per_layer,
         "per_layer_timestep": output.stats.per_layer_timestep,
         "input_totals": output.input_spike_totals,
-        "counters": {
+    }
+    if counters:
+        record["counters"] = {
             name: counter.as_dict()
             for name, counter in (output.runtime_counters or {}).items()
-        },
-    }
+        }
     return json.dumps(record, sort_keys=True).encode("utf-8")
+
+
+def check_direct(deployable, images, failures) -> int:
+    pooled_a = canonical_report(
+        sharded_forward(deployable, images, TIMESTEPS, shards=SHARDS, workers=2)
+    )
+    pooled_b = canonical_report(
+        sharded_forward(deployable, images, TIMESTEPS, shards=SHARDS, workers=2)
+    )
+    serial = canonical_report(
+        sharded_forward(deployable, images, TIMESTEPS, shards=SHARDS, workers=1)
+    )
+    if pooled_a != pooled_b:
+        failures.append("direct: two 2-worker runs produced different reports")
+    if pooled_a != serial:
+        failures.append("direct: 2-worker run differs from the serial fallback")
+    return len(pooled_a)
+
+
+def check_rate(deployable, images, failures) -> int:
+    """Counter-stream invariant: rate coding is geometry-invariant.
+
+    shards=1 is compared against the unsharded forward only: with a
+    single shard ``sharded_forward`` takes the in-process serial path
+    for every worker count, so a pooled-vs-serial comparison there
+    would exercise identical code and claim coverage it does not have.
+    """
+    unsharded = canonical_report(
+        deployable.forward(images, RATE_TIMESTEPS, RateEncoder(seed=RATE_SEED)),
+        counters=False,
+    )
+    report_bytes = 0
+    for shards in RATE_GEOMETRIES:
+        per_workers = {}
+        worker_counts = RATE_WORKERS if shards > 1 else (1,)
+        for workers in worker_counts:
+            out = sharded_forward(
+                deployable,
+                images,
+                RATE_TIMESTEPS,
+                RateEncoder(seed=RATE_SEED),
+                shards=shards,
+                workers=workers,
+            )
+            per_workers[workers] = canonical_report(out)
+            report_bytes = len(per_workers[workers])
+            if canonical_report(out, counters=False) != unsharded:
+                failures.append(
+                    f"rate: shards={shards} workers={workers} differs from "
+                    "the unsharded forward (logits/stats/input totals)"
+                )
+        if shards > 1 and per_workers[2] != per_workers[1]:
+            failures.append(
+                f"rate: shards={shards} pooled run differs from the serial "
+                "fallback (full report incl. counters)"
+            )
+    return report_bytes
 
 
 def main() -> int:
@@ -77,34 +159,19 @@ def main() -> int:
     # wall-clock dependent by design (results are dispatch-invariant,
     # counters are not) -- so the gate runs the deterministic density
     # policy.
-    with runtime_overrides(dispatch_policy="density"):
-        pooled_a = canonical_report(
-            sharded_forward(
-                deployable, images, TIMESTEPS, shards=SHARDS, workers=2
-            )
-        )
-        pooled_b = canonical_report(
-            sharded_forward(
-                deployable, images, TIMESTEPS, shards=SHARDS, workers=2
-            )
-        )
-        serial = canonical_report(
-            sharded_forward(
-                deployable, images, TIMESTEPS, shards=SHARDS, workers=1
-            )
-        )
     failures = []
-    if pooled_a != pooled_b:
-        failures.append("two 2-worker runs produced different reports")
-    if pooled_a != serial:
-        failures.append("2-worker run differs from the serial fallback")
+    with runtime_overrides(dispatch_policy="density"):
+        direct_bytes = check_direct(deployable, images, failures)
+        rate_bytes = check_rate(deployable, images, failures)
     for failure in failures:
         print(f"PARALLEL NON-DETERMINISM: {failure}", file=sys.stderr)
     if failures:
         return 1
     print(
-        f"parallel determinism gate passed ({SHARDS} shards, 2 workers, "
-        f"{len(pooled_a)}-byte report compared 3 ways)"
+        "parallel determinism gate passed "
+        f"(direct: {SHARDS} shards, 2 workers, {direct_bytes}-byte report "
+        "compared 3 ways; rate: shards {2,4} x workers {1,2} vs serial, "
+        f"shards {{1,2,4}} vs unsharded, {rate_bytes}-byte reports)"
     )
     return 0
 

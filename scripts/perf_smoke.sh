@@ -15,9 +15,14 @@
 # calibrate a k-block and route its density <= 5% timesteps to the
 # event path bit-exactly), the docs drift gate (every REPRO_* variable
 # and CLI flag must be documented in docs/CONFIGURATION.md) and the
-# parallel determinism gate: the sharded evaluation path with 2
-# workers, twice, byte-comparing the merged reports against each other
-# and against the serial fallback (exit 1 on any difference).
+# parallel determinism gate: the direct-coded sharded evaluation path
+# with 2 workers, twice, byte-compared against each other and against
+# the serial fallback, plus the rate-coded counter-stream gate --
+# logits, spike statistics and input totals byte-identical against the
+# unsharded forward for shards in {1,2,4}, and the full pooled report
+# (counters included) byte-identical to serial at shards {2,4} x 2
+# workers (exit 1 on any difference). Rate coding was exempt while
+# encoder snapshots made it geometry-dependent.
 #
 # Usage: scripts/perf_smoke.sh            (tiny scale, the default)
 #        REPRO_BENCH_SCALE=small scripts/perf_smoke.sh

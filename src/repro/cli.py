@@ -44,6 +44,19 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--scale", default="small", help="tiny | small | paper")
         p.add_argument("--workspace", default="artifacts")
         p.add_argument("--seed", type=int, default=0)
+        p.add_argument(
+            "--encoder-seed",
+            type=int,
+            default=None,
+            metavar="N",
+            help=(
+                "base seed of the counter-based stochastic encoding "
+                "streams (rate coding); default: derived from --seed. "
+                "Every (sample, timestep) draw is a pure function of "
+                "(this seed, global sample index, timestep), so results "
+                "are identical at any shard/worker geometry"
+            ),
+        )
         p.add_argument("--quiet", action="store_true")
         p.add_argument(
             "--workers",
@@ -160,6 +173,7 @@ def _make_context(args):
         seed=args.seed,
         verbose=not args.quiet,
         eval_cache=eval_cache,
+        encoder_seed=getattr(args, "encoder_seed", None),
     )
 
 
@@ -219,7 +233,10 @@ def _cmd_simulate(args) -> int:
     if args.coding == "rate":
         config = rate_coded_config(config)
     images, labels = ctx.sim_images(args.dataset)
-    encoder = make_encoder(args.coding, seed=args.seed + 7)
+    encoder_seed = (
+        args.encoder_seed if args.encoder_seed is not None else args.seed + 7
+    )
+    encoder = make_encoder(args.coding, seed=encoder_seed)
     report = HybridSimulator(model, config).run(
         images, ctx.timesteps_for(args.coding), encoder, labels
     )

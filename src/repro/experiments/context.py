@@ -63,6 +63,13 @@ class ExperimentContext:
             sidecars in the workspace and reuse them across processes;
             ``None`` resolves the ``REPRO_EVAL_CACHE`` environment
             default (on).
+        encoder_seed: base seed of the counter-based stochastic encoding
+            streams used for test-set evaluation (rate coding); ``None``
+            derives the historical default ``seed + 99``. Every
+            (sample, timestep) draw is a pure function of
+            ``(encoder_seed, global sample index, timestep)``, so the
+            same value reproduces the same spike trains at any shard or
+            worker geometry -- the CLI exposes it as ``--encoder-seed``.
     """
 
     def __init__(
@@ -72,11 +79,13 @@ class ExperimentContext:
         seed: int = 0,
         verbose: bool = False,
         eval_cache: Optional[bool] = None,
+        encoder_seed: Optional[int] = None,
     ) -> None:
         self.preset: ScalePreset = get_preset(scale)
         self.workspace = workspace
         self.seed = seed
         self.verbose = verbose
+        self.encoder_seed = encoder_seed
         self.eval_cache = (
             eval_cache_enabled() if eval_cache is None else bool(eval_cache)
         )
@@ -212,6 +221,20 @@ class ExperimentContext:
             else self.preset.rate_timesteps
         )
 
+    def evaluation_encoder(self, coding: str):
+        """The encoder every test-set evaluation of this context uses.
+
+        Stochastic schemes key their counter streams on the resolved
+        encoder seed (``encoder_seed`` or the historical ``seed + 99``
+        default), so two contexts with equal (seed, encoder_seed)
+        produce byte-identical encoded trains -- in any process, at any
+        shard geometry.
+        """
+        resolved = (
+            self.seed + 99 if self.encoder_seed is None else self.encoder_seed
+        )
+        return make_encoder(coding, seed=resolved)
+
     def evaluate(
         self,
         dataset: str,
@@ -224,21 +247,32 @@ class ExperimentContext:
 
         Results are memoised in-process and -- unless the evaluation
         cache is disabled -- persisted as a ``.eval.json`` sidecar next
-        to the model artifact, guarded by the model's weights digest so
-        a retrain invalidates the entry. A warm entry is returned
-        bit-identically without touching the test set.
+        to the model artifact, guarded by the model's weights digest
+        (a retrain invalidates the entry) and the encoding stream
+        signature (a different ``encoder_seed`` or scheme invalidates
+        it). A warm entry is returned bit-identically without touching
+        the test set.
         """
+        # An explicit encoder seed gets its own entry (default-seed runs
+        # keep the historical key, so existing warm workspaces stay
+        # warm): alternating --encoder-seed values coexist on disk
+        # instead of thrashing one file through the signature guard.
+        encoder_part = (
+            "" if self.encoder_seed is None else f"_e{self.encoder_seed}"
+        )
         cache_key = (
             f"{self.model_key(dataset, scheme, coding)}"
-            f"_n{max_samples}_t{timesteps}"
+            f"{encoder_part}_n{max_samples}_t{timesteps}"
         )
         if cache_key in self._evaluations:
             return self._evaluations[cache_key]
         model = self.trained(dataset, scheme, coding)
+        encoder = self.evaluation_encoder(coding)
         if self.eval_cache:
             cached = try_load_evaluation(
                 self.eval_cache_file(cache_key),
                 model_digest=model.weights_digest(),
+                encoding=encoder.stream_signature(),
             )
             if cached is not None:
                 if self.verbose:
@@ -250,10 +284,10 @@ class ExperimentContext:
         if max_samples is not None:
             images, labels = images[:max_samples], labels[:max_samples]
         steps = timesteps or self.timesteps_for(coding)
-        encoder = make_encoder(coding, seed=self.seed + 99)
         batch = 128
         if getattr(encoder, "deterministic", False) and len(images):
-            # Deterministic encodings split freely: shard at the same
+            # Deterministic encodings -- direct, TTFS *and* counter-
+            # stream rate coding -- split freely: shard at the same
             # 128-sample granularity the serial loop always used (the
             # merge is bit-identical to it) and let REPRO_WORKERS decide
             # how many processes serve the shards. Workers cold-start
@@ -271,8 +305,9 @@ class ExperimentContext:
             input_events = dict(out.input_spike_totals)
             correct = int((out.logits.argmax(axis=1) == labels).sum())
         else:
-            # Stateful (stochastic) encoders keep the sequential legacy
-            # loop: their spike streams depend on evaluation order.
+            # Leftover stateful encoders (deterministic=False) keep the
+            # sequential legacy loop: their spike streams depend on
+            # evaluation order. No in-tree encoder takes this branch.
             stats = SpikeStats()
             input_events = {}
             correct = 0
@@ -305,6 +340,7 @@ class ExperimentContext:
                 self.eval_cache_file(cache_key),
                 result,
                 model_digest=model.weights_digest(),
+                encoding=encoder.stream_signature(),
             )
         self._evaluations[cache_key] = result
         return result

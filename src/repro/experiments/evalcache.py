@@ -15,6 +15,16 @@ Staleness and corruption guards mirror the plan sidecar's:
 * every entry records the ``weights_digest`` of the model it was
   evaluated against; a retrain changes the digest and the entry is
   ignored (then overwritten by the recompute);
+* every entry records the *encoding stream signature*
+  (:meth:`repro.snn.encoding.Encoder.stream_signature`: scheme + seed
+  + gain) the evaluation encoded its inputs with; a different stream
+  -- another ``--encoder-seed``, a changed scheme -- misses instead of
+  silently serving numbers drawn from the wrong spike trains;
+* the format tag is ``evaluation-result-v2``: v1 entries were written
+  under the snapshot-per-shard rate semantics (results depended on the
+  shard geometry) and are *auto-invalidated* -- the format check
+  rejects them, the caller recomputes under the counter-stream
+  semantics and overwrites;
 * a missing, truncated, corrupt, foreign-format or stale entry makes
   :func:`try_load_evaluation` return ``None`` -- the caller recomputes,
   which is always correct, just slower;
@@ -49,7 +59,10 @@ EVAL_CACHE_ENV = "REPRO_EVAL_CACHE"
 
 EVAL_CACHE_SUFFIX = ".eval.json"
 
-_FORMAT = "evaluation-result-v1"
+#: v1 entries predate counter-stream rate coding: their rate-coded
+#: results were a function of the shard geometry that produced them, so
+#: the format bump deliberately invalidates every v1 entry on load.
+_FORMAT = "evaluation-result-v2"
 
 
 @dataclass
@@ -110,18 +123,24 @@ def eval_cache_path(models_dir: str, cache_key: str) -> str:
 
 
 def save_evaluation(
-    path: str, result: EvaluationResult, model_digest: Optional[str] = None
+    path: str,
+    result: EvaluationResult,
+    model_digest: Optional[str] = None,
+    encoding: Optional[str] = None,
 ) -> None:
-    """Atomically persist ``result`` (and its staleness guard) to ``path``.
+    """Atomically persist ``result`` (and its staleness guards) to ``path``.
 
     ``model_digest`` ties the entry to the exact stored parameters of the
-    evaluated model (:meth:`DeployableNetwork.weights_digest`); loaders
-    passing the same digest will reject an entry left behind by a
-    retrain.
+    evaluated model (:meth:`DeployableNetwork.weights_digest`);
+    ``encoding`` ties it to the exact encoding stream
+    (:meth:`Encoder.stream_signature`). Loaders passing the same values
+    will reject entries left behind by a retrain or produced under a
+    different stream.
     """
     payload = {
         "format": _FORMAT,
         "model_digest": model_digest,
+        "encoding": encoding,
         "result": {
             "accuracy": float(result.accuracy),
             "spikes_per_image": float(result.spikes_per_image),
@@ -152,20 +171,26 @@ def save_evaluation(
 
 
 def load_evaluation(
-    path: str, model_digest: Optional[str] = None
+    path: str,
+    model_digest: Optional[str] = None,
+    encoding: Optional[str] = None,
 ) -> EvaluationResult:
     """Load an entry written by :func:`save_evaluation`, strictly.
 
-    Raises :class:`ExperimentError` on a foreign format or a digest
-    mismatch (the model was retrained under the entry); malformed JSON
-    or missing keys raise their native exceptions. Most callers want
+    Raises :class:`ExperimentError` on a foreign (or superseded v1)
+    format, a digest mismatch (the model was retrained under the
+    entry), or an encoding-stream mismatch (the entry was evaluated
+    under a different encoder seed/scheme); malformed JSON or missing
+    keys raise their native exceptions. Most callers want
     :func:`try_load_evaluation` instead.
     """
     with open(path, "r", encoding="utf-8") as handle:
         payload = json.load(handle)
     if payload.get("format") != _FORMAT:
         raise ExperimentError(
-            f"{path!r} is not a serialized evaluation result"
+            f"{path!r} is not a current serialized evaluation result "
+            "(foreign format, or a stale v1 entry written under "
+            "snapshot-per-shard encoding semantics)"
         )
     stored_digest = payload.get("model_digest")
     if (
@@ -176,6 +201,16 @@ def load_evaluation(
         raise ExperimentError(
             f"evaluation cache entry {path!r} belongs to a different model "
             "(digest mismatch; retrain left a stale entry)"
+        )
+    stored_encoding = payload.get("encoding")
+    if (
+        encoding is not None
+        and stored_encoding is not None
+        and stored_encoding != encoding
+    ):
+        raise ExperimentError(
+            f"evaluation cache entry {path!r} was evaluated under encoding "
+            f"stream {stored_encoding!r}, not {encoding!r}"
         )
     result = payload["result"]
     return EvaluationResult(
@@ -194,19 +229,24 @@ def load_evaluation(
 
 
 def try_load_evaluation(
-    path: str, model_digest: Optional[str] = None
+    path: str,
+    model_digest: Optional[str] = None,
+    encoding: Optional[str] = None,
 ) -> Optional[EvaluationResult]:
     """:func:`load_evaluation`, returning ``None`` instead of raising.
 
     The one loader cache consumers should use: a missing, stale (digest
-    mismatch), foreign-format, truncated or otherwise corrupt entry
-    yields ``None`` -- recompute and overwrite. Counts a hit or a miss
-    in :func:`eval_cache_stats` either way.
+    or encoding-stream mismatch), foreign-format (including superseded
+    v1), truncated or otherwise corrupt entry yields ``None`` --
+    recompute and overwrite. Counts a hit or a miss in
+    :func:`eval_cache_stats` either way.
     """
     result = None
     if os.path.exists(path):
         try:
-            result = load_evaluation(path, model_digest=model_digest)
+            result = load_evaluation(
+                path, model_digest=model_digest, encoding=encoding
+            )
         except (ExperimentError, KeyError, TypeError, ValueError, OSError):
             result = None
     if result is None:

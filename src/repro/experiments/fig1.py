@@ -51,6 +51,7 @@ def _evaluate_cell(spec: Dict) -> Dict[str, float]:
         seed=spec["seed"],
         verbose=spec["verbose"],
         eval_cache=spec.get("eval_cache"),
+        encoder_seed=spec.get("encoder_seed"),
     )
     return _evaluation_row(ctx.evaluate(spec["dataset"], spec["scheme"]))
 
@@ -73,6 +74,7 @@ def _evaluate_cells(
                 "seed": ctx.seed,
                 "verbose": ctx.verbose,
                 "eval_cache": ctx.eval_cache,
+                "encoder_seed": ctx.encoder_seed,
                 "dataset": dataset,
                 "scheme": scheme,
             }

@@ -33,6 +33,7 @@ def _experiment_cell(spec: Dict) -> ExperimentResult:
         seed=spec["seed"],
         verbose=spec["verbose"],
         eval_cache=spec.get("eval_cache"),
+        encoder_seed=spec.get("encoder_seed"),
     )
     return RUNNERS[spec["which"]](ctx)
 
@@ -73,6 +74,7 @@ def run_all(
             "seed": ctx.seed,
             "verbose": ctx.verbose,
             "eval_cache": ctx.eval_cache,
+            "encoder_seed": ctx.encoder_seed,
         }
         for name in rest
     ]

@@ -220,13 +220,16 @@ def _init_sim_worker(model_payload, config, images, encoder_blob) -> None:
     }
 
 
-def _run_sim_shard(task: Tuple[object, int]):
+def _run_sim_shard(task: Tuple[object, int, int]):
     from repro.parallel.shard import resolve_task_images
 
-    payload, timesteps = task
+    payload, start, timesteps = task
     state = _SIM_WORKER_STATE
     shard_images = resolve_task_images(payload, state["images"])
-    encoder = pickle.loads(state["encoder_blob"])
+    # Position the encoder on the shard's global sample offset so
+    # counter-stream encoders replay the unsharded stream exactly;
+    # stateful encoders ignore it (snapshot per shard, as before).
+    encoder = pickle.loads(state["encoder_blob"]).for_samples(start)
     out = state["model"].forward(
         shard_images, timesteps, encoder, record=True
     )
@@ -271,8 +274,10 @@ class HybridSimulator:
         in place (in a worker process, or inline under the serial
         fallback), and the merged statistics are bit-identical to the
         unsharded run for deterministic encoders -- see the module
-        docstring. Stochastic (rate) encoders follow the sharding
-        subsystem's snapshot-per-shard semantics.
+        docstring. Counter-stream rate coding is deterministic in this
+        sense: every task carries its shard's global sample offset and
+        the encoder replays the unsharded stream exactly; only leftover
+        stateful encoders fall back to snapshot-per-shard semantics.
         """
         encoder = encoder or DirectEncoder()
         self._check_encoder(encoder)
@@ -313,7 +318,9 @@ class HybridSimulator:
         if count <= 1 or len(slices) <= 1:
             parts = []
             for piece in slices:
-                shard_encoder = pickle.loads(encoder_blob)
+                shard_encoder = pickle.loads(encoder_blob).for_samples(
+                    piece.start
+                )
                 out = self.network.forward(
                     images[piece], timesteps, shard_encoder, record=True
                 )
@@ -324,7 +331,10 @@ class HybridSimulator:
             init_images, image_payloads, cleanup = plan_task_images(
                 images, slices
             )
-            tasks = [(payload, timesteps) for payload in image_payloads]
+            tasks = [
+                (payload, piece.start, timesteps)
+                for payload, piece in zip(image_payloads, slices)
+            ]
             try:
                 parts = run_tasks(
                     _run_sim_shard,

@@ -27,15 +27,21 @@ Determinism guarantees, in decreasing strength:
 
 1. For a fixed shard geometry, results are bit-identical for *every*
    worker count (``REPRO_WORKERS=1`` serial fallback included): each
-   shard is a pure function of (model, shard images, encoder snapshot),
-   and the merge runs in shard order on the parent.
-2. For deterministic encoders (direct, TTFS), logits, spike trains and
-   ``SpikeStats`` are additionally bit-identical across *all* shard
-   geometries, including the unsharded ``model.forward``.
-3. Stochastic encoders (rate coding) are re-materialised from one
-   pickled snapshot per shard, so every shard draws the same stream the
-   unsharded encoder would start with -- deterministic per geometry, but
-   a different stream alignment than a single sequential pass.
+   shard is a pure function of (model, shard images, encoder + global
+   sample offset), and the merge runs in shard order on the parent.
+2. For deterministic encoders -- direct, TTFS, *and* counter-stream
+   rate coding -- logits, spike trains and ``SpikeStats`` are
+   additionally bit-identical across *all* shard geometries, including
+   the unsharded ``model.forward``. Each task carries its shard's
+   global start index and the worker positions the encoder with
+   ``encoder.for_samples(start)``, so sample ``i`` draws the stream of
+   global sample ``start + i`` no matter how the batch was split.
+3. Leftover *stateful* stochastic encoders (``deterministic=False``
+   subclasses whose draws depend on order) degrade to the legacy
+   snapshot semantics: every shard re-materialises the pickled encoder
+   and the offset is a no-op on the base class -- deterministic per
+   geometry, but not geometry-invariant. The in-tree rate encoder no
+   longer works this way (see :class:`repro.snn.encoding.RateEncoder`).
 
 Workers receive the model once, at pool bootstrap: either the live
 object (pickled, for in-memory models) or -- preferably -- the cached
@@ -325,14 +331,18 @@ def _init_shard_worker(
     }
 
 
-def _run_shard(task: Tuple[object, int, bool]):
+def _run_shard(task: Tuple[object, int, int, bool]):
     """One shard: ``payload`` is whatever :func:`plan_task_images`
     shipped -- inherited-array bounds (fork), a memory-mapped row slice
-    (persistent service) or the shard's own array (spawn)."""
-    payload, timesteps, record = task
+    (persistent service) or the shard's own array (spawn). ``start`` is
+    the shard's global sample offset: counter-stream encoders position
+    themselves on it so the shard draws exactly the rows of the
+    unsharded stream; stateful encoders ignore it (fresh snapshot per
+    shard, the legacy semantics)."""
+    payload, start, timesteps, record = task
     state = _WORKER_STATE
     shard_images = resolve_task_images(payload, state["images"])
-    encoder = pickle.loads(state["encoder_blob"])
+    encoder = pickle.loads(state["encoder_blob"]).for_samples(start)
     return state["model"].forward(
         shard_images, timesteps, encoder, record=record
     )
@@ -359,8 +369,10 @@ def sharded_forward(
         model: the :class:`DeployableNetwork` to evaluate.
         images: (N, C, H, W) batch.
         timesteps: T.
-        encoder: input encoder; snapshotted once and re-materialised per
-            shard (see the module docstring's determinism notes).
+        encoder: input encoder; shipped once and positioned per shard
+            with ``for_samples(shard start)``, so counter-stream
+            encoders are shard-geometry invariant (see the module
+            docstring's determinism notes).
         record: keep per-layer spike trains (merged along the sample
             axis; costly across processes -- prefer ``record=False`` for
             dataset-scale evaluation).
@@ -379,7 +391,7 @@ def sharded_forward(
     if count <= 1 or len(slices) <= 1:
         parts = []
         for piece in slices:
-            shard_encoder = pickle.loads(encoder_blob)
+            shard_encoder = pickle.loads(encoder_blob).for_samples(piece.start)
             parts.append(
                 model.forward(
                     images[piece], timesteps, shard_encoder, record=record
@@ -399,7 +411,8 @@ def sharded_forward(
     )
     init_images, image_payloads, cleanup = plan_task_images(images, slices)
     tasks = [
-        (image_payload, timesteps, record) for image_payload in image_payloads
+        (image_payload, piece.start, timesteps, record)
+        for image_payload, piece in zip(image_payloads, slices)
     ]
     try:
         parts = run_tasks(

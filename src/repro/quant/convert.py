@@ -361,10 +361,19 @@ class DeployableNetwork:
         encoder: Optional[Encoder] = None,
         batch_size: int = 128,
     ) -> np.ndarray:
-        """Class predictions, batched to bound memory."""
+        """Class predictions, batched to bound memory.
+
+        Offsets are threaded per batch (``encoder.for_samples``) so
+        counter-stream encodings do not depend on ``batch_size``.
+        """
+        encoder = encoder or DirectEncoder()
         outputs = []
         for start in range(0, len(images), batch_size):
-            out = self.forward(images[start : start + batch_size], timesteps, encoder)
+            out = self.forward(
+                images[start : start + batch_size],
+                timesteps,
+                encoder.for_samples(start),
+            )
             outputs.append(out.logits.argmax(axis=1))
         return np.concatenate(outputs) if outputs else np.empty(0, dtype=int)
 

@@ -29,6 +29,12 @@ Both kernels are calibrated bit-identical before any of this applies, so
 cost routing can only ever change *speed*. It does make the dispatch
 *counters* wall-clock dependent -- contexts that byte-compare counters
 pin ``dispatch_policy='density'`` (see :class:`RuntimeConfig`).
+
+Persistence: ``network-plan-v3`` sidecars (:mod:`repro.runtime.plan_io`)
+carry each event-eligible layer's probe-seeded rates, gated by the same
+environment fingerprint as the calibration verdicts, so cold-started
+workers skip the seeding probe GEMMs and their first routed timestep is
+already informed by measured rates (then refined online as usual).
 """
 
 from __future__ import annotations

@@ -62,6 +62,12 @@ def stack_encoder_frames(encoder, images: np.ndarray, timesteps: int, record: bo
     back to the caller and must not alias the caller's image buffer
     (the legacy loops copied every recorded frame).
 
+    The first-layer memoisation this enables keys on the declared
+    *stream* property (``time_invariant``, shared by every encoder with
+    the same ``stream_signature()``) -- never on the identity of a
+    particular encoder object, so re-materialised worker-side encoders
+    and the parent's original memoise identically.
+
     Returns ``(stacked, time_invariant)``.
     """
     encoder.reset()

@@ -26,11 +26,17 @@ configuration at all and stay on the dense fallback. Passing a run's
 dispatch counters additionally explains every dense *decision* taken at
 runtime (density vs calibration vs cost vs forced).
 
-Sidecar format history: ``network-plan-v2`` (current) extends each
-calibration entry with the auto-resolved k-block; ``network-plan-v1``
-sidecars (written before the blocked fold existed) still load -- their
-verdicts seed the unblocked calibration cache only, and the block
-resolution re-probes lazily on first dispatch.
+Sidecar format history: ``network-plan-v3`` (current) extends each
+event-eligible calibration entry with the probe-seeded dispatch
+cost-model rates (dense ms/sample, event ms/update -- see
+:mod:`repro.runtime.costmodel`), trusted under the same environment
+fingerprint as the calibration verdicts and refined online after
+loading, so cold-started workers skip the seeding probe GEMMs;
+``network-plan-v2`` added the auto-resolved k-block per entry;
+``network-plan-v1`` sidecars (written before the blocked fold existed)
+still load -- their verdicts seed the unblocked calibration cache only,
+and the block resolution (v1) and cost rates (v1/v2) re-probe lazily on
+first dispatch.
 """
 
 from __future__ import annotations
@@ -46,6 +52,7 @@ import numpy as np
 
 from repro.errors import ReproError, RuntimeUnsupportedError
 from repro.runtime.config import runtime_config
+from repro.runtime.costmodel import LayerCostState, ensure_cost_state
 from repro.runtime.kernels import (
     calibrate_event_exact,
     calibration_key,
@@ -59,8 +66,9 @@ from repro.utils.serialization import load_npz, save_npz
 
 PLAN_SIDECAR_SUFFIX = ".plan.npz"
 
-#: Accepted sidecar formats, newest first. v1 lacks per-entry ``block``.
-_PLAN_FORMATS = ("network-plan-v2", "network-plan-v1")
+#: Accepted sidecar formats, newest first. v2 lacks per-entry ``cost``
+#: rates; v1 additionally lacks per-entry ``block``.
+_PLAN_FORMATS = ("network-plan-v3", "network-plan-v2", "network-plan-v1")
 
 _BN_FIELDS = ("bn_mu", "bn_inv_std", "bn_gamma", "bn_beta")
 
@@ -135,7 +143,7 @@ def save_plan(
     backend = resolve_event_backend(backend or runtime_config().event_backend)
     arrays: Dict[str, np.ndarray] = {}
     meta: Dict[str, object] = {
-        "format": "network-plan-v2",
+        "format": "network-plan-v3",
         "model_digest": model_digest,
         "beta": plan.beta,
         "threshold": plan.threshold,
@@ -171,16 +179,27 @@ def save_plan(
             }
         )
         if layer.kind == "conv":
-            meta["calibration"].append(
-                {
-                    "key": list(calibration_key(layer, backend)),
-                    "exact": calibrate_event_exact(layer, backend),
-                    # Auto resolution (None = dense fallback, 0 =
-                    # unblocked, >0 = blocked): probed here once so cold
-                    # loaders skip every block-candidate GEMM.
-                    "block": resolve_event_block(layer, backend),
+            block = resolve_event_block(layer, backend)
+            entry: Dict[str, object] = {
+                "key": list(calibration_key(layer, backend)),
+                "exact": calibrate_event_exact(layer, backend),
+                # Auto resolution (None = dense fallback, 0 =
+                # unblocked, >0 = blocked): probed here once so cold
+                # loaders skip every block-candidate GEMM.
+                "block": block,
+            }
+            if block is not None:
+                # Dispatch cost rates (v3): probe-seeded here (or taken
+                # from the live plan's already-refined state) so cold
+                # loaders skip the one-shot seeding GEMMs. Only
+                # event-eligible shapes ever consult the cost model;
+                # dense-fallback shapes carry no rates.
+                state = ensure_cost_state(layer, backend, block or None)
+                entry["cost"] = {
+                    "dense_ms_per_sample": float(state.dense_ms_per_sample),
+                    "event_ms_per_update": float(state.event_ms_per_update),
                 }
-            )
+            meta["calibration"].append(entry)
     save_npz(path, arrays, meta)
 
 
@@ -247,13 +266,26 @@ def load_plan(path: str, model_digest: Optional[str] = None) -> NetworkPlan:
         source=meta["source"],
     )
     if meta.get("fingerprint") == environment_fingerprint():
-        for entry in meta.get("calibration", []):
+        conv_layers = [layer for layer in layers if layer.kind == "conv"]
+        entries = meta.get("calibration", [])
+        for index, entry in enumerate(entries):
             key = tuple(entry["key"])
             seed_calibration(key, entry["exact"])
             # v1 sidecars carry no block resolution: leave the choice
             # cache untouched so it is probed live on first dispatch.
             if "block" in entry:
                 seed_block_resolution(key, entry["block"])
+            # v3 sidecars carry the probe-seeded dispatch cost rates;
+            # the entry order matches the conv-layer order save_plan
+            # walked. Timings from a different environment are never
+            # trusted (same fingerprint gate as the verdicts); seeded
+            # rates are still refined online by the dispatcher's EMA.
+            cost = entry.get("cost")
+            if cost is not None and index < len(conv_layers):
+                conv_layers[index].cost_state = LayerCostState(
+                    dense_ms_per_sample=float(cost["dense_ms_per_sample"]),
+                    event_ms_per_update=float(cost["event_ms_per_update"]),
+                )
     return plan
 
 

@@ -8,6 +8,17 @@ reason the paper pairs it with a dedicated dense core.
 *Rate coding* converts each pixel into a Bernoulli spike train whose rate
 is the (normalised) intensity, so every layer -- including the first --
 receives binary, sparse inputs and can run on sparse cores alone.
+
+Stream discipline: stochastic encoders draw from *counter-based*
+streams (:func:`repro.utils.rng.counter_rng`) keyed on ``(seed, global
+sample index, timestep)``. The encoded train is therefore a pure
+function of those coordinates -- independent of batch split, shard
+geometry, worker count, draw order and process boundaries -- which is
+what lets the sharded evaluation path treat rate coding exactly like
+the deterministic direct/TTFS encodings. :meth:`Encoder.for_samples`
+positions an encoder inside the global sample index space; batch and
+shard loops thread it so sample ``i`` of a sub-batch draws the same
+stream it would draw in the full batch.
 """
 
 from __future__ import annotations
@@ -16,7 +27,7 @@ import numpy as np
 
 from repro.errors import ConfigError
 from repro.tensor import Tensor
-from repro.utils.rng import SeedLike, new_rng
+from repro.utils.rng import SeedLike, canonical_stream_seed, counter_rng
 
 
 class Encoder:
@@ -25,14 +36,18 @@ class Encoder:
     #: True when the first layer receives analog (non-binary) values.
     analog_input = False
     #: True when every timestep presents the identical input (lets the
-    #: runtime memoise the first-layer current across timesteps).
+    #: runtime memoise the first-layer current across timesteps). A
+    #: property of the encoding *stream* -- every encoder with the same
+    #: stream signature shares it -- never of a particular instance.
     time_invariant = False
-    #: True when the encoding is a pure function of (images, t) -- no
-    #: internal random state. Deterministic encoders produce identical
-    #: trains regardless of how a batch is split, which lets the sharded
-    #: evaluation path (repro.parallel) split work freely. Deliberately
-    #: False by default: a stochastic subclass that forgets to set it
-    #: must degrade to the sequential path, never silently shard.
+    #: True when the encoding is a pure function of (images, global
+    #: sample index, t) -- no draw-order-dependent state. Deterministic
+    #: encoders produce identical trains regardless of how a batch is
+    #: split (given :meth:`for_samples` offset threading), which lets
+    #: the sharded evaluation path (repro.parallel) split work freely.
+    #: Deliberately False by default: a stateful subclass that forgets
+    #: to set it must degrade to the sequential path, never silently
+    #: shard.
     deterministic = False
     name = "base"
 
@@ -40,7 +55,33 @@ class Encoder:
         raise NotImplementedError
 
     def reset(self) -> None:
-        """Called once per forward pass, before timestep 0."""
+        """Called once per forward pass, before timestep 0.
+
+        Must restore the encoding stream to its initial state, so that
+        replaying the same batch produces the same train. Counter-based
+        encoders satisfy this by construction (they hold no draw
+        state); sequential stochastic encoders must rewind here.
+        """
+
+    def for_samples(self, offset: int) -> "Encoder":
+        """An encoder whose sample 0 is this encoder's sample ``offset``.
+
+        Batch/shard loops call this so that sample ``i`` of a sub-batch
+        starting at ``offset`` draws the stream of global sample
+        ``offset + i``. Offsets compose: ``e.for_samples(a).for_samples(b)``
+        equals ``e.for_samples(a + b)``. Encoders whose output does not
+        depend on the sample index (direct, TTFS) return themselves.
+        """
+        return self
+
+    def stream_signature(self) -> str:
+        """Stable identity of the encoding stream.
+
+        Two encoders with equal signatures produce byte-identical trains
+        for the same (images, global sample index, timestep) -- the key
+        caches and memoisations must use instead of object identity.
+        """
+        return self.name
 
 
 class DirectEncoder(Encoder):
@@ -61,23 +102,67 @@ class RateEncoder(Encoder):
     Intensities are clipped to [0, 1] (our synthetic datasets already live
     there); ``gain`` rescales the probability, trading spike density
     against information per timestep.
+
+    Draws come from counter-based Philox streams keyed on ``(seed,
+    sample_offset + i, t)`` -- one independent block per (sample,
+    timestep). The encoded train is a pure function of those
+    coordinates: re-encoding a (sample, timestep) pair always
+    reproduces the same spikes, back-to-back passes match a fresh
+    process, and any batch split or shard geometry yields byte-identical
+    trains once offsets are threaded via :meth:`for_samples`.
     """
 
     analog_input = False
+    deterministic = True
     name = "rate"
 
-    def __init__(self, gain: float = 1.0, seed: SeedLike = None) -> None:
+    def __init__(
+        self,
+        gain: float = 1.0,
+        seed: SeedLike = None,
+        sample_offset: int = 0,
+    ) -> None:
         if not 0.0 < gain <= 1.0:
             raise ConfigError(f"gain must be in (0, 1], got {gain}")
+        if sample_offset < 0:
+            raise ConfigError(
+                f"sample_offset must be >= 0, got {sample_offset}"
+            )
         self.gain = gain
-        self._rng = new_rng(seed)
+        self.seed = canonical_stream_seed(seed)
+        self.sample_offset = int(sample_offset)
 
     def encode(self, images: np.ndarray, t: int) -> Tensor:
+        images = np.asarray(images)
         probabilities = np.clip(images, 0.0, 1.0) * self.gain
-        spikes = (
-            self._rng.random(images.shape) < probabilities
-        ).astype(np.float32)
+        spikes = np.empty(images.shape, dtype=np.float32)
+        sample_shape = images.shape[1:]
+        for i in range(images.shape[0]):
+            draws = counter_rng(
+                self.seed, self.sample_offset + i, t
+            ).random(sample_shape)
+            spikes[i] = draws < probabilities[i]
         return Tensor(spikes)
+
+    def reset(self) -> None:
+        """A no-op by construction: every (sample, timestep) block is
+        re-keyed from the counter stream on each :meth:`encode`, so the
+        'initial state' is always in effect -- back-to-back passes in
+        one process are identical to a fresh process."""
+
+    def for_samples(self, offset: int) -> "RateEncoder":
+        if offset == 0:
+            return self
+        return RateEncoder(
+            gain=self.gain,
+            seed=self.seed,
+            sample_offset=self.sample_offset + int(offset),
+        )
+
+    def stream_signature(self) -> str:
+        # sample_offset is deliberately excluded: it positions a view
+        # inside the stream, it does not change which stream this is.
+        return f"rate/counter-philox-v1/seed={self.seed}/gain={self.gain!r}"
 
 
 class TtfsEncoder(Encoder):
@@ -106,6 +191,9 @@ class TtfsEncoder(Encoder):
             (1.0 - intensity) * self.timesteps, self.timesteps - 1
         ).astype(np.int64)
         return Tensor((fire_step == t).astype(np.float32))
+
+    def stream_signature(self) -> str:
+        return f"ttfs/timesteps={self.timesteps}"
 
 
 def make_encoder(

@@ -410,15 +410,24 @@ class SpikingNetwork(Module):
         encoder: Optional[Encoder] = None,
         batch_size: int = 64,
     ) -> np.ndarray:
-        """Inference-mode class predictions over a (possibly large) set."""
+        """Inference-mode class predictions over a (possibly large) set.
+
+        Batches thread the global sample offset into the encoder
+        (``for_samples``), so counter-stream encodings are independent
+        of ``batch_size`` -- sample ``i`` draws the same spikes whether
+        the set is predicted in one pass or in chunks.
+        """
         was_training = self.training
         self.eval()
+        encoder = encoder or DirectEncoder()
         predictions: List[np.ndarray] = []
         try:
             with no_grad():
                 for start in range(0, len(images), batch_size):
                     batch = images[start : start + batch_size]
-                    out = self.forward(batch, timesteps, encoder)
+                    out = self.forward(
+                        batch, timesteps, encoder.for_samples(start)
+                    )
                     predictions.append(out.logits.data.argmax(axis=1))
         finally:
             self.train(was_training)

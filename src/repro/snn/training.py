@@ -118,7 +118,13 @@ class Trainer:
                 batch_idx = order[begin : begin + cfg.batch_size]
                 images = train_images[batch_idx]
                 labels = train_labels[batch_idx]
-                loss, batch_correct = self._step(images, labels, encoder)
+                # Counter-stream encoders key draws on the global sample
+                # index; advance it by (epoch, position-in-epoch) so
+                # every training step sees fresh encoding noise instead
+                # of replaying the indices of the first batch.
+                loss, batch_correct = self._step(
+                    images, labels, encoder.for_samples(epoch * n + begin)
+                )
                 losses.append(loss)
                 correct += batch_correct
             result.epoch_losses.append(float(np.mean(losses)))

@@ -4,6 +4,19 @@ Every stochastic component in this package (dataset generators, weight
 initialisation, rate-coding spike samplers) takes an explicit
 ``numpy.random.Generator``. These helpers make it easy to derive
 independent, reproducible streams from one master seed.
+
+Two stream disciplines coexist:
+
+* *sequential* streams (:func:`new_rng` / :func:`fork_rng`): one
+  generator whose draws depend on everything drawn before -- fine for
+  weight init and dataset synthesis, which always run in one fixed
+  order;
+* *counter-based* streams (:func:`counter_rng`): a Philox generator
+  keyed on ``(seed, *counters)`` whose block of draws is a pure
+  function of its key -- no draw history, no process, no batch split
+  can change it. This is what makes rate-coded spike trains identical
+  at every shard/worker geometry (see
+  :class:`repro.snn.encoding.RateEncoder`).
 """
 
 from __future__ import annotations
@@ -13,6 +26,66 @@ from typing import Optional, Union
 import numpy as np
 
 SeedLike = Union[int, np.random.Generator, None]
+
+_MASK64 = (1 << 64) - 1
+
+
+def _mix64(value: int) -> int:
+    """SplitMix64 finalizer: spreads structured integers (0, 1, 2, ...)
+    across the full 64-bit key space so adjacent seeds key decorrelated
+    Philox streams."""
+    value = (value + 0x9E3779B97F4A7C15) & _MASK64
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return (value ^ (value >> 31)) & _MASK64
+
+
+def canonical_stream_seed(seed: SeedLike) -> int:
+    """Collapse a :data:`SeedLike` to the integer that keys counter
+    streams.
+
+    ``None`` keeps its historical "unseeded = entropic" meaning: fresh
+    OS entropy is drawn *once*, here, and everything derived afterwards
+    is purely counter-based (two unseeded encoders stay uncorrelated,
+    exactly like ``new_rng(None)`` callers expect). An existing
+    ``Generator`` likewise contributes one draw at canonicalisation
+    time. Pass an explicit integer for a reproducible stream.
+    """
+    if seed is None:
+        return int(np.random.SeedSequence().entropy) & _MASK64
+    if isinstance(seed, np.random.Generator):
+        return int(seed.integers(0, 2**63 - 1))
+    return int(seed)
+
+
+def counter_rng(seed: int, *counters: int) -> np.random.Generator:
+    """A Philox generator that is a pure function of ``(seed, *counters)``.
+
+    The seed is mixed into the 128-bit Philox key; up to three counter
+    coordinates (e.g. ``(global_sample_index, timestep)``) are placed in
+    the upper words of the 256-bit Philox counter, whose low word is what
+    draws increment -- so any two distinct coordinate tuples yield
+    non-overlapping streams for fewer than 2**64 draws each, regardless
+    of draw order, batch split, shard geometry or process boundaries.
+    """
+    if len(counters) > 3:
+        raise ValueError(
+            f"counter_rng supports at most 3 counters, got {len(counters)}"
+        )
+    seed = int(seed) & _MASK64
+    key = np.array(
+        [_mix64(seed), _mix64(seed ^ 0xA5A5A5A5A5A5A5A5)], dtype=np.uint64
+    )
+    words = [0, 0, 0, 0]
+    for index, counter in enumerate(counters):
+        counter = int(counter)
+        if counter < 0:
+            raise ValueError(f"counters must be >= 0, got {counter}")
+        words[index + 1] = counter & _MASK64
+    bit_generator = np.random.Philox(
+        key=key, counter=np.array(words, dtype=np.uint64)
+    )
+    return np.random.Generator(bit_generator)
 
 
 def new_rng(seed: SeedLike = None) -> np.random.Generator:

@@ -42,7 +42,7 @@ def result():
 @pytest.fixture
 def entry(tmp_path, result):
     path = eval_cache_path(str(tmp_path), "tiny_svhn_fp32_direct_s0_n48_t2")
-    save_evaluation(path, result, model_digest="digest-a")
+    save_evaluation(path, result, model_digest="digest-a", encoding="direct")
     return path
 
 
@@ -127,6 +127,43 @@ class TestStalenessGuards:
         after = eval_cache_stats().as_dict()
         assert after["hits"] - before["hits"] == 1
         assert after["misses"] - before["misses"] == 1
+
+
+class TestEncodingStreamGuard:
+    """Entries are tied to the encoding stream that produced them."""
+
+    def test_matching_encoding_loads(self, entry):
+        assert (
+            load_evaluation(entry, encoding="direct") is not None
+        )
+
+    def test_encoding_mismatch_raises_and_try_load_recovers(self, entry):
+        other = "rate/counter-philox-v1/seed=42/gain=1.0"
+        with pytest.raises(ExperimentError):
+            load_evaluation(entry, encoding=other)
+        assert try_load_evaluation(entry, encoding=other) is None
+
+    def test_entry_without_encoding_loads_under_any(self, tmp_path, result):
+        """Entries saved without a signature (unit-level callers) stay
+        loadable -- the guard only fires when both sides declare one."""
+        path = eval_cache_path(str(tmp_path), "no-encoding")
+        save_evaluation(path, result)
+        assert try_load_evaluation(path, encoding="direct") == result
+
+    def test_v1_snapshot_era_entry_auto_invalidated(self, entry):
+        """Pre-counter-stream (v1) entries were written under
+        snapshot-per-shard rate semantics: their rate-coded numbers
+        depended on the shard geometry, so the format bump must reject
+        them outright -- no silent stale hits."""
+        with open(entry, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        payload["format"] = "evaluation-result-v1"
+        payload.pop("encoding", None)
+        with open(entry, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        with pytest.raises(ExperimentError):
+            load_evaluation(entry)
+        assert try_load_evaluation(entry) is None
 
 
 class TestInvalidation:
@@ -223,6 +260,50 @@ class TestContextIntegration:
             json.dump(payload, handle)
         recomputed = fresh.evaluate("svhn", "fp32", max_samples=24)
         assert recomputed == warm_result
+
+    def test_snapshot_era_entry_recomputed_through_context(
+        self, workspace, warm_result
+    ):
+        """A v1 entry left in the workspace (written under snapshot
+        semantics) must be recomputed and repaired, never served."""
+        fresh = ExperimentContext(scale="tiny", workspace=workspace, seed=0)
+        entry = fresh.eval_cache_file("tiny_svhn_fp32_direct_s0_n24_tNone")
+        fresh.evaluate("svhn", "fp32", max_samples=24)  # ensure on disk
+        with open(entry, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        payload["format"] = "evaluation-result-v1"
+        payload.pop("encoding", None)
+        payload["result"]["accuracy"] = 0.0  # poisoned value must not leak
+        with open(entry, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        another = ExperimentContext(scale="tiny", workspace=workspace, seed=0)
+        recomputed = another.evaluate("svhn", "fp32", max_samples=24)
+        assert recomputed == warm_result
+        # The recompute upgraded the entry on disk to the current format.
+        with open(entry, "r", encoding="utf-8") as handle:
+            repaired = json.load(handle)
+        assert repaired["format"] == "evaluation-result-v2"
+        assert repaired["encoding"] == "direct"
+
+    def test_explicit_encoder_seed_gets_own_entry(
+        self, workspace, warm_result
+    ):
+        """An explicit encoder_seed must not thrash the default entry:
+        both coexist on disk under distinct cache keys."""
+        seeded = ExperimentContext(
+            scale="tiny", workspace=workspace, seed=0, encoder_seed=77
+        )
+        seeded.evaluate("svhn", "fp32", max_samples=24)
+        entries = sorted(
+            name
+            for name in os.listdir(os.path.join(workspace, "models"))
+            if name.endswith(EVAL_CACHE_SUFFIX)
+        )
+        assert "tiny_svhn_fp32_direct_s0_n24_tNone.eval.json" in entries
+        assert "tiny_svhn_fp32_direct_s0_e77_n24_tNone.eval.json" in entries
+        # The default-key entry is untouched and still warm.
+        default = ExperimentContext(scale="tiny", workspace=workspace, seed=0)
+        assert default.evaluate("svhn", "fp32", max_samples=24) == warm_result
 
     def test_disabled_context_writes_nothing(self, workspace, warm_result):
         ctx = ExperimentContext(

@@ -155,9 +155,10 @@ class TestPooledVsSerial:
         assert pooled.runtime_counters["conv2_1"].dense_steps == 0
         assert pooled.runtime_counters["conv2_1"].event_steps == 2 * 2
 
-    def test_rate_coding_deterministic_per_geometry(self, deployable, images):
-        """Stochastic encoders: one snapshot per shard, so pooled and
-        serial draw identical streams (guarantee 3)."""
+    def test_rate_coding_worker_count_invariant(self, deployable, images):
+        """Counter-stream rate coding: pooled and serial draw identical
+        streams -- and both match the unsharded forward (guarantee 2;
+        the full geometry sweep lives in test_rate_stream_invariance)."""
         serial = sharded_forward(
             deployable, images, 4, RateEncoder(seed=11), shards=4, workers=1
         )
@@ -165,6 +166,9 @@ class TestPooledVsSerial:
             deployable, images, 4, RateEncoder(seed=11), shards=4, workers=2
         )
         assert_outputs_equal(pooled, serial)
+        plain = deployable.forward(images, 4, RateEncoder(seed=11))
+        assert np.array_equal(pooled.logits, plain.logits)
+        assert_stats_equal(pooled.stats, plain.stats)
 
     def test_ttfs_encoder_shard_invariant(self, deployable, images):
         plain = deployable.forward(images, 4, TtfsEncoder(timesteps=4))

@@ -356,14 +356,23 @@ class TestAttachPlan:
 
 
 class TestSchemaCompat:
-    """PR 2/3 sidecars (network-plan-v1) must keep loading after the v2
-    schema bump that added per-entry k-block resolutions."""
+    """Earlier-PR sidecars must keep loading after each schema bump:
+    v1 (no per-entry k-block), v2 (no per-entry cost rates) and the
+    current v3 all round-trip to bit-identical engine outputs."""
 
     def _downgrade_to_v1(self, path):
         arrays, meta = load_npz(path)
         meta["format"] = "network-plan-v1"
         for entry in meta["calibration"]:
             entry.pop("block", None)
+            entry.pop("cost", None)
+        save_npz(path, arrays, meta)
+
+    def _downgrade_to_v2(self, path):
+        arrays, meta = load_npz(path)
+        meta["format"] = "network-plan-v2"
+        for entry in meta["calibration"]:
+            entry.pop("cost", None)
         save_npz(path, arrays, meta)
 
     def test_v1_sidecar_loads_and_seeds_unblocked_verdicts(
@@ -407,6 +416,87 @@ class TestSchemaCompat:
         monkeypatch.setattr(kernels, "_BLOCK_EXACT_CACHE", {})
         load_plan(path)
         assert kernels._BLOCK_CHOICE_CACHE == expected
+
+    def test_v2_sidecar_loads_without_cost_rates(
+        self, deployable, images, tmp_path
+    ):
+        live = plan_deployable(deployable)
+        path = str(tmp_path / "v2.plan.npz")
+        save_plan(live, path)
+        self._downgrade_to_v2(path)
+        loaded = load_plan(path)
+        # No rates seeded: the dispatcher probes live on first use.
+        assert all(
+            layer.cost_state is None
+            for layer in loaded.layers
+            if layer.kind == "conv"
+        )
+        want = engine_outputs(live, images)
+        got = engine_outputs(loaded, images)
+        assert np.array_equal(got.accumulated, want.accumulated)
+
+    def test_v3_sidecar_seeds_cost_state_and_skips_probe(
+        self, deployable, tmp_path, monkeypatch
+    ):
+        """Event-eligible layers come back with the persisted dispatch
+        cost rates attached, so cold workers never run the one-shot
+        seeding probe GEMMs."""
+        from repro.runtime import costmodel
+        from repro.runtime.costmodel import ensure_cost_state
+        from repro.runtime.kernels import (
+            resolve_event_backend,
+            resolve_event_block,
+        )
+
+        live = plan_deployable(deployable)
+        backend = resolve_event_backend("auto")
+        path = str(tmp_path / "v3.plan.npz")
+        save_plan(live, path)
+        arrays, meta = load_npz(path)
+        assert meta["format"] == "network-plan-v3"
+        saved = {
+            tuple(entry["key"]): entry["cost"]
+            for entry in meta["calibration"]
+            if entry.get("cost") is not None
+        }
+        assert saved  # the tiny conv shapes are event-eligible
+        loaded = load_plan(path)
+        monkeypatch.setattr(
+            costmodel,
+            "probe_cost_state",
+            lambda *a, **k: pytest.fail("probe ran despite seeded rates"),
+        )
+        for layer in loaded.layers:
+            if layer.kind != "conv":
+                continue
+            block = resolve_event_block(layer, backend)
+            if block is None:
+                continue
+            state = ensure_cost_state(layer, backend, block or None)
+            from repro.runtime.kernels import calibration_key
+
+            rates = saved[calibration_key(layer, backend)]
+            assert state.dense_ms_per_sample == rates["dense_ms_per_sample"]
+            assert state.event_ms_per_update == rates["event_ms_per_update"]
+
+    def test_foreign_fingerprint_ignores_cost_rates(
+        self, deployable, tmp_path
+    ):
+        """Rates are wall-clock measurements of the saving machine --
+        like the calibration verdicts they must never cross an
+        environment-fingerprint boundary."""
+        live = plan_deployable(deployable)
+        path = str(tmp_path / "foreign-cost.plan.npz")
+        save_plan(live, path)
+        arrays, meta = load_npz(path)
+        meta["fingerprint"]["numpy"] = "0.0.0-foreign"
+        save_npz(path, arrays, meta)
+        loaded = load_plan(path)
+        assert all(
+            layer.cost_state is None
+            for layer in loaded.layers
+            if layer.kind == "conv"
+        )
 
     def test_unknown_future_format_rejected(self, deployable, tmp_path):
         from repro.errors import RuntimeUnsupportedError
