@@ -14,8 +14,10 @@ the shapes only the canonical blocked k-fold can keep on the event
 path, with the measured cost model's routing verdict per density), the
 end-to-end ``DeployableNetwork.forward`` legacy-vs-runtime comparison on
 a small-scale VGG9 at paper-typical spike densities, the sharded
-serial-vs-pooled throughput, warm-vs-cold persistent-pool latency and
-the disk-backed evaluation cache's cold/warm split. Results are written
+serial-vs-pooled throughput, warm-vs-cold persistent-pool latency, the
+disk-backed evaluation cache's cold/warm split and the
+``quantized_kernels`` section (int8 int32-accumulating kernels vs their
+float twins, micro and end-to-end). Results are written
 to ``BENCH_runtime.json`` at the repo root so the perf trajectory is
 tracked across PRs (field reference: ``docs/BENCHMARKS.md``).
 
@@ -452,6 +454,141 @@ def bench_eval_cache() -> Dict:
     }
 
 
+def bench_quantized_kernels(params) -> Dict:
+    """Integer datapath: the int8 kernels against their float twins.
+
+    Micro: the deep BLOCKED_SHAPE quantized with power-of-two scales,
+    timing float event (blocked, as the engine runs it) vs int event and
+    float dense vs int dense per density -- after asserting the int
+    kernels reproduce the float fold bit for bit (pow2 scales make the
+    probe pass by construction). The int event kernel needs no k-block:
+    integer addition is associative, so its single unsorted scatter is
+    exact at any depth -- which is exactly why it should not lose to the
+    blocked float scatter.
+
+    End-to-end: the tiny-scale VGG9 quantized at int8p2, forward with
+    ``int_kernels='off'`` vs ``'auto'`` (density policy, so the int
+    decision is deterministic); logits must agree bit for bit, and the
+    dispatch counters record how many layer-timesteps actually ran int32
+    accumulation -- the proof the quantized deployable no longer runs
+    float inference in disguise.
+    """
+    from repro.quant import INT8_P2, quantize_array
+    from repro.runtime import attach_int_lowering, calibrate_int_exact
+    from repro.runtime.kernels import dense_conv_int, event_conv_int
+
+    cin, height, width, cout = BLOCKED_SHAPE
+    layer = make_conv_layer_plan(cin, height, width, cout, seed=23)
+    q, scale = quantize_array(layer.wmat, INT8_P2)
+    wmat = (q.astype(np.float32) * scale.reshape(-1, 1)).astype(np.float32)
+    layer.wmat = wmat
+    layer.wT = np.ascontiguousarray(wmat.T)
+    attach_int_lowering(layer, q, scale)
+    backend = resolve_event_backend("auto")
+    block = resolve_event_block(layer, backend)
+    if not calibrate_int_exact(layer, backend, block):
+        raise SystemExit("pow2 int lowering failed the exactness probe")
+    rng = np.random.default_rng(23)
+    batch = params["timesteps"] * params["batch"]
+    rows = []
+    for density in BLOCKED_DENSITIES:
+        x = (
+            rng.random((batch, cin, height, width)) < density
+        ).astype(np.float32)
+
+        def run_float_event():
+            if block:
+                return event_conv_blocked(layer, x, backend, block)[0]
+            return event_conv(layer, x, backend)[0]
+
+        def run_int_event():
+            return event_conv_int(layer, x, backend)[0]
+
+        def run_float_dense():
+            return dense_conv(layer, x, kblock=block if block else None)
+
+        def run_int_dense():
+            return dense_conv_int(layer, x)
+
+        want = run_float_dense()
+        got, updates = event_conv_int(layer, x, backend)
+        if not np.array_equal(got, want):
+            raise SystemExit(
+                f"int event kernel diverged from float at density {density}"
+            )
+        if not np.array_equal(run_int_dense(), want):
+            raise SystemExit(
+                f"int dense kernel diverged from float at density {density}"
+            )
+        rows.append(
+            {
+                "density": density,
+                "updates": int(updates),
+                "float_dense_ms": timeit(run_float_dense, params["repeats"]),
+                "int_dense_ms": timeit(run_int_dense, params["repeats"]),
+                "float_event_ms": timeit(run_float_event, params["repeats"]),
+                "int_event_ms": timeit(run_int_event, params["repeats"]),
+            }
+        )
+
+    tiny = SCALES["tiny"]
+    network = build_vgg9(
+        num_classes=10,
+        population=tiny["population"],
+        input_shape=tiny["input_shape"],
+        channel_scale=tiny["channel_scale"],
+        lif=LIFConfig(threshold=1.0),
+        seed=42,
+    )
+    network.eval()
+    quantized = convert(network, INT8_P2)
+    images = (
+        np.random.default_rng(7).random((tiny["batch"],) + tiny["input_shape"])
+    ).astype(np.float32)
+    timesteps = tiny["timesteps"]
+    with runtime_overrides(int_kernels="off"):
+        float_out = quantized.forward(images, timesteps)
+        float_ms = timeit(
+            lambda: quantized.forward(images, timesteps), params["repeats"]
+        )
+    with runtime_overrides(int_kernels="auto", dispatch_policy="density"):
+        int_out = quantized.forward(images, timesteps)
+        int_ms = timeit(
+            lambda: quantized.forward(images, timesteps), params["repeats"]
+        )
+    if not np.array_equal(float_out.logits, int_out.logits):
+        raise SystemExit("auto int e2e diverged from the float path")
+    counters = {
+        name: counter.as_dict()
+        for name, counter in int_out.runtime_counters.items()
+    }
+    int_steps = sum(
+        c["int_dense_steps"] + c["int_event_steps"] for c in counters.values()
+    )
+    return {
+        "shape": {
+            "cin": cin, "height": height, "width": width, "cout": cout,
+        },
+        "k": int(layer.geometry.k),
+        "k_block": int(block or 0),
+        "backend": backend,
+        "batch": batch,
+        "scheme": "int8p2",
+        "int_bound": int(layer.int_bound),
+        "bit_exact": True,
+        "rows": rows,
+        "end_to_end": {
+            "scale": "tiny",
+            "timesteps": timesteps,
+            "float_ms": float_ms,
+            "int_ms": int_ms,
+            "speedup": float_ms / int_ms if int_ms else float("inf"),
+            "int_layer_timesteps": int(int_steps),
+            "dispatch_counters": counters,
+        },
+    }
+
+
 def smoke_check(record: Dict) -> List[str]:
     failures = []
     for row in record["layer_micro"]:
@@ -478,6 +615,20 @@ def smoke_check(record: Dict) -> List[str]:
                 f"blocked event ({row['event_ms']:.2f} ms) slower than "
                 f"dense ({row['dense_ms']:.2f} ms) at density "
                 f"{row['density']:.1%} on the K={blocked['k']} deep shape"
+            )
+    # Integer-kernel gate: at the two sparsest benched densities the int8
+    # event kernel must be at least as fast as the float event kernel --
+    # the integer datapath exists to be cheaper, not just truer to the
+    # hardware; if it regresses, auto mode would buy exactness attribution
+    # at a speed cost the cost model then has to veto everywhere.
+    quantized = record["quantized_kernels"]
+    sparsest = sorted(quantized["rows"], key=lambda row: row["density"])[:2]
+    for row in sparsest:
+        if row["int_event_ms"] > row["float_event_ms"]:
+            failures.append(
+                f"int8 event ({row['int_event_ms']:.2f} ms) slower than "
+                f"float event ({row['float_event_ms']:.2f} ms) at density "
+                f"{row['density']:.1%} on the K={quantized['k']} deep shape"
             )
     return failures
 
@@ -511,6 +662,7 @@ def main(argv=None) -> int:
             "parallel": bench_parallel(deployable, images, params),
             "persistent_pool": bench_persistent_pool(params),
             "eval_cache": bench_eval_cache(),
+            "quantized_kernels": bench_quantized_kernels(params),
         }
 
     path = result_path(args.scale)
@@ -563,6 +715,25 @@ def main(argv=None) -> int:
             f"event {row['event_ms']:.3f} ms ({row['updates']} updates, "
             f"cost model routes {routed})"
         )
+    quantized = record["quantized_kernels"]
+    print(
+        f"quantized kernels (int8p2, K={quantized['k']}, "
+        f"bound={quantized['int_bound']}):"
+    )
+    for row in quantized["rows"]:
+        print(
+            f"  @ {row['density']:.1%}: float event "
+            f"{row['float_event_ms']:.3f} ms | int event "
+            f"{row['int_event_ms']:.3f} ms | float dense "
+            f"{row['float_dense_ms']:.3f} ms | int dense "
+            f"{row['int_dense_ms']:.3f} ms"
+        )
+    qe2e = quantized["end_to_end"]
+    print(
+        f"  e2e tiny int8p2: float {qe2e['float_ms']:.2f} ms, int-auto "
+        f"{qe2e['int_ms']:.2f} ms ({qe2e['speedup']:.2f}x, "
+        f"{qe2e['int_layer_timesteps']} int layer-timesteps)"
+    )
     if args.smoke:
         failures = smoke_check(record)
         for failure in failures:

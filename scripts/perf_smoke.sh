@@ -6,7 +6,10 @@
 # any density <= 5%, if the runtime forward is slower than the legacy
 # forward end-to-end, or if the blocked event kernel is slower than the
 # dense kernel at the two sparsest blocked_scatter densities on the
-# deep-VGG9 (K >= 500) shape. Wire this into CI so future PRs cannot
+# deep-VGG9 (K >= 500) shape, or if the int8 event kernel is slower
+# than the float event kernel at the two sparsest quantized_kernels
+# densities (the integer datapath must never cost speed where the
+# event path lives). Wire this into CI so future PRs cannot
 # silently regress the event-driven win. Results land in
 # BENCH_runtime.<scale>.json at the repo root (plain BENCH_runtime.json
 # is reserved for the canonical small-scale record tracked across PRs).

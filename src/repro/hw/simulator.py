@@ -395,6 +395,25 @@ class HybridSimulator:
                 )
                 + ")"
             )
+            int_steps = sum(
+                c.int_dense_steps + c.int_event_steps
+                for c in counters.values()
+            )
+            if int_steps:
+                # The integer datapath is the software twin of the
+                # quantized MAC arrays this simulator models: these
+                # layer-timesteps accumulated in int32 and requantized
+                # at the layer boundary instead of running float GEMMs.
+                report.notes.append(
+                    f"integer datapath: {int_steps} of {dense + event} "
+                    "layer-timesteps ran int32 accumulation ("
+                    + ", ".join(
+                        f"{name} d{c.int_dense_steps}/e{c.int_event_steps}"
+                        for name, c in counters.items()
+                        if c.int_dense_steps or c.int_event_steps
+                    )
+                    + ")"
+                )
         return report
 
     # ------------------------------------------------------------------

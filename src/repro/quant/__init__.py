@@ -17,10 +17,13 @@ Workflow::
     # deployable runs on repro.hw.HybridSimulator
 """
 
-from repro.quant.schemes import FP32, INT4, INT8, QuantScheme
+from repro.quant.schemes import FP32, INT4, INT4_P2, INT8, INT8_P2, QuantScheme
 from repro.quant.quantizer import (
+    INT_ACCUMULATION_LIMIT,
+    dequantize_accumulator,
     dequantize_array,
     fake_quant,
+    int_accumulation_bound,
     quantize_array,
 )
 from repro.quant.qat import QATConv2d, QATLinear, prepare_qat, strip_qat
@@ -36,14 +39,19 @@ __all__ = [
     "DeployableNetwork",
     "FP32",
     "INT4",
+    "INT4_P2",
     "INT8",
+    "INT8_P2",
+    "INT_ACCUMULATION_LIMIT",
     "QATConv2d",
     "QATLinear",
     "QuantScheme",
     "convert",
+    "dequantize_accumulator",
     "dequantize_array",
     "fake_quant",
     "fold_batchnorm",
+    "int_accumulation_bound",
     "prepare_qat",
     "quantize_array",
 ]

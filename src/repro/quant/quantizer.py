@@ -1,4 +1,16 @@
-"""Uniform quantize / dequantize primitives and the fake-quant operator."""
+"""Uniform quantize / dequantize primitives and the fake-quant operator.
+
+Rounding rule (one mode end-to-end): every float -> integer step uses
+round-half-to-even (``np.round``), and every integer -> float step is a
+single float32 multiply by the scale followed by a single float32 bias
+add, i.e. ``fl(fl(acc) * scale) + bias`` with the default IEEE-754
+round-half-to-even at each operation. :func:`quantize_array`,
+:func:`dequantize_array`, :func:`fake_quant` and the integer runtime
+boundary (:func:`dequantize_accumulator`) all follow this rule, so the
+integer datapath and the dequantized-float reference disagree only
+through float summation order -- and not at all when the scale is a
+power of two (see ``QuantScheme.pow2_scale``).
+"""
 
 from __future__ import annotations
 
@@ -16,6 +28,11 @@ def _scales(weights: np.ndarray, scheme: QuantScheme) -> np.ndarray:
 
     A zero scale (all-zero channel) maps to 1.0 so the quantized values
     are simply zeros instead of NaNs.
+
+    With ``scheme.pow2_scale`` each scale is snapped *up* to the next
+    power of two (2^ceil(log2(scale))), keeping max|w| representable
+    while making every dequantized weight exactly representable in
+    float32 -- the property the bit-exact integer lowering relies on.
     """
     if scheme.per_channel and weights.ndim >= 2:
         flat = np.abs(weights).reshape(weights.shape[0], -1)
@@ -23,7 +40,10 @@ def _scales(weights: np.ndarray, scheme: QuantScheme) -> np.ndarray:
     else:
         max_abs = np.asarray(np.abs(weights).max())
     scale = max_abs / scheme.qmax
-    return np.where(scale > 0, scale, 1.0).astype(np.float32)
+    scale = np.where(scale > 0, scale, 1.0)
+    if scheme.pow2_scale:
+        scale = np.exp2(np.ceil(np.log2(scale.astype(np.float64))))
+    return scale.astype(np.float32)
 
 
 def _broadcast_scale(scale: np.ndarray, ndim: int) -> np.ndarray:
@@ -57,6 +77,51 @@ def dequantize_array(q: np.ndarray, scale: np.ndarray) -> np.ndarray:
     return (q * _broadcast_scale(np.asarray(scale, dtype=np.float32), q.ndim)).astype(
         np.float32
     )
+
+
+def dequantize_accumulator(
+    acc: np.ndarray, scale: np.ndarray, bias: np.ndarray = None
+) -> np.ndarray:
+    """Map an int32 accumulator back to float32 at a layer boundary.
+
+    The documented rounding rule in one place: a single float32 multiply
+    ``fl(fl(acc) * scale)`` followed by a single float32 bias add. The
+    int32 -> float32 cast is exact whenever |acc| < 2^24, which
+    :func:`int_accumulation_bound` guarantees before the integer path is
+    allowed to run; the multiply and add round half-to-even per IEEE-754.
+
+    ``scale`` is scalar or per-channel; per-channel scales broadcast over
+    the axes trailing the channel axis (axis 0 of ``acc``).
+    """
+    scale = np.asarray(scale, dtype=np.float32)
+    out = acc.astype(np.float32) * _broadcast_scale(scale, acc.ndim)
+    if bias is not None:
+        bias = np.asarray(bias, dtype=np.float32)
+        out += _broadcast_scale(bias, acc.ndim)
+    return out
+
+
+def int_accumulation_bound(q: np.ndarray) -> int:
+    """Worst-case |accumulator| for binary activations: max_c sum_k |q[c,k]|.
+
+    Spikes are 0/1, so each output channel's int32 accumulator is a
+    subset sum of that channel's quantized weights; its magnitude never
+    exceeds the channel's L1 norm. The integer lowering requires this
+    bound to fit both int32 (no wraparound) and, for bit-exactness of the
+    boundary dequantization, 2^24 (exact int -> float32 cast). Computed
+    in int64 so the check itself cannot overflow.
+    """
+    q = np.asarray(q, dtype=np.int64)
+    if q.size == 0:
+        return 0
+    flat = np.abs(q).reshape(q.shape[0], -1)
+    return int(flat.sum(axis=1).max())
+
+
+#: Exactness ceiling for the integer datapath: every partial sum must be
+#: exactly representable in float32 (|acc| <= 2^24), which also sits far
+#: inside int32. Checked per layer at plan-lowering time.
+INT_ACCUMULATION_LIMIT = 1 << 24
 
 
 def fake_quant(weight: Tensor, scheme: QuantScheme) -> Tensor:

@@ -19,11 +19,20 @@ class QuantScheme:
             shift-and-add de-quantizer implies symmetric scales.
         per_channel: one scale per output channel (row) instead of one per
             tensor; preserves accuracy after batch-norm folding.
+        pow2_scale: snap each scale *up* to the next power of two. With a
+            power-of-two scale every dequantized weight q * 2^e and every
+            float32 partial sum of binary-spike activations is exactly
+            representable (sum of |q| over a 3x3x256 receptive field is
+            at most 127 * 2304 < 2^24), so the integer datapath matches
+            the float reference bit-for-bit in any fold order. This is
+            the software analogue of the paper's shift-and-add
+            de-quantizer, which only supports power-of-two scales anyway.
     """
 
     bits: Optional[int] = 4
     symmetric: bool = True
     per_channel: bool = True
+    pow2_scale: bool = False
 
     def __post_init__(self) -> None:
         if self.bits is not None and not 2 <= self.bits <= 16:
@@ -35,6 +44,8 @@ class QuantScheme:
                 "asymmetric quantization is not supported by the "
                 "shift-and-add hardware model"
             )
+        if self.bits is None and self.pow2_scale:
+            raise QuantizationError("fp32 scheme has no scales to snap")
 
     @property
     def is_float(self) -> bool:
@@ -49,7 +60,10 @@ class QuantScheme:
 
     @property
     def name(self) -> str:
-        return "fp32" if self.bits is None else f"int{self.bits}"
+        if self.bits is None:
+            return "fp32"
+        suffix = "p2" if self.pow2_scale else ""
+        return f"int{self.bits}{suffix}"
 
     def __str__(self) -> str:
         return self.name
@@ -59,16 +73,26 @@ class QuantScheme:
 INT4 = QuantScheme(bits=4)
 INT8 = QuantScheme(bits=8)
 FP32 = QuantScheme(bits=None)
+#: Power-of-two-scale variants: identical bit widths, but the integer
+#: runtime lowering is bit-exact against the float reference (see
+#: ``QuantScheme.pow2_scale``) at a small accuracy cost from the coarser
+#: scale grid.
+INT4_P2 = QuantScheme(bits=4, pow2_scale=True)
+INT8_P2 = QuantScheme(bits=8, pow2_scale=True)
 
 
 def scheme_by_name(name: str) -> QuantScheme:
-    """Look up 'fp32' / 'int4' / 'int8' / 'intN'."""
+    """Look up 'fp32' / 'int4' / 'int8' / 'intN' / 'intNp2'."""
     normalized = name.strip().lower()
     if normalized == "fp32":
         return FP32
     if normalized.startswith("int"):
+        body = normalized[3:]
+        pow2 = body.endswith("p2")
+        if pow2:
+            body = body[:-2]
         try:
-            return QuantScheme(bits=int(normalized[3:]))
+            return QuantScheme(bits=int(body), pow2_scale=pow2)
         except ValueError:
             pass
     raise QuantizationError(f"unknown quantization scheme {name!r}")

@@ -61,22 +61,31 @@ from repro.runtime.engine import (
     RuntimeResult,
     stack_encoder_frames,
 )
-from repro.runtime.costmodel import LayerCostState, ensure_cost_state
+from repro.runtime.costmodel import (
+    LayerCostState,
+    ensure_cost_state,
+    ensure_int_rates,
+)
 from repro.runtime.kernels import (
     KBLOCK_CANDIDATES,
     BufferPool,
     calibrate_block_exact,
     calibrate_event_exact,
+    calibrate_int_exact,
     calibration_key,
+    dense_conv_int,
+    event_conv_int,
     resolve_event_backend,
     resolve_event_block,
     seed_block_resolution,
     seed_calibration,
+    seed_int_exact,
 )
 from repro.runtime.plan import (
     ConvGeometry,
     LayerPlan,
     NetworkPlan,
+    attach_int_lowering,
     conv_geometry,
     plan_deployable,
     plan_spiking,
@@ -102,12 +111,17 @@ __all__ = [
     "RuntimeConfig",
     "RuntimeResult",
     "arrays_digest",
+    "attach_int_lowering",
     "calibrate_block_exact",
     "calibrate_event_exact",
+    "calibrate_int_exact",
     "calibration_key",
     "configure",
     "conv_geometry",
+    "dense_conv_int",
     "ensure_cost_state",
+    "ensure_int_rates",
+    "event_conv_int",
     "load_plan",
     "plan_deployable",
     "plan_report",
@@ -120,6 +134,7 @@ __all__ = [
     "save_plan",
     "seed_block_resolution",
     "seed_calibration",
+    "seed_int_exact",
     "set_runtime_config",
     "stack_encoder_frames",
     "try_load_plan",

@@ -49,6 +49,18 @@ class RuntimeConfig:
             blocking (deep shapes return to the dense fallback); ``B >
             0`` forces that block size for every blockable conv shape
             (still probe-guarded). Env default: ``REPRO_EVENT_KBLOCK``.
+        int_kernels: integer datapath for quantized deployables.
+            ``'auto'`` (default) runs int32-accumulating kernels on the
+            binary conv steps of int-lowered layers whenever the
+            per-layer exactness probe passed, the overflow bound holds
+            and the cost model predicts them no slower -- results stay
+            bit-identical to the float path by construction. ``'on'``
+            forces the integer kernels on every such step (both dense
+            and event flavours; integer accumulation is associative, so
+            results are still deterministic at any dispatch split, but
+            may differ from the float reference when the probe failed).
+            ``'off'`` disables the integer path entirely. Env default:
+            ``REPRO_INT_KERNELS``.
         max_fused_elements: cap on the im2col buffer (elements) per fused
             dense call; larger batches are chunked (bit-exact either way).
     """
@@ -59,6 +71,7 @@ class RuntimeConfig:
     force_path: Optional[str] = None
     event_backend: str = "auto"
     event_kblock: Optional[int] = None
+    int_kernels: str = "auto"
     max_fused_elements: int = 1 << 24
 
     def __post_init__(self) -> None:
@@ -84,6 +97,11 @@ class RuntimeConfig:
             raise ConfigError(
                 f"event_kblock must be None (auto) or >= 0, "
                 f"got {self.event_kblock}"
+            )
+        if self.int_kernels not in ("off", "auto", "on"):
+            raise ConfigError(
+                f"int_kernels must be 'off', 'auto' or 'on', "
+                f"got {self.int_kernels!r}"
             )
         if self.max_fused_elements < 1:
             raise ConfigError(
@@ -111,10 +129,20 @@ def _env_dispatch_policy() -> str:
     return raw if raw in ("cost", "density") else "cost"
 
 
+def _env_int_kernels() -> str:
+    """``REPRO_INT_KERNELS``: ``auto`` (default), ``on`` or ``off``.
+
+    Unrecognised values fall back to auto, consistent with the other
+    lenient env knobs (a typo must not break every import)."""
+    raw = os.environ.get("REPRO_INT_KERNELS", "auto").strip().lower()
+    return raw if raw in ("off", "auto", "on") else "auto"
+
+
 _CONFIG = RuntimeConfig(
     enabled=os.environ.get("REPRO_RUNTIME", "1") != "0",
     dispatch_policy=_env_dispatch_policy(),
     event_kblock=_env_event_kblock(),
+    int_kernels=_env_int_kernels(),
 )
 
 
@@ -159,6 +187,16 @@ class LayerCounters:
     the dense fallback), ``forced`` (``force_path='dense'``). Steps that
     are ineligible by construction (FC layers, analog or non-binary
     input) are counted in the total only.
+
+    The ``int_*`` fields attribute the integer datapath the same way:
+    ``int_dense_steps`` / ``int_event_steps`` are the sub-counts of
+    ``dense_steps`` / ``event_steps`` that ran with int32 accumulation
+    (so the float-step count is the difference), ``int_event_updates``
+    the scatter contributions accumulated in int32, and the
+    ``float_*_steps`` fields say why an int-lowered layer's step stayed
+    float: ``exactness`` (the bit-exactness probe failed),
+    ``overflow`` (the int32/2^24 accumulation bound failed), ``cost``
+    (the cost model predicted the float kernel faster).
     """
 
     dense_steps: int = 0
@@ -168,6 +206,12 @@ class LayerCounters:
     dense_cost_steps: int = 0
     dense_calibration_steps: int = 0
     dense_forced_steps: int = 0
+    int_dense_steps: int = 0
+    int_event_steps: int = 0
+    int_event_updates: int = 0
+    float_exactness_steps: int = 0
+    float_overflow_steps: int = 0
+    float_cost_steps: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -178,6 +222,12 @@ class LayerCounters:
             "dense_cost_steps": self.dense_cost_steps,
             "dense_calibration_steps": self.dense_calibration_steps,
             "dense_forced_steps": self.dense_forced_steps,
+            "int_dense_steps": self.int_dense_steps,
+            "int_event_steps": self.int_event_steps,
+            "int_event_updates": self.int_event_updates,
+            "float_exactness_steps": self.float_exactness_steps,
+            "float_overflow_steps": self.float_overflow_steps,
+            "float_cost_steps": self.float_cost_steps,
         }
 
     def count_dense(self, reason: Optional[str], steps: int = 1) -> None:
@@ -192,6 +242,17 @@ class LayerCounters:
         elif reason == "forced":
             self.dense_forced_steps += steps
 
+    def count_float_fallback(self, reason: str, steps: int = 1) -> None:
+        """Tally ``steps`` of an int-lowered layer that stayed float."""
+        if reason == "exactness":
+            self.float_exactness_steps += steps
+        elif reason == "overflow":
+            self.float_overflow_steps += steps
+        elif reason == "cost":
+            self.float_cost_steps += steps
+        else:
+            raise ValueError(f"unknown float-fallback reason {reason!r}")
+
     def merge(self, other: "LayerCounters") -> None:
         self.dense_steps += other.dense_steps
         self.event_steps += other.event_steps
@@ -200,3 +261,9 @@ class LayerCounters:
         self.dense_cost_steps += other.dense_cost_steps
         self.dense_calibration_steps += other.dense_calibration_steps
         self.dense_forced_steps += other.dense_forced_steps
+        self.int_dense_steps += other.int_dense_steps
+        self.int_event_steps += other.int_event_steps
+        self.int_event_updates += other.int_event_updates
+        self.float_exactness_steps += other.float_exactness_steps
+        self.float_overflow_steps += other.float_overflow_steps
+        self.float_cost_steps += other.float_cost_steps

@@ -35,13 +35,16 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.runtime.config import LayerCounters, RuntimeConfig, runtime_config
-from repro.runtime.costmodel import ensure_cost_state
+from repro.runtime.costmodel import ensure_cost_state, ensure_int_rates
 from repro.runtime.kernels import (
     BufferPool,
+    calibrate_int_exact,
     dense_conv,
+    dense_conv_int,
     dense_fc,
     event_conv,
     event_conv_blocked,
+    event_conv_int,
     or_pool,
     resolve_event_backend,
     resolve_event_block,
@@ -112,6 +115,7 @@ class InferenceEngine:
         self.config = config
         self.buffers = buffers if buffers is not None else BufferPool()
         self._block_by_layer: Dict[str, Optional[int]] = {}
+        self._int_by_layer: Dict[str, Tuple[bool, bool, Optional[str]]] = {}
 
     def _config(self) -> RuntimeConfig:
         return self.config if self.config is not None else runtime_config()
@@ -143,6 +147,59 @@ class InferenceEngine:
         )
         self._block_by_layer[layer.name] = block
         return block
+
+    def _layer_int(
+        self, layer: LayerPlan, block: Optional[int]
+    ) -> Tuple[bool, bool, Optional[str]]:
+        """The layer's integer-datapath decision:
+        ``(event_int, dense_int, fallback_reason)``.
+
+        ``event_int`` / ``dense_int`` say whether that flavour of the
+        layer's binary conv steps runs with int32 accumulation;
+        ``fallback_reason`` attributes steps that stayed float on an
+        int-lowered layer (``'overflow'``, ``'exactness'``, ``'cost'``,
+        or ``None`` when nothing fell back -- including layers that
+        carry no lowering at all).
+
+        Resolution order (``int_kernels``): ``'off'`` never routes to
+        int. ``'on'`` forces both flavours whenever the overflow bound
+        holds -- integer accumulation is associative, so any
+        dense/event/batch split still yields identical results, but they
+        may differ from the float reference when the exactness probe
+        would have failed. ``'auto'`` is exactness-preserving: the
+        overflow bound and the per-layer bit-exactness probe must pass;
+        then under ``dispatch_policy='cost'`` the measured int rates
+        pick each flavour, while under ``'density'`` the int event
+        kernel is preferred deterministically (counters stay
+        byte-comparable across geometries) and dense steps keep the
+        BLAS-backed float GEMM.
+        """
+        cached = self._int_by_layer.get(layer.name)
+        if cached is not None:
+            return cached
+        config = self._config()
+        mode = config.int_kernels
+        event_int = dense_int = False
+        reason: Optional[str] = None
+        if mode != "off" and layer.kind == "conv" and layer.has_int_lowering:
+            backend = resolve_event_backend(config.event_backend)
+            if not layer.int_overflow_ok:
+                reason = "overflow"
+            elif mode == "on":
+                event_int = dense_int = True
+            elif not calibrate_int_exact(layer, backend, block):
+                reason = "exactness"
+            elif config.dispatch_policy == "cost":
+                state = ensure_int_rates(layer, backend, block or None)
+                event_int = state.int_event_preferred()
+                dense_int = state.int_dense_preferred()
+                if not (event_int and dense_int):
+                    reason = "cost"
+            else:
+                event_int = True
+        result = (event_int, dense_int, reason)
+        self._int_by_layer[layer.name] = result
+        return result
 
     # ------------------------------------------------------------------
     # Execution
@@ -255,8 +312,16 @@ class InferenceEngine:
             if layer.kind == "conv" and not analog
             else None
         )
+        int_eligible = (
+            layer.kind == "conv" and not analog and layer.has_int_lowering
+        )
+        event_int, dense_int, int_reason = (
+            self._layer_int(layer, block)
+            if int_eligible
+            else (False, False, None)
+        )
         if time_invariant:
-            cur0, used_event, updates, reason = self._batch_current(
+            cur0, used_event, updates, used_int, reason = self._batch_current(
                 layer,
                 x[0],
                 t_sums[0],
@@ -267,6 +332,11 @@ class InferenceEngine:
             if used_event:
                 counter.event_steps += timesteps
                 counter.event_updates += updates
+                if used_int:
+                    counter.int_event_steps += timesteps
+                    counter.int_event_updates += updates
+                elif int_reason is not None and updates:
+                    counter.count_float_fallback(int_reason, timesteps)
             else:
                 counter.count_dense(reason, timesteps)
             return np.broadcast_to(cur0, (timesteps,) + cur0.shape)
@@ -283,17 +353,30 @@ class InferenceEngine:
                 reason = None
             counter.count_dense(reason, timesteps)
             fused = x.reshape((timesteps * samples,) + x.shape[2:])
-            return self._kernel_dense(layer, fused, block).reshape(
+            use_int = False
+            if dense_int:
+                # The int dense kernel needs strictly binary input; with
+                # the per-timestep scan disabled, check the fused batch.
+                nnz = int(np.count_nonzero(fused))
+                use_int = float(nnz) == sum(t_sums)
+                if use_int:
+                    counter.int_dense_steps += timesteps
+            elif int_reason is not None:
+                counter.count_float_fallback(int_reason, timesteps)
+            return self._kernel_dense(layer, fused, block, use_int).reshape(
                 (timesteps, samples) + out_spatial
             )
         slice_size = x[0].size
         # Timesteps with zero events short-circuit to a bias broadcast:
         # a GEMM over an all-zero input yields exact zeros under *any*
         # BLAS fold, so this is bit-exact without calibration (and it is
-        # where near-silent deep layers spend most of their steps).
+        # where near-silent deep layers spend most of their steps). The
+        # integer path agrees by construction: a zero accumulator
+        # dequantizes to exactly the bias.
         empty_ts: List[int] = []
         event_ts: List[int] = []
         dense_ts: List[int] = []
+        dense_binary = True  # every routed dense step had binary input
         for t in range(timesteps):
             if t_nnz[t] == 0:
                 empty_ts.append(t)
@@ -307,7 +390,22 @@ class InferenceEngine:
             else:
                 dense_ts.append(t)
                 counter.count_dense(reason)
+                if float(t_nnz[t]) != t_sums[t]:
+                    dense_binary = False
         counter.event_steps += len(event_ts) + len(empty_ts)
+        # Dense steps run the int flavour only when the whole fused dense
+        # batch is binary (one kernel call either way).
+        use_int_dense = dense_int and bool(dense_ts) and dense_binary
+        if event_ts:
+            if event_int:
+                counter.int_event_steps += len(event_ts)
+            elif int_reason is not None:
+                counter.count_float_fallback(int_reason, len(event_ts))
+        if dense_ts and int_eligible and dense_binary:
+            if use_int_dense:
+                counter.int_dense_steps += len(dense_ts)
+            elif int_reason is not None:
+                counter.count_float_fallback(int_reason, len(dense_ts))
         bias_cast = layer.bias.reshape(
             (1, 1, -1) + (1,) * (len(out_spatial) - 1)
         )
@@ -315,26 +413,30 @@ class InferenceEngine:
             return np.broadcast_to(bias_cast, (timesteps, samples) + out_spatial)
         if not event_ts and not empty_ts:
             fused = x.reshape((timesteps * samples,) + x.shape[2:])
-            return self._kernel_dense(layer, fused, block).reshape(
+            return self._kernel_dense(layer, fused, block, use_int_dense).reshape(
                 (timesteps, samples) + out_spatial
             )
         if not dense_ts and not empty_ts:
             fused = x.reshape((timesteps * samples,) + x.shape[2:])
-            cur, updates = self._kernel_event(layer, fused, block)
+            cur, updates = self._kernel_event(layer, fused, block, event_int)
             counter.event_updates += updates
+            if event_int:
+                counter.int_event_updates += updates
             return cur.reshape((timesteps, samples) + out_spatial)
         current = np.empty((timesteps, samples) + out_spatial, dtype=np.float32)
         if empty_ts:
             current[empty_ts] = bias_cast[0]
         if dense_ts:
             batch_d = x[dense_ts].reshape((-1,) + x.shape[2:])
-            current[dense_ts] = self._kernel_dense(layer, batch_d, block).reshape(
-                (len(dense_ts), samples) + out_spatial
-            )
+            current[dense_ts] = self._kernel_dense(
+                layer, batch_d, block, use_int_dense
+            ).reshape((len(dense_ts), samples) + out_spatial)
         if event_ts:
             batch_e = x[event_ts].reshape((-1,) + x.shape[2:])
-            cur_e, updates = self._kernel_event(layer, batch_e, block)
+            cur_e, updates = self._kernel_event(layer, batch_e, block, event_int)
             counter.event_updates += updates
+            if event_int:
+                counter.int_event_updates += updates
             current[event_ts] = cur_e.reshape(
                 (len(event_ts), samples) + out_spatial
             )
@@ -388,7 +490,10 @@ class InferenceEngine:
         return True, None
 
     def _batch_current(self, layer, xb, b_sum, b_nnz, analog, block):
-        """Single-batch current with dispatch (time-invariant memo path)."""
+        """Single-batch current with dispatch (time-invariant memo path).
+
+        Returns ``(current, used_event, updates, used_int, dense_reason)``.
+        """
         config = self._config()
         if b_nnz is not None:
             if b_nnz == 0 and layer.kind == "conv" and not analog:
@@ -398,55 +503,85 @@ class InferenceEngine:
                 )
                 shape = (xb.shape[0], layer.out_channels,
                          layer.geometry.oh, layer.geometry.ow)
-                return np.broadcast_to(bias_cast, shape), True, 0, None
+                return np.broadcast_to(bias_cast, shape), True, 0, False, None
             use_event, reason = self._classify_step(
                 config, layer, block, analog, b_sum, b_nnz, xb.size,
                 xb.shape[0],
             )
             if use_event:
-                cur, updates = self._kernel_event(layer, xb, block)
-                return cur, True, updates, None
+                event_int, _, _ = (
+                    self._layer_int(layer, block)
+                    if layer.has_int_lowering
+                    else (False, False, None)
+                )
+                cur, updates = self._kernel_event(layer, xb, block, event_int)
+                return cur, True, updates, event_int, None
         else:
             reason = "forced" if config.force_path == "dense" else "density"
             if layer.kind != "conv" or analog:
                 reason = None
-        return self._kernel_dense(layer, xb, block), False, 0, reason
+        return self._kernel_dense(layer, xb, block), False, 0, False, reason
 
     # ------------------------------------------------------------------
     # Kernels
     # ------------------------------------------------------------------
     def _kernel_dense(
-        self, layer: LayerPlan, batch: np.ndarray, block: Optional[int] = None
+        self,
+        layer: LayerPlan,
+        batch: np.ndarray,
+        block: Optional[int] = None,
+        use_int: bool = False,
     ) -> np.ndarray:
         if layer.kind == "conv":
             start = time.perf_counter()
-            out = dense_conv(
-                layer,
-                batch,
-                buffers=self.buffers,
-                max_elements=self._config().max_fused_elements,
-                kblock=block if block else None,
-            )
+            if use_int:
+                out = dense_conv_int(
+                    layer,
+                    batch,
+                    buffers=self.buffers,
+                    max_elements=self._config().max_fused_elements,
+                )
+            else:
+                out = dense_conv(
+                    layer,
+                    batch,
+                    buffers=self.buffers,
+                    max_elements=self._config().max_fused_elements,
+                    kblock=block if block else None,
+                )
             state = layer.cost_state
             if state is not None:
-                state.observe_dense(
-                    (time.perf_counter() - start) * 1e3, batch.shape[0]
-                )
+                ms = (time.perf_counter() - start) * 1e3
+                if use_int:
+                    state.observe_int_dense(ms, batch.shape[0])
+                else:
+                    state.observe_dense(ms, batch.shape[0])
             return out
         return dense_fc(layer, batch.reshape(batch.shape[0], -1))
 
     def _kernel_event(
-        self, layer: LayerPlan, batch: np.ndarray, block: Optional[int] = None
+        self,
+        layer: LayerPlan,
+        batch: np.ndarray,
+        block: Optional[int] = None,
+        use_int: bool = False,
     ):
         backend = resolve_event_backend(self._config().event_backend)
         start = time.perf_counter()
-        if block:
-            result = event_conv_blocked(layer, batch, backend, block)
+        if use_int:
+            # No blocked variant: integer accumulation is associative,
+            # so the unblocked scatter is exact at every depth.
+            result = event_conv_int(layer, batch, backend)
         else:
-            result = event_conv(layer, batch, backend)
+            if block:
+                result = event_conv_blocked(layer, batch, backend, block)
+            else:
+                result = event_conv(layer, batch, backend)
         state = layer.cost_state
         if state is not None:
-            state.observe_event(
-                (time.perf_counter() - start) * 1e3, result[1]
-            )
+            ms = (time.perf_counter() - start) * 1e3
+            if use_int:
+                state.observe_int_event(ms, result[1])
+            else:
+                state.observe_event(ms, result[1])
         return result

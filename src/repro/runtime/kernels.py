@@ -282,6 +282,189 @@ def event_conv_blocked(
     return current, updates
 
 
+# ---------------------------------------------------------------------------
+# Integer (int32-accumulation) path for quantized deployables
+# ---------------------------------------------------------------------------
+
+def _dequantize_current(acc: np.ndarray, layer: LayerPlan) -> np.ndarray:
+    """Layer-boundary dequantization of a (B, Cout, OH, OW) accumulator.
+
+    The documented rounding rule (see :mod:`repro.quant.quantizer`): one
+    float32 multiply by the scale, one float32 bias add, IEEE-754
+    round-half-to-even at each step. The int32 -> float32 cast is exact
+    because the engine only routes here when ``layer.int_overflow_ok``.
+    """
+    current = acc.astype(np.float32)
+    scale = layer.wq_scale
+    if scale.ndim == 0:
+        np.multiply(current, scale, out=current)
+    else:
+        np.multiply(current, scale.reshape(1, -1, 1, 1), out=current)
+    np.add(current, layer.bias.reshape(1, -1, 1, 1), out=current)
+    return current
+
+
+def _scatter_columns_int(
+    rows: np.ndarray,
+    cols: np.ndarray,
+    weight_rows: np.ndarray,
+    n_rows: int,
+    backend: str,
+) -> np.ndarray:
+    """Integer twin of :func:`_scatter_columns`: int32 in, int32 out.
+
+    No sorting and no k-blocking: integer addition is associative, so
+    every accumulation order yields the same exact int32 sums (given the
+    overflow bound the dispatcher enforces) -- the order discipline the
+    float scatter needs simply has nothing to protect here.
+    """
+    if backend == "scipy":
+        matrix = _sparse.csr_matrix(
+            (np.ones(rows.size, dtype=np.int32), (rows, cols)),
+            shape=(n_rows, weight_rows.shape[0]),
+        )
+        return matrix @ weight_rows
+    out = np.zeros((n_rows, weight_rows.shape[1]), dtype=np.int32)
+    if rows.size:
+        np.add.at(out, rows, weight_rows[cols])
+    return out
+
+
+def event_conv_int(
+    layer: LayerPlan, x: np.ndarray, backend: str
+) -> Tuple[np.ndarray, int]:
+    """Event-driven convolution with int32 accumulation.
+
+    Same contract as :func:`event_conv` -- (current, updates) -- but the
+    scatter accumulates the layer's quantized int32 weight rows and the
+    float current is produced by a single boundary dequantization. This
+    is the software twin of the paper's integer datapath: binary spikes
+    select quantized weight columns, the accumulator is an integer, and
+    the shift-and-add de-quantizer runs once per output element.
+    """
+    g = layer.geometry
+    batch = x.shape[0]
+    cout = layer.out_channels
+    b_idx, pix = np.nonzero(x.reshape(batch, -1))
+    updates = 0
+    if b_idx.size == 0:
+        acc2d = np.zeros((batch * g.p, cout), dtype=np.int32)
+    else:
+        valid = g.contrib_valid[pix]
+        k_all = g.contrib_k[pix][valid]
+        q_all = (b_idx[:, None].astype(np.int64) * g.p + g.contrib_p[pix])[valid]
+        updates = int(k_all.size)
+        acc2d = _scatter_columns_int(
+            q_all, k_all, layer.wqT_i32(), batch * g.p, backend
+        )
+    acc = np.ascontiguousarray(
+        acc2d.reshape(batch, g.p, cout).transpose(0, 2, 1)
+    ).reshape(batch, cout, g.oh, g.ow)
+    return _dequantize_current(acc, layer), updates
+
+
+def dense_conv_int(
+    layer: LayerPlan,
+    x: np.ndarray,
+    buffers: Optional[BufferPool] = None,
+    max_elements: int = 1 << 24,
+) -> np.ndarray:
+    """Unfold-matmul convolution with int32 accumulation.
+
+    The im2col gather casts the binary float input to int32 (exact for
+    0/1 values) and the GEMM runs entirely in int32; associativity makes
+    the result identical to :func:`event_conv_int` by construction, so
+    no blocked variant is needed at any depth. Numpy's integer matmul
+    has no BLAS backing, so this kernel trades speed for an exact
+    integer fold -- the cost model decides when that trade is worth it.
+    """
+    g = layer.geometry
+    batch = x.shape[0]
+    cout = layer.out_channels
+    kernel = g.kernel
+    acc = np.empty((batch, cout, g.p), dtype=np.int32)
+    chunk = max(1, min(batch, max_elements // max(1, g.k * g.p)))
+    wq = layer.wq_i32()
+    for start in range(0, batch, chunk):
+        stop = min(batch, start + chunk)
+        xc = x[start:stop]
+        if g.padding:
+            p = g.padding
+            xc = np.pad(xc, ((0, 0), (0, 0), (p, p), (p, p)))
+        windows = np.lib.stride_tricks.sliding_window_view(
+            xc, (kernel, kernel), axis=(2, 3)
+        )
+        if buffers is not None:
+            cols = buffers.get("cols_i32", (stop - start, g.k, g.p), np.int32)
+        else:
+            cols = np.empty((stop - start, g.k, g.p), dtype=np.int32)
+        np.copyto(
+            cols.reshape(stop - start, g.cin, kernel, kernel, g.oh, g.ow),
+            windows.transpose(0, 1, 4, 5, 2, 3),
+            casting="unsafe",
+        )
+        np.matmul(wq, cols, out=acc[start:stop])
+    acc = acc.reshape(batch, cout, g.oh, g.ow)
+    return _dequantize_current(acc, layer)
+
+
+def calibrate_int_exact(
+    layer: LayerPlan, backend: str, block: Optional[int] = None
+) -> bool:
+    """True when the integer path reproduces the float path bit-for-bit.
+
+    The reference is what the engine would otherwise compute for these
+    steps: the float dense fold at the layer's calibrated ``block``
+    (which the float event kernel is already calibrated identical to).
+    Both integer flavours are probed -- they share one exact accumulator,
+    so a mismatch between them would indicate a kernel bug rather than a
+    fold-order effect. The verdict depends on the weight values (through
+    the scales), so it is cached per layer -- keyed by (backend, block)
+    -- not in the per-shape calibration cache; sidecars persist it via
+    :func:`seed_int_exact` with the same live-wins semantics.
+
+    Power-of-two scales (``QuantScheme.pow2_scale``) pass by
+    construction: the dequantized weights and every float32 partial sum
+    are exactly representable, making all fold orders agree. Arbitrary
+    scales essentially always fail -- the probe is what keeps the 'auto'
+    integer path exactness-preserving rather than hopeful.
+    """
+    if not layer.has_int_lowering or layer.geometry is None:
+        return False
+    if not layer.int_overflow_ok:
+        return False
+    key = (backend, int(block or 0))
+    cached = layer._int_exact.get(key)
+    if cached is not None:
+        return cached
+    g = layer.geometry
+    rng = np.random.default_rng(0xC0FFEE)
+    exact = True
+    for density in (0.02, 0.1, 0.3):
+        probe = (
+            rng.random((2, g.cin, g.height, g.width)) < density
+        ).astype(np.float32)
+        want = dense_conv(layer, probe, kblock=block if block else None)
+        got_event, _ = event_conv_int(layer, probe, backend)
+        if not np.array_equal(got_event, want):
+            exact = False
+            break
+        if not np.array_equal(dense_conv_int(layer, probe), want):
+            exact = False
+            break
+    layer._int_exact[key] = exact
+    return exact
+
+
+def seed_int_exact(
+    layer: LayerPlan, backend: str, block: Optional[int], exact: bool
+) -> None:
+    """Pre-populate a layer's integer-exactness verdict (sidecar fast
+    path). Live-wins: a verdict probed in this process is never
+    overwritten by a loaded one."""
+    layer._int_exact.setdefault((backend, int(block or 0)), bool(exact))
+
+
 _CALIBRATION_CACHE: Dict[Tuple, bool] = {}
 
 #: Candidate k-block sizes probed largest-first by the auto resolution.

@@ -147,6 +147,12 @@ class LayerPlan:
     bn_inv_std: Optional[np.ndarray] = None
     bn_gamma: Optional[np.ndarray] = None
     bn_beta: Optional[np.ndarray] = None
+    # Integer lowering (quantized deployables only): the quantized weight
+    # matrix in its narrowest storage dtype (int8 when |q| <= 127, int16
+    # for wider schemes) and its dequantization scale(s). The int32
+    # compute twins are built lazily via wq_i32 / wqT_i32.
+    wq: Optional[np.ndarray] = None  # (Cout, K) int8/int16
+    wq_scale: Optional[np.ndarray] = None  # float32 scalar or (Cout,)
     # Lazily built per-block weight slices, keyed by block size.
     _block_tables: Dict[int, BlockTables] = field(
         default_factory=dict, repr=False, compare=False
@@ -154,6 +160,17 @@ class LayerPlan:
     # Measured dispatch-cost state (repro.runtime.costmodel), seeded by a
     # one-shot probe and refined online; never persisted.
     cost_state: Optional[object] = field(default=None, repr=False, compare=False)
+    # Lazy int32 compute twins of wq (dense matmul / event scatter rows).
+    _wq_i32: Optional[np.ndarray] = field(default=None, repr=False, compare=False)
+    _wqT_i32: Optional[np.ndarray] = field(default=None, repr=False, compare=False)
+    # Cached worst-case |int32 accumulator| for binary inputs (int64).
+    _int_bound: Optional[int] = field(default=None, repr=False, compare=False)
+    # Bit-exactness verdicts of the integer path vs the float reference,
+    # keyed by scatter backend ('scipy' | 'numpy'). Weight-dependent, so
+    # cached per layer (not per shape); seedable from plan sidecars.
+    _int_exact: Dict[str, bool] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     @property
     def out_channels(self) -> int:
@@ -162,6 +179,44 @@ class LayerPlan:
     @property
     def has_bn(self) -> bool:
         return self.bn_mu is not None
+
+    @property
+    def has_int_lowering(self) -> bool:
+        return self.wq is not None
+
+    @property
+    def int_bound(self) -> int:
+        """Worst-case |accumulator| over binary inputs (max channel L1)."""
+        if self._int_bound is None:
+            from repro.quant.quantizer import int_accumulation_bound
+
+            self._int_bound = (
+                int_accumulation_bound(self.wq) if self.wq is not None else 0
+            )
+        return self._int_bound
+
+    @property
+    def int_overflow_ok(self) -> bool:
+        """True when every binary-input partial sum is exact in float32.
+
+        The bound also sits far inside int32, so passing it rules out
+        wraparound and inexact boundary dequantization at once.
+        """
+        from repro.quant.quantizer import INT_ACCUMULATION_LIMIT
+
+        return self.has_int_lowering and self.int_bound <= INT_ACCUMULATION_LIMIT
+
+    def wq_i32(self) -> np.ndarray:
+        """(Cout, K) int32 twin of ``wq`` for the dense integer fold."""
+        if self._wq_i32 is None:
+            self._wq_i32 = np.ascontiguousarray(self.wq, dtype=np.int32)
+        return self._wq_i32
+
+    def wqT_i32(self) -> np.ndarray:
+        """(K, Cout) contiguous int32 twin for the event scatter rows."""
+        if self._wqT_i32 is None:
+            self._wqT_i32 = np.ascontiguousarray(self.wq.T, dtype=np.int32)
+        return self._wqT_i32
 
     def block_tables(self, block: int) -> BlockTables:
         """The (cached) per-block weight slices for ``block``-sized k-folds."""
@@ -244,12 +299,37 @@ def _lower_weights(
     )
 
 
+def attach_int_lowering(
+    plan: LayerPlan, weight_q: np.ndarray, weight_scale: np.ndarray
+) -> None:
+    """Carry a conv layer's quantized weights into its plan.
+
+    Stores the (Cout, K) quantized matrix in the narrowest integer dtype
+    that holds it (int8 up to |q| <= 127) plus the float32 scale(s); the
+    int32 compute twins and the overflow bound are derived lazily. The
+    exactness probe (``runtime.kernels.calibrate_int_exact``) and the
+    engine decide per step whether this lowering actually runs.
+    """
+    q = np.asarray(weight_q)
+    q2d = q.reshape(q.shape[0], -1)
+    max_abs = int(np.abs(q2d).max()) if q2d.size else 0
+    dtype = np.int8 if max_abs <= 127 else np.int16
+    plan.wq = np.ascontiguousarray(q2d, dtype=dtype)
+    plan.wq_scale = np.asarray(weight_scale, dtype=np.float32)
+    plan._wq_i32 = None
+    plan._wqT_i32 = None
+    plan._int_bound = None
+    plan._int_exact = {}
+
+
 def plan_deployable(network) -> NetworkPlan:
     """Lower a :class:`~repro.quant.convert.DeployableNetwork`.
 
     Dequantization happens once here -- the per-call
     ``effective_weight()`` materialisation of the legacy loop is hoisted
-    into the plan.
+    into the plan. Quantized conv layers additionally carry their integer
+    weights + scales (see :func:`attach_int_lowering`) so the engine can
+    run them with int32 accumulation instead of dequantized floats.
     """
     layers: List[LayerPlan] = []
     for layer in network.layers:
@@ -265,6 +345,8 @@ def plan_deployable(network) -> NetworkPlan:
             is_input_layer=layer.is_input_layer,
         )
         plan.pool_after = layer.pool_after
+        if layer.kind == "conv" and layer.weight_scale is not None:
+            attach_int_lowering(plan, layer.weight_q, layer.weight_scale)
         layers.append(plan)
     return NetworkPlan(
         layers=layers,

@@ -26,17 +26,24 @@ configuration at all and stay on the dense fallback. Passing a run's
 dispatch counters additionally explains every dense *decision* taken at
 runtime (density vs calibration vs cost vs forced).
 
-Sidecar format history: ``network-plan-v3`` (current) extends each
-event-eligible calibration entry with the probe-seeded dispatch
-cost-model rates (dense ms/sample, event ms/update -- see
-:mod:`repro.runtime.costmodel`), trusted under the same environment
-fingerprint as the calibration verdicts and refined online after
-loading, so cold-started workers skip the seeding probe GEMMs;
-``network-plan-v2`` added the auto-resolved k-block per entry;
+Sidecar format history: ``network-plan-v4`` (current) additionally
+persists each quantized conv layer's integer lowering -- the int8/int16
+weight matrix, its dequantization scale(s), the integer bit-exactness
+verdict and overflow bound, and (when the verdict passed) the int kernel
+cost rates -- so cold loaders restore the full integer datapath without
+re-probing; ``network-plan-v3`` extended each event-eligible calibration
+entry with the probe-seeded dispatch cost-model rates (dense ms/sample,
+event ms/update -- see :mod:`repro.runtime.costmodel`), trusted under
+the same environment fingerprint as the calibration verdicts and refined
+online after loading, so cold-started workers skip the seeding probe
+GEMMs; ``network-plan-v2`` added the auto-resolved k-block per entry;
 ``network-plan-v1`` sidecars (written before the blocked fold existed)
 still load -- their verdicts seed the unblocked calibration cache only,
 and the block resolution (v1) and cost rates (v1/v2) re-probe lazily on
-first dispatch.
+first dispatch. v1-v3 sidecars carry no integer lowering: they load
+fine, but a quantized model loses its integer datapath with them, so
+sidecar consumers on the numeric path (see
+``repro.experiments.context``) rebuild and re-save such sidecars.
 """
 
 from __future__ import annotations
@@ -52,23 +59,35 @@ import numpy as np
 
 from repro.errors import ReproError, RuntimeUnsupportedError
 from repro.runtime.config import runtime_config
-from repro.runtime.costmodel import LayerCostState, ensure_cost_state
+from repro.runtime.costmodel import (
+    LayerCostState,
+    ensure_cost_state,
+    ensure_int_rates,
+)
 from repro.runtime.kernels import (
     calibrate_event_exact,
+    calibrate_int_exact,
     calibration_key,
     resolve_event_backend,
     resolve_event_block,
     seed_block_resolution,
     seed_calibration,
+    seed_int_exact,
 )
 from repro.runtime.plan import LayerPlan, NetworkPlan, conv_geometry
 from repro.utils.serialization import load_npz, save_npz
 
 PLAN_SIDECAR_SUFFIX = ".plan.npz"
 
-#: Accepted sidecar formats, newest first. v2 lacks per-entry ``cost``
-#: rates; v1 additionally lacks per-entry ``block``.
-_PLAN_FORMATS = ("network-plan-v3", "network-plan-v2", "network-plan-v1")
+#: Accepted sidecar formats, newest first. v3 lacks the integer lowering
+#: (quantized weights + scales + int verdicts); v2 additionally lacks
+#: per-entry ``cost`` rates; v1 additionally lacks per-entry ``block``.
+_PLAN_FORMATS = (
+    "network-plan-v4",
+    "network-plan-v3",
+    "network-plan-v2",
+    "network-plan-v1",
+)
 
 _BN_FIELDS = ("bn_mu", "bn_inv_std", "bn_gamma", "bn_beta")
 
@@ -143,7 +162,7 @@ def save_plan(
     backend = resolve_event_backend(backend or runtime_config().event_backend)
     arrays: Dict[str, np.ndarray] = {}
     meta: Dict[str, object] = {
-        "format": "network-plan-v3",
+        "format": "network-plan-v4",
         "model_digest": model_digest,
         "beta": plan.beta,
         "threshold": plan.threshold,
@@ -164,6 +183,9 @@ def save_plan(
             value = getattr(layer, bn_field)
             if value is not None:
                 arrays[f"{prefix}.{bn_field}"] = value
+        if layer.has_int_lowering:
+            arrays[f"{prefix}.wq"] = layer.wq
+            arrays[f"{prefix}.wq_scale"] = np.asarray(layer.wq_scale)
         geometry = layer.geometry
         meta["layers"].append(
             {
@@ -176,6 +198,7 @@ def save_plan(
                 "kernel": geometry.kernel if geometry is not None else 0,
                 "padding": geometry.padding if geometry is not None else 0,
                 "has_bn": layer.has_bn,
+                "has_int": layer.has_int_lowering,
             }
         )
         if layer.kind == "conv":
@@ -199,6 +222,27 @@ def save_plan(
                     "dense_ms_per_sample": float(state.dense_ms_per_sample),
                     "event_ms_per_update": float(state.event_ms_per_update),
                 }
+            if layer.has_int_lowering:
+                # Integer datapath verdicts (v4): the per-layer
+                # bit-exactness probe and overflow bound, plus -- only
+                # when the probe passed, the sole case the dispatcher
+                # consults them -- the int kernel cost rates.
+                int_exact = calibrate_int_exact(layer, backend, block)
+                int_entry: Dict[str, object] = {
+                    "exact": bool(int_exact),
+                    "bound": int(layer.int_bound),
+                }
+                if int_exact:
+                    state = ensure_int_rates(layer, backend, block or None)
+                    int_entry["cost"] = {
+                        "int_dense_ms_per_sample": float(
+                            state.int_dense_ms_per_sample
+                        ),
+                        "int_event_ms_per_update": float(
+                            state.int_event_ms_per_update
+                        ),
+                    }
+                entry["int"] = int_entry
             meta["calibration"].append(entry)
     save_npz(path, arrays, meta)
 
@@ -255,6 +299,14 @@ def load_plan(path: str, model_digest: Optional[str] = None) -> NetworkPlan:
         if info["has_bn"]:
             for bn_field in _BN_FIELDS:
                 setattr(layer, bn_field, arrays[f"{prefix}.{bn_field}"])
+        # v4 sidecars persist the integer lowering; v1-v3 predate it
+        # ("has_int" absent), so quantized plans loaded from them run
+        # float-only until the sidecar is rebuilt.
+        if info.get("has_int"):
+            layer.wq = np.ascontiguousarray(arrays[f"{prefix}.wq"])
+            layer.wq_scale = np.ascontiguousarray(
+                arrays[f"{prefix}.wq_scale"]
+            )
         layers.append(layer)
     plan = NetworkPlan(
         layers=layers,
@@ -286,6 +338,28 @@ def load_plan(path: str, model_digest: Optional[str] = None) -> NetworkPlan:
                     dense_ms_per_sample=float(cost["dense_ms_per_sample"]),
                     event_ms_per_update=float(cost["event_ms_per_update"]),
                 )
+            # v4 sidecars carry the integer bit-exactness verdict (and,
+            # when it passed, the int kernel rates). The verdict is
+            # weight-dependent, so it is seeded per layer object, not
+            # into the shape-keyed calibration cache.
+            int_entry = entry.get("int")
+            if int_entry is not None and index < len(conv_layers):
+                conv = conv_layers[index]
+                if conv.has_int_lowering:
+                    seed_int_exact(
+                        conv,
+                        meta["backend"],
+                        entry.get("block"),
+                        bool(int_entry["exact"]),
+                    )
+                    int_cost = int_entry.get("cost")
+                    if int_cost is not None and conv.cost_state is not None:
+                        conv.cost_state.int_dense_ms_per_sample = float(
+                            int_cost["int_dense_ms_per_sample"]
+                        )
+                        conv.cost_state.int_event_ms_per_update = float(
+                            int_cost["int_event_ms_per_update"]
+                        )
     return plan
 
 

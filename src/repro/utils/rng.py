@@ -88,6 +88,104 @@ def counter_rng(seed: int, *counters: int) -> np.random.Generator:
     return np.random.Generator(bit_generator)
 
 
+_PHILOX_M0 = np.uint64(0xD2E7470EE14C6C93)
+_PHILOX_M1 = np.uint64(0xCA5A826395121157)
+_PHILOX_W0 = np.uint64(0x9E3779B97F4A7C15)
+_PHILOX_W1 = np.uint64(0xBB67AE8584CAA73B)
+_U64_LO32 = np.uint64(0xFFFFFFFF)
+_U64_SHIFT32 = np.uint64(32)
+#: numpy's uint64 -> double conversion: keep the top 53 bits.
+_DOUBLE_SHIFT = np.uint64(11)
+_DOUBLE_NORM = 1.0 / 9007199254740992.0
+
+
+def _mulhilo64(a: np.uint64, b: np.ndarray):
+    """(high, low) 64-bit halves of a * b, elementwise, without int128.
+
+    The high half is assembled from 32-bit partial products; everything
+    stays in uint64 with wraparound semantics, matching the Philox
+    reference implementation.
+    """
+    lo = a * b
+    a_lo = a & _U64_LO32
+    a_hi = a >> _U64_SHIFT32
+    b_lo = b & _U64_LO32
+    b_hi = b >> _U64_SHIFT32
+    cross = ((a_lo * b_lo) >> _U64_SHIFT32) + (a_hi * b_lo & _U64_LO32) + a_lo * b_hi
+    hi = a_hi * b_hi + ((a_hi * b_lo) >> _U64_SHIFT32) + (cross >> _U64_SHIFT32)
+    return hi, lo
+
+
+def counter_uniforms(seed: int, counters, n: int) -> np.ndarray:
+    """Vectorised equivalent of ``counter_rng(seed, *counters).random(n)``.
+
+    Runs Philox4x64-10 over all blocks of every requested stream in one
+    batch of numpy uint64 arithmetic -- byte-identical to the
+    generator-per-stream loop (pinned in
+    ``tests/parallel/test_rate_stream_invariance.py``) but without the
+    per-stream Python overhead that dominates rate encoding.
+
+    Args:
+        seed: the integer stream seed (already canonicalised).
+        counters: an iterable of counter tuples (each up to 3 entries,
+            same semantics as :func:`counter_rng`); one stream of ``n``
+            doubles is produced per tuple.
+        n: number of float64 uniforms in [0, 1) per stream.
+
+    Returns:
+        float64 array of shape ``(len(counters), n)``.
+    """
+    counters = [tuple(int(c) for c in cs) for cs in counters]
+    for cs in counters:
+        if len(cs) > 3:
+            raise ValueError(
+                f"counter_uniforms supports at most 3 counters, got {len(cs)}"
+            )
+        for c in cs:
+            if c < 0:
+                raise ValueError(f"counters must be >= 0, got {c}")
+    n = int(n)
+    n_streams = len(counters)
+    if n_streams == 0 or n <= 0:
+        return np.zeros((n_streams, max(n, 0)), dtype=np.float64)
+    seed = int(seed) & _MASK64
+    k0 = np.uint64(_mix64(seed))
+    k1 = np.uint64(_mix64(seed ^ 0xA5A5A5A5A5A5A5A5))
+    n_blocks = -(-n // 4)
+    # numpy's Philox advances the 256-bit counter *before* each block, so
+    # block j (0-based) of a stream runs with low word j + 1; the upper
+    # words carry the stream coordinates exactly as in counter_rng.
+    shape = (n_streams, n_blocks)
+    with np.errstate(over="ignore"):
+        x0 = np.broadcast_to(
+            np.arange(1, n_blocks + 1, dtype=np.uint64), shape
+        ).copy()
+        coords = np.zeros((n_streams, 3), dtype=np.uint64)
+        for row, cs in enumerate(counters):
+            for index, c in enumerate(cs):
+                coords[row, index] = np.uint64(c & _MASK64)
+        x1 = np.broadcast_to(coords[:, 0:1], shape).copy()
+        x2 = np.broadcast_to(coords[:, 1:2], shape).copy()
+        x3 = np.broadcast_to(coords[:, 2:3], shape).copy()
+        key0, key1 = k0, k1
+        for _ in range(10):
+            hi0, lo0 = _mulhilo64(_PHILOX_M0, x0)
+            hi1, lo1 = _mulhilo64(_PHILOX_M1, x2)
+            x0 = hi1 ^ x1 ^ key0
+            x1 = lo1
+            x2 = hi0 ^ x3 ^ key1
+            x3 = lo0
+            key0 = key0 + _PHILOX_W0
+            key1 = key1 + _PHILOX_W1
+    words = np.empty((n_streams, n_blocks, 4), dtype=np.uint64)
+    words[:, :, 0] = x0
+    words[:, :, 1] = x1
+    words[:, :, 2] = x2
+    words[:, :, 3] = x3
+    doubles = (words >> _DOUBLE_SHIFT).astype(np.float64) * _DOUBLE_NORM
+    return doubles.reshape(n_streams, n_blocks * 4)[:, :n]
+
+
 def new_rng(seed: SeedLike = None) -> np.random.Generator:
     """Return a ``numpy.random.Generator`` from a seed, generator, or None.
 

@@ -166,6 +166,46 @@ class TestEncodingStreamGuard:
         assert try_load_evaluation(entry) is None
 
 
+class TestNumericPathGuard:
+    """Entries are tied to the numeric path that computed them: float
+    results must never be served to a forced integer-kernel run, whose
+    logits may legitimately differ (and vice versa)."""
+
+    INT_SIG = "int-forced/int8/scales=0123456789abcdef"
+
+    def test_matching_numeric_loads(self, tmp_path, result):
+        path = eval_cache_path(str(tmp_path), "int-run")
+        save_evaluation(path, result, numeric=self.INT_SIG)
+        assert load_evaluation(path, numeric=self.INT_SIG) == result
+
+    def test_float_entry_never_served_to_int_run(self, tmp_path, result):
+        path = eval_cache_path(str(tmp_path), "float-run")
+        save_evaluation(path, result, numeric="float32")
+        with pytest.raises(ExperimentError):
+            load_evaluation(path, numeric=self.INT_SIG)
+        assert try_load_evaluation(path, numeric=self.INT_SIG) is None
+
+    def test_int_entry_never_served_to_float_run(self, tmp_path, result):
+        path = eval_cache_path(str(tmp_path), "int-run")
+        save_evaluation(path, result, numeric=self.INT_SIG)
+        with pytest.raises(ExperimentError):
+            load_evaluation(path, numeric="float32")
+        assert try_load_evaluation(path, numeric="float32") is None
+
+    def test_legacy_entry_counts_as_float(self, tmp_path, result):
+        """Pre-guard entries (no 'numeric' field) all came from the
+        float path: they match "float32" and only "float32"."""
+        path = eval_cache_path(str(tmp_path), "legacy")
+        save_evaluation(path, result)  # numeric=None, like old writers
+        assert try_load_evaluation(path, numeric="float32") == result
+        assert try_load_evaluation(path, numeric=self.INT_SIG) is None
+
+    def test_caller_without_expectation_loads_any(self, tmp_path, result):
+        path = eval_cache_path(str(tmp_path), "any")
+        save_evaluation(path, result, numeric=self.INT_SIG)
+        assert load_evaluation(path) == result
+
+
 class TestInvalidation:
     def test_invalidate_single_entry(self, entry):
         assert invalidate_evaluation(entry)

@@ -252,3 +252,39 @@ class TestPinnedVectors:
             counter_rng(0, 1, 2, 3, 4)
         with pytest.raises(ValueError):
             counter_rng(0, -1)
+
+
+class TestVectorisedUniforms:
+    """``counter_uniforms`` is a batched reimplementation of numpy's
+    Philox4x64-10 -- it must be byte-identical to ``counter_rng`` (and
+    therefore to every pinned stream above) at any coordinate."""
+
+    def test_matches_counter_rng_bytes(self):
+        from repro.utils.rng import counter_uniforms
+
+        cases = [
+            (0, [(0, 0), (1, 0), (0, 1)], 4),
+            (123, [(5, 2)], 7),
+            (0xDEADBEEF, [(2**40, 2**33, 5)], 129),
+            (7, [(i, t) for i in range(6) for t in range(3)], 27),
+        ]
+        for seed, coords, n in cases:
+            got = counter_uniforms(seed, coords, n)
+            want = np.stack(
+                [counter_rng(seed, *c).random(n) for c in coords]
+            )
+            np.testing.assert_array_equal(got, want)
+
+    def test_empty_inputs(self):
+        from repro.utils.rng import counter_uniforms
+
+        assert counter_uniforms(0, [], 4).shape == (0, 4)
+        assert counter_uniforms(0, [(0, 0)], 0).shape == (1, 0)
+
+    def test_rejects_bad_coordinates(self):
+        from repro.utils.rng import counter_uniforms
+
+        with pytest.raises(ValueError):
+            counter_uniforms(0, [(1, 2, 3, 4)], 4)
+        with pytest.raises(ValueError):
+            counter_uniforms(0, [(-1,)], 4)

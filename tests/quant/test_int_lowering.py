@@ -1,0 +1,118 @@
+"""Power-of-two quantization scales and the integer-dequantization rule.
+
+The integer runtime datapath (``repro.runtime.kernels``) is only as
+trustworthy as the arithmetic contracts tested here: the pow2-scale
+snap, the documented accumulator-dequantization rounding rule, and the
+int32 overflow bound that gates every integer dispatch.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import QuantizationError
+from repro.quant import (
+    INT4_P2,
+    INT8_P2,
+    INT_ACCUMULATION_LIMIT,
+    QuantScheme,
+    dequantize_accumulator,
+    int_accumulation_bound,
+    quantize_array,
+)
+from repro.quant.schemes import scheme_by_name
+
+
+class TestPow2Scheme:
+    def test_names(self):
+        assert INT8_P2.name == "int8p2"
+        assert INT4_P2.name == "int4p2"
+
+    def test_scheme_by_name_round_trips(self):
+        assert scheme_by_name("int8p2") == INT8_P2
+        assert scheme_by_name("int4p2") == INT4_P2
+        assert scheme_by_name("int8").pow2_scale is False
+
+    def test_fp32_cannot_snap_scales(self):
+        with pytest.raises(QuantizationError):
+            QuantScheme(bits=None, pow2_scale=True)
+
+    def test_scales_are_powers_of_two(self):
+        rng = np.random.default_rng(7)
+        weight = rng.standard_normal((8, 3, 3, 3)).astype(np.float32)
+        _, scale = quantize_array(weight, INT8_P2)
+        mantissa, _ = np.frexp(scale)
+        assert np.all(mantissa == 0.5)  # exactly 2^e
+
+    def test_scales_snap_up_never_down(self):
+        """Snapping up keeps max|w| representable: |q| stays <= qmax."""
+        rng = np.random.default_rng(8)
+        weight = rng.standard_normal((8, 3, 3, 3)).astype(np.float32)
+        q, scale = quantize_array(weight, INT8_P2)
+        _, raw_scale = quantize_array(weight, scheme_by_name("int8"))
+        assert np.all(scale >= raw_scale)
+        assert np.all(scale <= 2.0 * raw_scale)
+        assert np.abs(q).max() <= 127
+
+    def test_pow2_dequantization_is_exact(self):
+        """scale = 2^e makes q * scale an exact float32 for every int8 q
+        -- the property the integer path's bit-exactness rests on."""
+        rng = np.random.default_rng(9)
+        weight = rng.standard_normal((4, 2, 3, 3)).astype(np.float32)
+        q, scale = quantize_array(weight, INT8_P2)
+        deq = q.astype(np.float64) * scale.reshape(-1, 1, 1, 1).astype(
+            np.float64
+        )
+        assert np.array_equal(deq.astype(np.float32).astype(np.float64), deq)
+
+
+class TestDequantizeAccumulator:
+    def test_matches_documented_rule(self):
+        """fl(fl(acc) * scale) + bias, each op IEEE-754 round-to-even."""
+        acc = np.array([[3, -1000000], [255, 7]], dtype=np.int32)
+        scale = np.float32(0.03125)
+        want = (acc.astype(np.float32) * scale).astype(np.float32)
+        assert np.array_equal(dequantize_accumulator(acc, scale), want)
+        bias = np.array([0.5, -0.25], dtype=np.float32)
+        assert np.array_equal(
+            dequantize_accumulator(acc, scale, bias),
+            want + bias.reshape(-1, 1),
+        )
+
+    def test_per_channel_scale_broadcasts_on_axis0(self):
+        acc = np.arange(6, dtype=np.int32).reshape(2, 3)
+        scale = np.array([1.0, 0.5], dtype=np.float32)
+        got = dequantize_accumulator(acc, scale)
+        assert np.array_equal(got[0], acc[0].astype(np.float32))
+        assert np.array_equal(got[1], acc[1].astype(np.float32) * 0.5)
+
+    def test_result_is_float32(self):
+        got = dequantize_accumulator(
+            np.ones((2, 2), dtype=np.int32), np.float32(1.0)
+        )
+        assert got.dtype == np.float32
+
+
+class TestAccumulationBound:
+    def test_bound_is_worst_case_row_sum(self):
+        q = np.array([[1, -2, 3], [100, 100, 100]], dtype=np.int8)
+        assert int_accumulation_bound(q) == 300
+
+    def test_empty_weight_bound_is_zero(self):
+        assert int_accumulation_bound(np.zeros((0, 4), dtype=np.int8)) == 0
+
+    def test_limit_is_float32_exact_integer_range(self):
+        """2^24: the largest magnitude at which every int32 accumulator
+        value casts to float32 without rounding -- the dequantization
+        rule's exactness precondition."""
+        assert INT_ACCUMULATION_LIMIT == 1 << 24
+        below = np.float32(INT_ACCUMULATION_LIMIT)
+        assert int(below) == INT_ACCUMULATION_LIMIT
+        # One past the limit is the first integer float32 cannot hold.
+        assert int(np.float32(INT_ACCUMULATION_LIMIT + 1)) != (
+            INT_ACCUMULATION_LIMIT + 1
+        )
+
+    def test_deep_vgg9_int8_is_under_the_limit(self):
+        """K = 2304 at int8: worst case 127 * 2304 << 2^24, so every
+        VGG9 shape the paper quantizes admits the integer path."""
+        assert 127 * 2304 < INT_ACCUMULATION_LIMIT

@@ -1,0 +1,289 @@
+"""Integer datapath: int32-accumulating kernels, probes and dispatch.
+
+Quantized deployables historically dequantized to float32 and ran the
+float kernels -- the "int8" runtime was float inference in disguise.
+These tests pin the actual integer lowering: the int kernels' mutual
+exactness (integer addition is associative, so dense and event int
+always agree), the bit-exactness probe that decides whether the integer
+path may replace float under ``int_kernels='auto'``, the overflow bound
+that gates every integer dispatch, and the per-layer counter
+attribution of every int/float decision.
+"""
+
+import numpy as np
+import pytest
+
+from repro.quant import INT8_P2, convert, quantize_array
+from repro.quant.schemes import scheme_by_name
+from repro.runtime import (
+    InferenceEngine,
+    LayerCounters,
+    attach_int_lowering,
+    calibrate_int_exact,
+    dense_conv_int,
+    event_conv_int,
+    resolve_event_backend,
+    runtime_config,
+    runtime_overrides,
+)
+from repro.runtime.kernels import dense_conv
+from repro.runtime.refshapes import (
+    make_conv_layer_plan,
+    make_conv_network_plan,
+)
+from repro.snn import build_network
+from repro.snn.encoding import RateEncoder
+
+
+def binary_batch(shape, density, seed=7, batch=3):
+    rng = np.random.default_rng(seed)
+    return (rng.random((batch,) + tuple(shape)) < density).astype(np.float32)
+
+
+def make_int_layer(cin, h, w, cout, seed=0, pow2=True):
+    """A conv LayerPlan whose wmat is the exact dequantization of an
+    attached int8 lowering (the invariant ``plan_deployable`` upholds
+    for quantized models)."""
+    layer = make_conv_layer_plan(cin, h, w, cout, seed=seed)
+    scheme = INT8_P2 if pow2 else scheme_by_name("int8")
+    q, scale = quantize_array(layer.wmat, scheme)
+    wmat = (q.astype(np.float32) * scale.reshape(-1, 1)).astype(np.float32)
+    layer.wmat = wmat
+    layer.wT = np.ascontiguousarray(wmat.T)
+    attach_int_lowering(layer, q, scale)
+    return layer
+
+
+@pytest.fixture(scope="module")
+def backend():
+    return resolve_event_backend(runtime_config().event_backend)
+
+
+class TestIntKernels:
+    @pytest.mark.parametrize("density", [0.0, 0.02, 0.3])
+    def test_int_dense_equals_int_event_always(self, backend, density):
+        """Integer addition is associative: the two int flavours agree
+        bit-for-bit at every density, pow2 scales or not."""
+        for pow2 in (True, False):
+            layer = make_int_layer(8, 6, 6, 12, seed=3, pow2=pow2)
+            x = binary_batch((8, 6, 6), density, seed=5)
+            dense = dense_conv_int(layer, x)
+            event, updates = event_conv_int(layer, x, backend)
+            assert np.array_equal(dense, event)
+            assert updates >= 0
+
+    def test_pow2_layer_matches_float_bit_exactly(self, backend):
+        layer = make_int_layer(8, 6, 6, 12, seed=4, pow2=True)
+        x = binary_batch((8, 6, 6), 0.1, seed=6)
+        want = dense_conv(layer, x)
+        assert np.array_equal(dense_conv_int(layer, x), want)
+        got, _ = event_conv_int(layer, x, backend)
+        assert np.array_equal(got, want)
+
+    def test_pow2_layer_probes_exact(self, backend):
+        layer = make_int_layer(8, 6, 6, 12, seed=7, pow2=True)
+        assert calibrate_int_exact(layer, backend) is True
+
+    def test_arbitrary_scales_fail_the_probe(self, backend):
+        """max|w|/qmax scales produce inexact dequantized weights; the
+        probe must catch the drift so 'auto' never serves different
+        numbers than float."""
+        layer = make_int_layer(8, 6, 6, 12, seed=8, pow2=False)
+        assert calibrate_int_exact(layer, backend) is False
+
+    def test_no_lowering_means_no_verdict(self, backend):
+        layer = make_conv_layer_plan(8, 6, 6, 12, seed=9)
+        assert not layer.has_int_lowering
+        assert calibrate_int_exact(layer, backend) is False
+
+    def test_deep_shape_probes_exact_at_k2304(self, backend):
+        """The deepest VGG9 geometry (K = 256*3*3 = 2304): worst-case
+        |acc| = 127 * 2304 < 2^24, so the pow2 integer path stays exact
+        at full paper depth."""
+        layer = make_int_layer(256, 4, 4, 16, seed=10, pow2=True)
+        assert layer.int_bound <= 127 * 2304
+        assert layer.int_overflow_ok
+        assert calibrate_int_exact(layer, backend) is True
+
+
+class TestOverflowGate:
+    def _overflowing_layer(self):
+        """An int16 lowering whose worst-case accumulator exceeds 2^24
+        (576 taps * 32767 > 2^24): the bound check must refuse it."""
+        layer = make_conv_layer_plan(64, 4, 4, 8, seed=11)
+        q = np.full((8, layer.geometry.k), 32767, dtype=np.int32)
+        attach_int_lowering(layer, q, np.float32(2.0**-20))
+        return layer
+
+    def test_bound_exceeds_limit(self):
+        from repro.quant import INT_ACCUMULATION_LIMIT
+
+        layer = self._overflowing_layer()
+        assert layer.wq.dtype == np.int16
+        assert layer.int_bound > INT_ACCUMULATION_LIMIT
+        assert not layer.int_overflow_ok
+
+    def test_probe_refuses_overflowing_layer(self, backend):
+        assert calibrate_int_exact(self._overflowing_layer(), backend) is False
+
+    def test_engine_attributes_overflow_fallback(self):
+        """Even under forced integer mode the engine must keep an
+        overflow-risky layer on float -- and say so in the counters."""
+        plan = make_conv_network_plan(64, 4, 4, 8, seed=11)
+        conv = plan.layers[0]
+        q = np.full((8, conv.geometry.k), 32767, dtype=np.int32)
+        attach_int_lowering(conv, q, np.float32(2.0**-20))
+        spikes = binary_batch((64, 4, 4), 0.02, seed=12, batch=2)
+        with runtime_overrides(int_kernels="on", dispatch_policy="density"):
+            out = InferenceEngine(plan).run(spikes)
+        counters = out.counters[conv.name]
+        assert counters.int_dense_steps == 0
+        assert counters.int_event_steps == 0
+        assert counters.float_overflow_steps > 0
+
+
+class TestEngineIntegration:
+    @pytest.fixture(scope="class")
+    def int_model(self):
+        net = build_network(
+            "8C3-MP2-16C3-MP2-40",
+            input_shape=(3, 8, 8),
+            num_classes=10,
+            seed=77,
+        )
+        net.eval()
+        return convert(net, INT8_P2)
+
+    @pytest.fixture(scope="class")
+    def arb_model(self):
+        net = build_network(
+            "8C3-MP2-16C3-MP2-40",
+            input_shape=(3, 8, 8),
+            num_classes=10,
+            seed=77,
+        )
+        net.eval()
+        return convert(net, scheme_by_name("int8"))
+
+    @pytest.fixture(scope="class")
+    def images(self):
+        rng = np.random.default_rng(13)
+        # Faint images -> sparse rate-coded trains -> event-eligible
+        # steps under the density policy.
+        return (rng.random((4, 3, 8, 8)) * 0.1).astype(np.float32)
+
+    def test_auto_int_path_is_bit_exact_and_attributed(
+        self, int_model, images
+    ):
+        """The headline fix: an int8(p2) deployable actually executes
+        integer event steps, and its logits still match the float path
+        bit for bit."""
+        encoder = RateEncoder(seed=0)
+        with runtime_overrides(int_kernels="off"):
+            want = int_model.forward(images, 6, encoder)
+        with runtime_overrides(
+            int_kernels="auto",
+            dispatch_policy="density",
+            dispatch_threshold=0.25,
+        ):
+            got = int_model.forward(images, 6, encoder)
+        assert np.array_equal(got.logits, want.logits)
+        int_events = sum(
+            c.int_event_steps for c in got.runtime_counters.values()
+        )
+        int_updates = sum(
+            c.int_event_updates for c in got.runtime_counters.values()
+        )
+        assert int_events > 0
+        assert int_updates > 0
+
+    def test_arbitrary_scales_fall_back_to_float_with_attribution(
+        self, arb_model, images
+    ):
+        """Auto mode on non-pow2 int8: the probe fails, every step runs
+        float, and the counters attribute the reason."""
+        encoder = RateEncoder(seed=0)
+        with runtime_overrides(int_kernels="off"):
+            want = arb_model.forward(images, 4, encoder)
+        with runtime_overrides(
+            int_kernels="auto",
+            dispatch_policy="density",
+            dispatch_threshold=0.25,
+        ):
+            got = arb_model.forward(images, 4, encoder)
+        assert np.array_equal(got.logits, want.logits)
+        counters = got.runtime_counters
+        assert sum(c.int_event_steps for c in counters.values()) == 0
+        assert sum(c.int_dense_steps for c in counters.values()) == 0
+        assert sum(c.float_exactness_steps for c in counters.values()) > 0
+
+    def test_off_mode_never_runs_int(self, int_model, images):
+        with runtime_overrides(int_kernels="off", dispatch_policy="density"):
+            out = int_model.forward(images, 4, RateEncoder(seed=0))
+        counters = out.runtime_counters
+        assert sum(c.int_event_steps for c in counters.values()) == 0
+        assert sum(c.int_dense_steps for c in counters.values()) == 0
+
+    def test_forced_int_is_deterministic_across_paths(
+        self, arb_model, images
+    ):
+        """int_kernels='on' forces the integer path even where it
+        differs from float -- but integer associativity makes the result
+        identical at every dispatch split (dense vs event vs routed)."""
+        encoder = RateEncoder(seed=0)
+        outs = []
+        for overrides in (
+            dict(int_kernels="on", force_path="dense"),
+            dict(int_kernels="on", force_path="event"),
+            dict(int_kernels="on", dispatch_policy="density"),
+        ):
+            with runtime_overrides(**overrides):
+                outs.append(arb_model.forward(images, 4, encoder))
+        for other in outs[1:]:
+            assert np.array_equal(outs[0].logits, other.logits)
+        forced = outs[1].runtime_counters
+        assert sum(c.int_event_steps for c in forced.values()) > 0
+
+    def test_forced_int_batch_split_invariance(self, arb_model, images):
+        """Shard-merge determinism survives on the integer path: half
+        batches concatenate to the full-batch logits exactly."""
+        encoder = RateEncoder(seed=0)
+        with runtime_overrides(int_kernels="on", dispatch_policy="density"):
+            whole = arb_model.forward(images, 4, encoder).logits
+            lo = arb_model.forward(images[:2], 4, encoder).logits
+            hi = arb_model.forward(
+                images[2:], 4, encoder.for_samples(2)
+            ).logits
+        assert np.array_equal(whole, np.concatenate([lo, hi]))
+
+
+class TestCounters:
+    def test_fallback_reasons_map_to_fields(self):
+        c = LayerCounters()
+        c.count_float_fallback("exactness", 2)
+        c.count_float_fallback("overflow")
+        c.count_float_fallback("cost", 3)
+        assert c.float_exactness_steps == 2
+        assert c.float_overflow_steps == 1
+        assert c.float_cost_steps == 3
+
+    def test_unknown_reason_rejected(self):
+        with pytest.raises(ValueError):
+            LayerCounters().count_float_fallback("vibes")
+
+    def test_as_dict_and_merge_carry_int_fields(self):
+        a = LayerCounters()
+        a.int_dense_steps = 1
+        a.int_event_steps = 2
+        a.int_event_updates = 30
+        a.float_overflow_steps = 1
+        b = LayerCounters()
+        b.int_event_steps = 3
+        b.float_exactness_steps = 4
+        a.merge(b)
+        d = a.as_dict()
+        assert d["int_dense_steps"] == 1
+        assert d["int_event_steps"] == 5
+        assert d["int_event_updates"] == 30
+        assert d["float_overflow_steps"] == 1
+        assert d["float_exactness_steps"] == 4

@@ -357,8 +357,9 @@ class TestAttachPlan:
 
 class TestSchemaCompat:
     """Earlier-PR sidecars must keep loading after each schema bump:
-    v1 (no per-entry k-block), v2 (no per-entry cost rates) and the
-    current v3 all round-trip to bit-identical engine outputs."""
+    v1 (no per-entry k-block), v2 (no per-entry cost rates), v3 (no
+    integer lowering) and the current v4 all round-trip to bit-identical
+    engine outputs."""
 
     def _downgrade_to_v1(self, path):
         arrays, meta = load_npz(path)
@@ -366,6 +367,10 @@ class TestSchemaCompat:
         for entry in meta["calibration"]:
             entry.pop("block", None)
             entry.pop("cost", None)
+            entry.pop("int", None)
+        for info in meta["layers"]:
+            info.pop("has_int", None)
+        arrays = {k: v for k, v in arrays.items() if ".wq" not in k}
         save_npz(path, arrays, meta)
 
     def _downgrade_to_v2(self, path):
@@ -373,6 +378,20 @@ class TestSchemaCompat:
         meta["format"] = "network-plan-v2"
         for entry in meta["calibration"]:
             entry.pop("cost", None)
+            entry.pop("int", None)
+        for info in meta["layers"]:
+            info.pop("has_int", None)
+        arrays = {k: v for k, v in arrays.items() if ".wq" not in k}
+        save_npz(path, arrays, meta)
+
+    def _downgrade_to_v3(self, path):
+        arrays, meta = load_npz(path)
+        meta["format"] = "network-plan-v3"
+        for entry in meta["calibration"]:
+            entry.pop("int", None)
+        for info in meta["layers"]:
+            info.pop("has_int", None)
+        arrays = {k: v for k, v in arrays.items() if ".wq" not in k}
         save_npz(path, arrays, meta)
 
     def test_v1_sidecar_loads_and_seeds_unblocked_verdicts(
@@ -453,7 +472,7 @@ class TestSchemaCompat:
         path = str(tmp_path / "v3.plan.npz")
         save_plan(live, path)
         arrays, meta = load_npz(path)
-        assert meta["format"] == "network-plan-v3"
+        assert meta["format"] == "network-plan-v4"
         saved = {
             tuple(entry["key"]): entry["cost"]
             for entry in meta["calibration"]
@@ -497,6 +516,108 @@ class TestSchemaCompat:
             for layer in loaded.layers
             if layer.kind == "conv"
         )
+
+    def test_v4_persists_integer_lowering(
+        self, network, images, tmp_path, monkeypatch
+    ):
+        """A quantized plan's int8 weights, scales, exactness verdicts
+        and int cost rates all come back from the sidecar -- cold
+        loaders never re-run the integer probes."""
+        from repro.quant import INT8_P2
+        from repro.runtime import costmodel
+        from repro.runtime.kernels import resolve_event_backend
+
+        live = plan_deployable(convert(network, INT8_P2))
+        backend = resolve_event_backend("auto")
+        path = str(tmp_path / "int.plan.npz")
+        save_plan(live, path)
+        loaded = load_plan(path)
+        monkeypatch.setattr(
+            costmodel,
+            "probe_int_rates",
+            lambda *a, **k: pytest.fail("int probe ran despite sidecar"),
+        )
+        from repro.runtime import kernels
+
+        monkeypatch.setattr(
+            kernels,
+            "dense_conv",
+            lambda *a, **k: pytest.fail("exactness probe ran"),
+        )
+        seen_int = False
+        for got, want in zip(loaded.layers, live.layers):
+            assert got.has_int_lowering == want.has_int_lowering
+            if not want.has_int_lowering:
+                continue
+            seen_int = True
+            assert got.wq.dtype == want.wq.dtype
+            assert np.array_equal(got.wq, want.wq)
+            assert np.array_equal(
+                np.asarray(got.wq_scale), np.asarray(want.wq_scale)
+            )
+            assert got.int_bound == want.int_bound
+            # Verdict seeded (the broken probes above would fail loudly
+            # if calibrate_int_exact had to re-probe).
+            for (b, block), verdict in want._int_exact.items():
+                assert (
+                    kernels.calibrate_int_exact(got, b, block or None)
+                    == verdict
+                )
+            if want.cost_state is not None and (
+                want.cost_state.int_event_ms_per_update is not None
+            ):
+                assert got.cost_state is not None
+                assert (
+                    got.cost_state.int_event_ms_per_update
+                    == want.cost_state.int_event_ms_per_update
+                )
+        assert seen_int  # the quantized plan did carry a lowering
+
+    def test_v3_sidecar_drops_integer_lowering_but_loads(
+        self, network, images, tmp_path
+    ):
+        """Pre-v4 sidecars of quantized models load fine -- the plan
+        simply runs float-only until the sidecar is rebuilt."""
+        from repro.quant import INT8_P2
+
+        live = plan_deployable(convert(network, INT8_P2))
+        path = str(tmp_path / "v3-int.plan.npz")
+        save_plan(live, path)
+        self._downgrade_to_v3(path)
+        loaded = load_plan(path)
+        assert all(not layer.has_int_lowering for layer in loaded.layers)
+        want = engine_outputs(live, images)
+        got = engine_outputs(loaded, images)
+        # auto int kernels are exactness-preserving, so the float-only
+        # plan computes the identical result.
+        assert np.array_equal(got.accumulated, want.accumulated)
+
+    def test_context_rebuilds_pre_v4_sidecar_for_quantized_model(
+        self, tmp_path
+    ):
+        """The numeric-path sidecar guard: a quantized model under
+        int_kernels != 'off' must not keep a v3 sidecar that would pin
+        it to float inference."""
+        from repro.experiments.context import ExperimentContext
+        from repro.runtime import try_load_plan
+
+        workspace = str(tmp_path / "ws")
+        ctx = ExperimentContext(scale="tiny", workspace=workspace, seed=0)
+        ctx.trained("svhn", "int8")
+        path = ctx.model_path(ctx.model_key("svhn", "int8", "direct"))
+        sidecar = plan_sidecar_path(path)
+        self._downgrade_to_v3(sidecar)
+        assert all(
+            not layer.has_int_lowering
+            for layer in try_load_plan(sidecar).layers
+        )
+        fresh = ExperimentContext(scale="tiny", workspace=workspace, seed=0)
+        model = fresh.trained("svhn", "int8")  # rebuilds + re-saves as v4
+        assert any(
+            layer.has_int_lowering for layer in model._runtime_plan.layers
+        )
+        reloaded = try_load_plan(sidecar)
+        assert any(layer.has_int_lowering for layer in reloaded.layers)
 
     def test_unknown_future_format_rejected(self, deployable, tmp_path):
         from repro.errors import RuntimeUnsupportedError
