@@ -15,9 +15,11 @@ path, with the measured cost model's routing verdict per density), the
 end-to-end ``DeployableNetwork.forward`` legacy-vs-runtime comparison on
 a small-scale VGG9 at paper-typical spike densities, the sharded
 serial-vs-pooled throughput, warm-vs-cold persistent-pool latency, the
-disk-backed evaluation cache's cold/warm split and the
+disk-backed evaluation cache's cold/warm split, the
 ``quantized_kernels`` section (int8 int32-accumulating kernels vs their
-float twins, micro and end-to-end). Results are written
+float twins, micro and end-to-end) and the ``serving`` section (online
+dynamic-batching server: p50/p99 latency and admission accounting at a
+nominal and an overload offered rate). Results are written
 to ``BENCH_runtime.json`` at the repo root so the perf trajectory is
 tracked across PRs (field reference: ``docs/BENCHMARKS.md``).
 
@@ -589,6 +591,121 @@ def bench_quantized_kernels(params) -> Dict:
     }
 
 
+def bench_serving(deployable, images, params) -> Dict:
+    """Online serving: latency percentiles at two offered loads.
+
+    Stands up a real :class:`InferenceServer` on the benched deployable
+    and replays the open-loop generator against it twice: at ~50% of
+    the measured single-batch capacity (the *nominal* row -- every
+    request must complete, p50/p99 are the serving overhead on top of
+    the forward) and at ~2x capacity (the *overload* row -- the bounded
+    queue and deadlines must shed load explicitly; the accounting, not
+    the latency, is the contract there).
+
+    Before any timing the served logits are asserted byte-identical to
+    the offline forward of the same samples -- the serving layer's
+    bit-exactness contract, enforced in the perf record too.
+
+    ``p99_bound_ms`` is self-calibrated from the measured batch forward
+    (generous: queue wait + one full batch ahead + scheduling slack) and
+    recorded; the smoke gate holds the nominal row's p99 under it.
+    """
+    from repro.serving import InferenceServer, resolve_serve_config, run_open_loop
+
+    timesteps = params["timesteps"]
+    max_batch = 4
+    batch_ms = timeit(
+        lambda: deployable.forward(images[:max_batch], timesteps),
+        params["repeats"],
+    )
+    capacity_rps = max_batch / (batch_ms / 1e3) if batch_ms else 1.0
+    offline = deployable.forward(images, timesteps).logits
+
+    def serve_once(offered_rps, count, queue_depth, timeout_ms):
+        server = InferenceServer(
+            resolve_serve_config(
+                max_batch=max_batch,
+                max_wait_ms=2.0,
+                queue_depth=queue_depth,
+                timeout_ms=timeout_ms,
+            )
+        )
+        try:
+            server.register("bench", deployable, timesteps, workers=1)
+            return run_open_loop(
+                server, "bench", images, rate_rps=offered_rps, count=count
+            )
+        finally:
+            server.shutdown()
+
+    # Bit-exactness first: one request per sample, each under its own
+    # stream index, must reproduce the offline batch byte for byte.
+    server = InferenceServer(
+        resolve_serve_config(
+            max_batch=max_batch, max_wait_ms=5.0,
+            queue_depth=len(images) + 1, timeout_ms=0.0,
+        )
+    )
+    try:
+        server.register("bench", deployable, timesteps, workers=1)
+        pendings = [
+            server.submit("bench", images[i], stream_index=i)
+            for i in range(len(images))
+        ]
+        for i, pending in enumerate(pendings):
+            if (
+                pending.result().logits.tobytes()
+                != np.ascontiguousarray(offline[i]).tobytes()
+            ):
+                raise SystemExit(
+                    f"served logits diverged from offline forward at "
+                    f"sample {i}"
+                )
+    finally:
+        server.shutdown()
+
+    nominal_rps = max(1.0, 0.5 * capacity_rps)
+    overload_rps = max(2.0, 2.0 * capacity_rps)
+    count = 24
+    nominal = serve_once(
+        nominal_rps, count, queue_depth=count + 1, timeout_ms=0.0
+    )
+    overload = serve_once(
+        overload_rps, count, queue_depth=3, timeout_ms=max(50.0, 6 * batch_ms)
+    )
+    if nominal.completed != count:
+        raise SystemExit(
+            f"nominal serving load lost requests: "
+            f"{nominal.completed}/{count} completed"
+        )
+    shed = overload.rejected + overload.timed_out
+    accounted = (
+        overload.completed + overload.rejected + overload.timed_out
+        + overload.failed
+    )
+    if accounted != count:
+        raise SystemExit(
+            f"overload accounting leaked requests: {accounted}/{count}"
+        )
+    p99_bound_ms = 3.0 * batch_ms + 250.0
+    rows = [
+        dict(load="nominal", offered_rps=round(nominal_rps, 3),
+             **nominal.as_dict()),
+        dict(load="overload", offered_rps=round(overload_rps, 3),
+             **overload.as_dict()),
+    ]
+    return {
+        "max_batch": max_batch,
+        "max_wait_ms": 2.0,
+        "batch_forward_ms": batch_ms,
+        "capacity_rps": round(capacity_rps, 3),
+        "p99_bound_ms": round(p99_bound_ms, 3),
+        "overload_shed": shed,
+        "bit_exact": True,
+        "rows": rows,
+    }
+
+
 def smoke_check(record: Dict) -> List[str]:
     failures = []
     for row in record["layer_micro"]:
@@ -630,6 +747,34 @@ def smoke_check(record: Dict) -> List[str]:
                 f"float event ({row['float_event_ms']:.2f} ms) at density "
                 f"{row['density']:.1%} on the K={quantized['k']} deep shape"
             )
+    # Serving gate: at nominal load every request completes and p99
+    # stays under the self-calibrated bound; at overload every offered
+    # request is accounted for (completed / rejected / timed out) --
+    # shedding is expected there, losing requests is not.
+    serving = record["serving"]
+    by_load = {row["load"]: row for row in serving["rows"]}
+    nominal = by_load["nominal"]
+    if nominal["completed"] != nominal["offered"]:
+        failures.append(
+            f"serving lost requests at nominal load: "
+            f"{nominal['completed']}/{nominal['offered']} completed"
+        )
+    if nominal["p99_ms"] > serving["p99_bound_ms"]:
+        failures.append(
+            f"serving p99 ({nominal['p99_ms']:.1f} ms) over the "
+            f"calibrated bound ({serving['p99_bound_ms']:.1f} ms) at "
+            "nominal load"
+        )
+    for row in serving["rows"]:
+        accounted = (
+            row["completed"] + row["rejected"] + row["timed_out"]
+            + row["failed"]
+        )
+        if accounted != row["offered"]:
+            failures.append(
+                f"serving {row['load']} row leaked requests: "
+                f"{accounted}/{row['offered']} accounted"
+            )
     return failures
 
 
@@ -663,6 +808,7 @@ def main(argv=None) -> int:
             "persistent_pool": bench_persistent_pool(params),
             "eval_cache": bench_eval_cache(),
             "quantized_kernels": bench_quantized_kernels(params),
+            "serving": bench_serving(deployable, images, params),
         }
 
     path = result_path(args.scale)
@@ -734,6 +880,19 @@ def main(argv=None) -> int:
         f"{qe2e['int_ms']:.2f} ms ({qe2e['speedup']:.2f}x, "
         f"{qe2e['int_layer_timesteps']} int layer-timesteps)"
     )
+    serving = record["serving"]
+    print(
+        f"serving (max_batch={serving['max_batch']}, capacity "
+        f"~{serving['capacity_rps']:.1f} req/s, p99 bound "
+        f"{serving['p99_bound_ms']:.0f} ms):"
+    )
+    for row in serving["rows"]:
+        print(
+            f"  {row['load']} @ {row['offered_rps']:.1f} req/s: "
+            f"{row['completed']}/{row['offered']} completed, "
+            f"{row['rejected']} rejected, {row['timed_out']} timed out, "
+            f"p50 {row['p50_ms']:.1f} ms, p99 {row['p99_ms']:.1f} ms"
+        )
     if args.smoke:
         failures = smoke_check(record)
         for failure in failures:

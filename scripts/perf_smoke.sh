@@ -27,6 +27,13 @@
 # workers (exit 1 on any difference). Rate coding was exempt while
 # encoder snapshots made it geometry-dependent.
 #
+# The serving determinism gate closes the loop online: every sample
+# served through the dynamic batcher (burst, scattered and 2-worker
+# pooled arrival patterns, direct and rate coding) must byte-match the
+# offline forward of the same samples; the bench's serving section
+# additionally gates nominal-load p99 latency against its
+# self-calibrated bound and full admission accounting at overload.
+#
 # Usage: scripts/perf_smoke.sh            (tiny scale, the default)
 #        REPRO_BENCH_SCALE=small scripts/perf_smoke.sh
 set -euo pipefail
@@ -38,4 +45,5 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 python benchmarks/bench_runtime_hotpaths.py --smoke
 python scripts/check_blocked_routing.py
 python scripts/check_docs.py
+python scripts/check_serving_determinism.py
 exec python scripts/check_parallel_determinism.py

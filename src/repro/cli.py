@@ -9,6 +9,10 @@ Subcommands:
 * ``partition``   -- derive a balanced NC allocation from measured workloads
 * ``experiment``  -- regenerate paper tables/figures (fig1 table1 fig4
                      table2 table3 | all), optionally writing EXPERIMENTS.md
+* ``serve``       -- online inference serving with dynamic batching:
+                     stand up an InferenceServer on a cached model,
+                     replay a synthetic request load against it and
+                     report latency percentiles + admission accounting
 """
 
 from __future__ import annotations
@@ -146,6 +150,103 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write EXPERIMENTS.md-style output to PATH (only with 'all')",
     )
+
+    serve = sub.add_parser(
+        "serve",
+        help="online inference serving with dynamic batching",
+        description=(
+            "Stand up an InferenceServer on a cached model (training it "
+            "first if the cache is cold), replay a synthetic load "
+            "against it, then drain gracefully and print latency "
+            "percentiles plus admission accounting. Served logits are "
+            "byte-identical to offline evaluation of the same samples."
+        ),
+    )
+    add_common(serve)
+    serve.add_argument("dataset", choices=["svhn", "cifar10", "cifar100"])
+    serve.add_argument("--scheme", default="int4", help="fp32 | int4 | int8")
+    serve.add_argument("--coding", default="direct", choices=["direct", "rate"])
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "most requests one dynamic batch may coalesce "
+            "(default: REPRO_SERVE_MAX_BATCH, then 8)"
+        ),
+    )
+    serve.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help=(
+            "longest the batcher holds the oldest request open for "
+            "companions (default: REPRO_SERVE_MAX_WAIT_MS, then 2)"
+        ),
+    )
+    serve.add_argument(
+        "--queue-depth",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "bounded per-model queue; admissions beyond it are rejected "
+            "(default: REPRO_SERVE_QUEUE_DEPTH, then 64)"
+        ),
+    )
+    serve.add_argument(
+        "--timeout-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help=(
+            "per-request deadline from admission; 0 disables "
+            "(default: REPRO_SERVE_TIMEOUT_MS, then 1000)"
+        ),
+    )
+    serve.add_argument(
+        "--drain-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help=(
+            "graceful-drain budget at shutdown "
+            "(default: REPRO_SERVE_DRAIN_MS, then 2000)"
+        ),
+    )
+    serve.add_argument(
+        "--mode",
+        choices=["open", "closed"],
+        default="open",
+        help=(
+            "load shape: open = fixed arrival rate regardless of server "
+            "health (exercises admission control); closed = each client "
+            "waits for its previous response"
+        ),
+    )
+    serve.add_argument(
+        "--rate",
+        type=float,
+        default=20.0,
+        metavar="RPS",
+        help="open-loop offered arrival rate, requests/second",
+    )
+    serve.add_argument(
+        "--requests",
+        type=int,
+        default=32,
+        metavar="N",
+        help="total requests to replay",
+    )
+    serve.add_argument(
+        "--clients",
+        type=int,
+        default=4,
+        metavar="N",
+        help="closed-loop client count (requests are split across them)",
+    )
     return parser
 
 
@@ -163,6 +264,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_partition(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     return 1  # pragma: no cover - argparse enforces choices
 
 
@@ -310,6 +413,82 @@ def _cmd_experiment(args) -> int:
     else:
         result = RUNNERS[args.which](ctx)
         print(result.render())
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    import os
+
+    from repro.serving import (
+        InferenceServer,
+        resolve_serve_config,
+        run_closed_loop,
+        run_open_loop,
+    )
+    from repro.snn import make_encoder
+
+    ctx = _make_context(args)
+    model = ctx.trained(args.dataset, args.scheme, args.coding)
+    images, _labels = ctx.sim_images(args.dataset)
+    encoder_seed = (
+        args.encoder_seed if args.encoder_seed is not None else args.seed + 7
+    )
+    encoder = make_encoder(args.coding, seed=encoder_seed)
+    model_path = ctx.model_path(
+        ctx.model_key(args.dataset, args.scheme, args.coding)
+    )
+    config = resolve_serve_config(
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        queue_depth=args.queue_depth,
+        timeout_ms=args.timeout_ms,
+        drain_ms=args.drain_ms,
+    )
+    name = f"{args.dataset}-{args.scheme}-{args.coding}"
+    server = InferenceServer(config)
+    server.register(
+        name,
+        model,
+        ctx.timesteps_for(args.coding),
+        encoder=encoder,
+        model_path=model_path if os.path.exists(model_path) else None,
+        workers=args.workers,
+    )
+    if not args.quiet:
+        print(
+            f"serving {name}: max_batch={config.max_batch} "
+            f"max_wait={config.max_wait_ms:g}ms "
+            f"queue_depth={config.queue_depth} "
+            f"timeout={config.timeout_ms:g}ms"
+        )
+    try:
+        if args.mode == "open":
+            report = run_open_loop(
+                server, name, images, rate_rps=args.rate, count=args.requests
+            )
+        else:
+            per_client = max(1, args.requests // max(1, args.clients))
+            report = run_closed_loop(
+                server, name, images,
+                clients=args.clients,
+                requests_per_client=per_client,
+            )
+        drained = server.drain()
+    finally:
+        server.shutdown()
+    summary = report.as_dict()
+    print(
+        f"{name}: offered {summary['offered']} "
+        f"({args.mode} loop), completed {summary['completed']}, "
+        f"rejected {summary['rejected']}, timed out {summary['timed_out']}"
+    )
+    print(
+        f"latency p50 {summary['p50_ms']:.1f} ms, "
+        f"p99 {summary['p99_ms']:.1f} ms, "
+        f"throughput {summary['achieved_rps']:.1f} req/s, "
+        f"mean batch {summary['mean_batch']:.2f}"
+    )
+    print(f"drained {'cleanly' if drained else 'with work abandoned'}")
     return 0
 
 

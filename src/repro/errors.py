@@ -50,9 +50,44 @@ class ParallelError(ReproError):
     """Sharded or pooled execution was configured or driven incorrectly."""
 
 
+class WorkerCrashError(ParallelError):
+    """A pool worker process died while tasks were in flight.
+
+    Raised instead of letting ``Pool.map`` wait forever on results the
+    dead worker will never deliver. The pool that lost the worker is
+    torn down; the next pooled call restarts it lazily."""
+
+
+class WorkerTimeoutError(ParallelError):
+    """A pooled call exceeded its caller-supplied wall-clock budget."""
+
+
 class DatasetError(ReproError):
     """A dataset generator or loader received invalid parameters."""
 
 
 class ExperimentError(ReproError):
     """An experiment harness failed or was misconfigured."""
+
+
+class ServingError(ReproError):
+    """The online inference serving layer failed or was misused."""
+
+
+class QueueFullError(ServingError):
+    """A request was rejected at admission: the model queue is full.
+
+    The bounded-queue backpressure signal -- callers should shed load or
+    retry later; the server never buffers unboundedly."""
+
+
+class RequestTimeoutError(ServingError):
+    """A request missed its deadline before a result was produced.
+
+    Raised both when the batcher drops an already-expired request
+    instead of wasting a batch slot on it, and when a client's wait on
+    the pending result reaches the deadline first."""
+
+
+class ServerClosedError(ServingError):
+    """A request arrived at (or was pending on) a draining/stopped server."""

@@ -34,6 +34,21 @@ each worker observes the same bootstrap state:
 
 Exceptions raised by a cell propagate to the caller from ``Pool.map``
 exactly as they would from the inline loop.
+
+Fault containment
+-----------------
+
+``multiprocessing.Pool`` has a well-known failure mode: a worker that
+dies abruptly (OOM kill, segfault, ``SIGKILL``) takes its in-flight
+tasks with it, the pool silently respawns a replacement, and
+``Pool.map`` waits forever for results that will never arrive. Every
+pooled wait in this package therefore goes through
+:func:`guarded_map_wait`, which polls worker liveness alongside the
+result: an abnormal worker exit raises a typed
+:class:`~repro.errors.WorkerCrashError` instead of hanging, and an
+optional wall-clock ``timeout`` raises
+:class:`~repro.errors.WorkerTimeoutError` -- the guarantees the online
+serving layer (and any other long-lived caller) builds on.
 """
 
 from __future__ import annotations
@@ -41,15 +56,22 @@ from __future__ import annotations
 import multiprocessing as mp
 import os
 import sys
+import time
 from dataclasses import asdict
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
+from repro.errors import WorkerCrashError, WorkerTimeoutError
 from repro.parallel.config import (
     WORKERS_ENV,
     _reset_override_for_worker,
     resolve_workers,
 )
 from repro.runtime.config import RuntimeConfig, runtime_config, set_runtime_config
+
+#: How often the guarded wait re-checks worker liveness. Coarse enough
+#: to cost nothing against multi-millisecond cells, fine enough that a
+#: crashed worker surfaces as a typed error within ~a poll interval.
+_LIVENESS_POLL_S = 0.05
 
 
 def pool_start_method() -> str:
@@ -78,12 +100,69 @@ def _bootstrap_worker(
         initializer(*initargs)
 
 
+def _pool_members(pool) -> List:
+    """The pool's current worker processes (CPython keeps them in
+    ``_pool``; an empty list degrades the liveness check to a plain
+    wait, never to a false crash report)."""
+    return list(getattr(pool, "_pool", None) or [])
+
+
+def guarded_map_wait(
+    pool,
+    async_result,
+    timeout: Optional[float] = None,
+) -> List:
+    """Wait on a ``map_async`` result without trusting worker liveness.
+
+    Polls the result at :data:`_LIVENESS_POLL_S` granularity and checks
+    the pool's worker processes in between:
+
+    * a worker with a nonzero exit code, or a worker *replaced* by the
+      pool's maintenance thread (the pid set changed -- the dead
+      process may already have been reaped), means in-flight tasks may
+      be lost and ``Pool.map`` would wait forever; raise
+      :class:`WorkerCrashError` instead.
+    * a caller-supplied ``timeout`` (seconds, wall clock for the whole
+      mapped call) raises :class:`WorkerTimeoutError` when exceeded.
+
+    A cell that merely *raises* still propagates its own exception from
+    ``async_result.get()``, exactly like ``Pool.map``. Callers own the
+    pool teardown after a crash/timeout (terminate, not close/join --
+    joining a pool with lost tasks can itself hang).
+    """
+    initial_pids = {p.pid for p in _pool_members(pool)}
+    deadline = None if timeout is None else time.monotonic() + timeout
+    while True:
+        async_result.wait(_LIVENESS_POLL_S)
+        if async_result.ready():
+            return async_result.get()
+        members = _pool_members(pool)
+        crashed = any(
+            p.exitcode is not None and p.exitcode != 0 for p in members
+        )
+        replaced = (
+            initial_pids and {p.pid for p in members} != initial_pids
+        )
+        if crashed or replaced:
+            raise WorkerCrashError(
+                "a pool worker process died with tasks in flight "
+                "(abnormal exit; its tasks are lost). The pool is torn "
+                "down; retry the call to run on a fresh pool."
+            )
+        if deadline is not None and time.monotonic() > deadline:
+            raise WorkerTimeoutError(
+                f"pooled call exceeded its {timeout:.3f}s budget; "
+                "the pool is torn down"
+            )
+
+
 def run_tasks(
     fn: Callable,
     payloads: Iterable,
     workers: Optional[int] = None,
     initializer: Optional[Callable] = None,
     initargs: Tuple = (),
+    timeout: Optional[float] = None,
 ) -> List:
     """``[fn(p) for p in payloads]``, fanned out over worker processes.
 
@@ -100,6 +179,13 @@ def run_tasks(
     ``REPRO_WORKERS=1`` pinning) should special-case the single-worker
     path themselves, as :func:`repro.parallel.shard.sharded_forward`
     does.
+
+    ``timeout`` bounds the pooled call in wall-clock seconds
+    (:class:`~repro.errors.WorkerTimeoutError` on expiry); a worker that
+    dies mid-call raises :class:`~repro.errors.WorkerCrashError` instead
+    of hanging (see :func:`guarded_map_wait`). The serial fallback runs
+    inline and therefore ignores ``timeout`` -- there is no separate
+    process to abandon.
     """
     payloads = list(payloads)
     count = min(resolve_workers(workers), max(1, len(payloads)))
@@ -116,15 +202,19 @@ def run_tasks(
             workers=count,
             initializer=initializer,
             initargs=initargs,
+            timeout=timeout,
         )
     context = mp.get_context(pool_start_method())
     bootstrap_args = (asdict(runtime_config()), initializer, initargs)
+    # The with-block tears the pool down via terminate(), which is safe
+    # even after a crash left tasks unaccounted for (close+join is not).
     with context.Pool(
         processes=count,
         initializer=_bootstrap_worker,
         initargs=bootstrap_args,
     ) as pool:
-        return pool.map(fn, payloads, chunksize=1)
+        result = pool.map_async(fn, payloads, chunksize=1)
+        return guarded_map_wait(pool, result, timeout=timeout)
 
 
 def effective_workers(

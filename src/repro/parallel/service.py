@@ -79,7 +79,7 @@ import tempfile
 from dataclasses import asdict, dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, WorkerCrashError, WorkerTimeoutError
 from repro.parallel.config import (
     WORKERS_ENV,
     _reset_override_for_worker,
@@ -128,6 +128,7 @@ class ServiceStats:
     generations: int = 0  # distinct per-call state broadcasts
     generation_reuses: int = 0  # runs whose state matched the previous one
     blob_spills: int = 0  # generations whose state went via a temp file
+    aborts: int = 0  # pools torn down after a worker crash / call timeout
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -138,6 +139,7 @@ class ServiceStats:
             "generations": self.generations,
             "generation_reuses": self.generation_reuses,
             "blob_spills": self.blob_spills,
+            "aborts": self.aborts,
         }
 
 
@@ -287,6 +289,22 @@ class WorkerService:
             pool.close()
             pool.join()
 
+    def _abort_pool(self) -> None:
+        """Tear down a pool that lost a worker (or blew its budget).
+
+        ``terminate`` rather than ``close``+``join``: joining a pool
+        whose in-flight tasks died with their worker can itself hang on
+        the unaccounted results. The next pooled run restarts lazily --
+        that restart *is* the recovery path.
+        """
+        self._drop_generation_cache()
+        pool, self._pool = self._pool, None
+        self._pool_workers = 0
+        if pool is not None and self._owner_pid == os.getpid():
+            pool.terminate()
+            pool.join()
+        self.stats.aborts += 1
+
     def __enter__(self) -> "WorkerService":
         return self
 
@@ -301,6 +319,7 @@ class WorkerService:
         workers: Optional[int] = None,
         initializer: Optional[Callable] = None,
         initargs: Tuple = (),
+        timeout: Optional[float] = None,
     ) -> List:
         """``[fn(p) for p in payloads]`` on the persistent pool.
 
@@ -320,6 +339,14 @@ class WorkerService:
         a content digest alongside, to keep that O(KB).) ``workers`` is
         a concurrency cap even when the running pool is wider:
         submissions are chunked so at most that many workers are busy.
+
+        Fault containment: a worker that dies mid-call raises
+        :class:`~repro.errors.WorkerCrashError`, an exceeded ``timeout``
+        (seconds) raises :class:`~repro.errors.WorkerTimeoutError`;
+        either way the pool is torn down (``terminate``) and the next
+        run restarts it lazily -- the service recovers, the caller gets
+        a typed error, and nothing ever hangs on results a dead worker
+        cannot deliver (see :func:`repro.parallel.pool.guarded_map_wait`).
         """
         payloads = list(payloads)
         count = min(
@@ -374,7 +401,14 @@ class WorkerService:
             chunksize = 1
         else:
             chunksize = -(-len(tasks) // count)
-        return pool.map(_service_cell, tasks, chunksize=chunksize)
+        from repro.parallel.pool import guarded_map_wait
+
+        result = pool.map_async(_service_cell, tasks, chunksize=chunksize)
+        try:
+            return guarded_map_wait(pool, result, timeout=timeout)
+        except (WorkerCrashError, WorkerTimeoutError):
+            self._abort_pool()
+            raise
 
 
 # ---------------------------------------------------------------------------

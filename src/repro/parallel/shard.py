@@ -362,6 +362,7 @@ def sharded_forward(
     shard_size: Optional[int] = None,
     workers: Optional[int] = None,
     model_path: Optional[str] = None,
+    timeout: Optional[float] = None,
 ):
     """One merged forward pass over ``images``, sharded across workers.
 
@@ -381,6 +382,12 @@ def sharded_forward(
         model_path: optional cached ``.npz`` artifact path; when given,
             workers load the model (and its plan sidecar) from disk
             instead of receiving a pickled copy.
+        timeout: optional wall-clock budget (seconds) for the pooled
+            call -- :class:`~repro.errors.WorkerTimeoutError` on expiry
+            (see :func:`repro.parallel.pool.run_tasks`; the serial
+            fallback runs inline and ignores it). This is how the
+            serving layer propagates request deadlines into the
+            execution path.
     """
     from repro.snn.encoding import DirectEncoder
 
@@ -421,6 +428,7 @@ def sharded_forward(
             workers=count,
             initializer=_init_shard_worker,
             initargs=(payload, init_images, encoder_blob),
+            timeout=timeout,
         )
     finally:
         cleanup()

@@ -1,0 +1,214 @@
+"""Synthetic load generation against an :class:`InferenceServer`.
+
+Two canonical shapes:
+
+* **open loop** (:func:`run_open_loop`) -- requests arrive on a fixed
+  wall-clock schedule regardless of how the server is coping, the
+  arrival pattern that actually exercises admission control: when the
+  server falls behind, the queue fills and the generator *keeps
+  submitting*, so rejections and timeouts show up in the report instead
+  of being masked by client back-off.
+* **closed loop** (:func:`run_closed_loop`) -- N client threads, each
+  submitting its next request only after the previous one resolved; the
+  gentler pattern that measures end-to-end latency under a bounded
+  concurrency.
+
+Both return a :class:`LoadReport` with full accounting (every issued
+request is exactly one of completed / rejected / timed out / failed)
+and latency percentiles over the completed ones. Determinism note: the
+schedule is fixed, but wall-clock outcomes (which requests got
+rejected, measured latencies) are inherently load-dependent -- the
+*logits* of completed requests are what the serving layer keeps
+bit-exact, and that is covered by the invariance suite, not here.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import (
+    QueueFullError,
+    RequestTimeoutError,
+    ServerClosedError,
+    ServingError,
+)
+
+
+@dataclass
+class LoadReport:
+    """Outcome accounting + latency percentiles for one generated load."""
+
+    offered: int = 0
+    completed: int = 0
+    rejected: int = 0
+    timed_out: int = 0
+    failed: int = 0
+    duration_s: float = 0.0
+    latencies_ms: List[float] = field(default_factory=list)
+    batch_sizes: List[int] = field(default_factory=list)
+
+    @property
+    def accepted(self) -> int:
+        return self.offered - self.rejected
+
+    @property
+    def achieved_rps(self) -> float:
+        if self.duration_s <= 0:
+            return 0.0
+        return self.completed / self.duration_s
+
+    def percentile_ms(self, q: float) -> float:
+        if not self.latencies_ms:
+            return 0.0
+        return float(np.percentile(np.asarray(self.latencies_ms), q))
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "offered": self.offered,
+            "accepted": self.accepted,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "timed_out": self.timed_out,
+            "failed": self.failed,
+            "duration_s": round(self.duration_s, 6),
+            "achieved_rps": round(self.achieved_rps, 3),
+            "p50_ms": round(self.percentile_ms(50), 3),
+            "p99_ms": round(self.percentile_ms(99), 3),
+            "mean_batch": round(
+                float(np.mean(self.batch_sizes)) if self.batch_sizes else 0.0,
+                3,
+            ),
+        }
+
+
+def _settle(report: LoadReport, pendings: List) -> None:
+    """Resolve every pending request into exactly one outcome bucket."""
+    for pending in pendings:
+        try:
+            response = pending.result()
+        except RequestTimeoutError:
+            report.timed_out += 1
+        except ServerClosedError:
+            report.failed += 1
+        except Exception:
+            report.failed += 1
+        else:
+            report.completed += 1
+            report.latencies_ms.append(response.latency_ms)
+            report.batch_sizes.append(response.batch_size)
+
+
+def run_open_loop(
+    server,
+    model: str,
+    images: np.ndarray,
+    rate_rps: float,
+    count: int,
+    timeout_ms: Optional[float] = None,
+    stream_indices: Optional[Sequence[int]] = None,
+) -> LoadReport:
+    """Offer ``count`` requests at a fixed ``rate_rps`` arrival rate.
+
+    Request ``i`` submits sample ``images[i % len(images)]`` under
+    stream index ``stream_indices[i % len(...)]`` (default: the sample's
+    own position, so replayed samples keep their offline spike trains).
+    Submission never waits on results; everything settles at the end.
+    """
+    if rate_rps <= 0:
+        raise ServingError(f"rate_rps must be > 0, got {rate_rps}")
+    if count < 1:
+        raise ServingError(f"count must be >= 1, got {count}")
+    interval = 1.0 / rate_rps
+    report = LoadReport(offered=count)
+    pendings = []
+    start = time.monotonic()
+    for i in range(count):
+        target = start + i * interval
+        delay = target - time.monotonic()
+        if delay > 0:
+            time.sleep(delay)
+        sample = i % len(images)
+        index = (
+            stream_indices[i % len(stream_indices)]
+            if stream_indices is not None
+            else sample
+        )
+        try:
+            pendings.append(
+                server.submit(
+                    model,
+                    images[sample],
+                    stream_index=index,
+                    timeout_ms=timeout_ms,
+                )
+            )
+        except (QueueFullError, ServerClosedError):
+            report.rejected += 1
+    _settle(report, pendings)
+    report.duration_s = time.monotonic() - start
+    return report
+
+
+def run_closed_loop(
+    server,
+    model: str,
+    images: np.ndarray,
+    clients: int,
+    requests_per_client: int,
+    timeout_ms: Optional[float] = None,
+) -> LoadReport:
+    """``clients`` threads, each issuing its requests back-to-back.
+
+    Client ``c``'s request ``j`` serves sample ``(c * requests_per_client
+    + j) % len(images)`` under that global index as its stream index, so
+    a closed-loop run still exercises scattered stream gathers.
+    """
+    if clients < 1:
+        raise ServingError(f"clients must be >= 1, got {clients}")
+    if requests_per_client < 1:
+        raise ServingError(
+            f"requests_per_client must be >= 1, got {requests_per_client}"
+        )
+    reports = [LoadReport() for _ in range(clients)]
+
+    def client(c: int) -> None:
+        report = reports[c]
+        for j in range(requests_per_client):
+            global_index = c * requests_per_client + j
+            report.offered += 1
+            try:
+                pending = server.submit(
+                    model,
+                    images[global_index % len(images)],
+                    stream_index=global_index % len(images),
+                    timeout_ms=timeout_ms,
+                )
+            except (QueueFullError, ServerClosedError):
+                report.rejected += 1
+                continue
+            _settle(report, [pending])
+
+    threads = [
+        threading.Thread(target=client, args=(c,), daemon=True)
+        for c in range(clients)
+    ]
+    start = time.monotonic()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    total = LoadReport(duration_s=time.monotonic() - start)
+    for report in reports:
+        total.offered += report.offered
+        total.completed += report.completed
+        total.rejected += report.rejected
+        total.timed_out += report.timed_out
+        total.failed += report.failed
+        total.latencies_ms.extend(report.latencies_ms)
+        total.batch_sizes.extend(report.batch_sizes)
+    return total

@@ -7,6 +7,7 @@ entry must be bit-identical to the evaluation that produced it.
 """
 
 import json
+import multiprocessing as mp
 import os
 
 import pytest
@@ -204,6 +205,102 @@ class TestNumericPathGuard:
         path = eval_cache_path(str(tmp_path), "any")
         save_evaluation(path, result, numeric=self.INT_SIG)
         assert load_evaluation(path) == result
+
+
+def _entry_for(accuracy):
+    """A fully-consistent entry whose every field derives from
+    ``accuracy`` -- so a reader can tell a whole entry from a blend."""
+    return EvaluationResult(
+        accuracy=accuracy,
+        spikes_per_image=accuracy * 1000.0,
+        per_layer_spikes={"conv1_1": accuracy * 10.0},
+        input_events_per_image={"conv1_1": accuracy * 2.0},
+        samples=48,
+    )
+
+
+def _hammer_saves(path, accuracy, iterations):
+    for _ in range(iterations):
+        save_evaluation(
+            path,
+            _entry_for(accuracy),
+            model_digest="digest-race",
+            encoding="direct",
+        )
+
+
+def _hammer_corrupt(path, iterations):
+    # A hostile writer that bypasses the atomic protocol: truncated JSON
+    # written straight to the entry path, as a crashed or buggy process
+    # would leave behind.
+    for _ in range(iterations):
+        try:
+            with open(path, "wb") as handle:
+                handle.write(b'{"format": "evaluation-result-v2", "resu')
+        except OSError:
+            pass
+
+
+class TestConcurrentWriters:
+    """Two processes racing on one entry path: readers must only ever
+    see nothing, or one writer's *whole* entry -- the guarantee the
+    mkstemp + ``os.replace`` write protocol exists to provide."""
+
+    def test_racing_writers_never_serve_torn_entries(self, tmp_path):
+        path = eval_cache_path(str(tmp_path), "contended")
+        valid = {0.25: _entry_for(0.25), 0.75: _entry_for(0.75)}
+        writers = [
+            mp.Process(target=_hammer_saves, args=(path, accuracy, 150))
+            for accuracy in valid
+        ]
+        for process in writers:
+            process.start()
+        seen = set()
+        try:
+            while any(process.is_alive() for process in writers):
+                loaded = try_load_evaluation(
+                    path, model_digest="digest-race", encoding="direct"
+                )
+                if loaded is not None:
+                    # A whole entry from exactly one writer -- every
+                    # field consistent with that writer's accuracy tag.
+                    assert loaded == valid[loaded.accuracy]
+                    seen.add(loaded.accuracy)
+        finally:
+            for process in writers:
+                process.join()
+        assert all(process.exitcode == 0 for process in writers)
+        assert seen  # the race was actually observed mid-flight
+        final = load_evaluation(path, model_digest="digest-race")
+        assert final == valid[final.accuracy]
+
+    def test_atomic_writer_racing_a_corruptor(self, tmp_path):
+        """With a non-atomic hostile writer in the mix, readers degrade
+        to the corrupt-fallback (``None``) -- never an exception, never
+        a half-parsed entry."""
+        path = eval_cache_path(str(tmp_path), "hostile")
+        writer = mp.Process(target=_hammer_saves, args=(path, 0.5, 150))
+        corruptor = mp.Process(target=_hammer_corrupt, args=(path, 150))
+        expected = _entry_for(0.5)
+        writer.start()
+        corruptor.start()
+        outcomes = set()
+        try:
+            while writer.is_alive() or corruptor.is_alive():
+                loaded = try_load_evaluation(path, model_digest="digest-race")
+                if loaded is None:
+                    outcomes.add("fallback")
+                else:
+                    assert loaded == expected
+                    outcomes.add("entry")
+        finally:
+            writer.join()
+            corruptor.join()
+        assert writer.exitcode == 0 and corruptor.exitcode == 0
+        assert outcomes  # loop observed the race at least once
+        # Whatever the interleaving left on disk, the reader's verdict
+        # is still binary: the whole entry, or a clean fallback.
+        assert try_load_evaluation(path) in (None, expected)
 
 
 class TestInvalidation:

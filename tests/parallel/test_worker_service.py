@@ -5,7 +5,7 @@ import os
 import numpy as np
 import pytest
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, WorkerCrashError, WorkerTimeoutError
 from repro.parallel import (
     PERSISTENT_POOL_ENV,
     WORKERS_ENV,
@@ -230,6 +230,93 @@ class TestStandaloneService:
 
 def _boom(x):
     raise ValueError("cell exploded")
+
+
+def _kill_or_linger(payload):
+    """The fault-injection cell: ``"die"`` SIGKILLs its own worker (the
+    abrupt death -- OOM killer, segfault -- that vanilla ``Pool.map``
+    waits on forever); everything else lingers long enough that the
+    mapped call cannot complete before the crash is observable."""
+    import signal
+    import time
+
+    if payload == "die":
+        os.kill(os.getpid(), signal.SIGKILL)
+    time.sleep(0.3)
+    return payload
+
+
+def _sleep_cell(seconds):
+    import time
+
+    time.sleep(seconds)
+    return seconds
+
+
+class TestFaultContainment:
+    """A dead or wedged worker must surface as a typed error -- never a
+    silent hang -- and the next call must run on a fresh pool."""
+
+    def test_worker_death_raises_typed_error_persistent(self):
+        shutdown_worker_service()
+        before = service_stats()
+        with pytest.raises(WorkerCrashError):
+            run_tasks(_kill_or_linger, ["die", "a", "b", "c"], workers=2)
+        # The crashed pool was aborted; the service restarts lazily and
+        # keeps serving.
+        assert run_tasks(_square, [1, 2, 3, 4], workers=2) == [1, 4, 9, 16]
+        after = service_stats()
+        assert after["aborts"] - before["aborts"] == 1
+        assert after["pool_starts"] - before["pool_starts"] == 2
+
+    def test_worker_death_raises_typed_error_pool_per_call(self, monkeypatch):
+        monkeypatch.setenv(PERSISTENT_POOL_ENV, "0")
+        shutdown_worker_service()
+        with pytest.raises(WorkerCrashError):
+            run_tasks(_kill_or_linger, ["die", "a", "b", "c"], workers=2)
+        assert run_tasks(_square, [3, 4], workers=2) == [9, 16]
+
+    def test_timeout_raises_typed_error_and_pool_recovers(self):
+        shutdown_worker_service()
+        with pytest.raises(WorkerTimeoutError):
+            run_tasks(_sleep_cell, [30.0, 30.0], workers=2, timeout=0.2)
+        assert run_tasks(_square, [1, 2, 3], workers=2) == [1, 4, 9]
+        assert service_stats()["aborts"] >= 1
+
+    def test_timeout_pool_per_call(self, monkeypatch):
+        monkeypatch.setenv(PERSISTENT_POOL_ENV, "0")
+        shutdown_worker_service()
+        with pytest.raises(WorkerTimeoutError):
+            run_tasks(_sleep_cell, [30.0, 30.0], workers=2, timeout=0.2)
+        assert run_tasks(_square, [5, 6], workers=2) == [25, 36]
+
+    def test_generous_timeout_does_not_fire(self):
+        shutdown_worker_service()
+        assert run_tasks(
+            _square, [1, 2, 3, 4], workers=2, timeout=60.0
+        ) == [1, 4, 9, 16]
+
+    def test_serial_fallback_ignores_timeout(self):
+        # Inline execution has no separate process to abandon; the
+        # budget is documented as pooled-only.
+        assert run_tasks(_sleep_cell, [0.01], workers=1, timeout=0.001) == [
+            0.01
+        ]
+
+    def test_cell_exception_still_propagates_through_guard(self):
+        shutdown_worker_service()
+        with pytest.raises(ValueError, match="cell exploded"):
+            run_tasks(_boom, [0, 1, 2], workers=2, timeout=30.0)
+        assert run_tasks(_square, [2, 3], workers=2) == [4, 9]
+
+    def test_standalone_service_aborts_and_restarts_after_crash(self):
+        with WorkerService(workers=2) as service:
+            with pytest.raises(WorkerCrashError):
+                service.run(_kill_or_linger, ["die", "a", "b", "c"])
+            assert not service.running  # crashed pool torn down
+            assert service.run(_square, [7, 8]) == [49, 64]
+            assert service.stats.aborts == 1
+            assert service.stats.pool_starts == 2
 
 
 class TestWarmColdBitIdentity:

@@ -1,0 +1,131 @@
+"""The synthetic load generator: accounting, percentiles, overload."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import ServingError
+from repro.serving import (
+    InferenceServer,
+    LoadReport,
+    resolve_serve_config,
+    run_closed_loop,
+    run_open_loop,
+)
+
+
+class _Model:
+    input_shape = (1, 2, 2)
+
+    def forward(self, *args, **kwargs):  # pragma: no cover
+        raise AssertionError("tests inject executors; forward is unused")
+
+
+IMAGES = np.zeros((6, 1, 2, 2), dtype=np.float32)
+
+
+def _fast_executor(images, indices, timeout_s):
+    return np.tile(
+        np.asarray(indices, dtype=np.float32)[:, None], (1, 3)
+    )
+
+
+def _slow_executor(images, indices, timeout_s):
+    time.sleep(0.08)
+    return _fast_executor(images, indices, timeout_s)
+
+
+def _server(executor, **knobs):
+    knobs.setdefault("max_wait_ms", 2.0)
+    knobs.setdefault("timeout_ms", 5000.0)
+    server = InferenceServer(resolve_serve_config(**knobs))
+    server.register("m", _Model(), timesteps=2, executor=executor)
+    return server
+
+
+def _assert_accounted(report):
+    assert (
+        report.completed + report.rejected + report.timed_out + report.failed
+        == report.offered
+    )
+    assert report.accepted == report.offered - report.rejected
+
+
+class TestOpenLoop:
+    def test_healthy_load_all_completes(self):
+        with _server(_fast_executor, max_batch=4, queue_depth=64) as server:
+            report = run_open_loop(
+                server, "m", IMAGES, rate_rps=300.0, count=30
+            )
+        _assert_accounted(report)
+        assert report.completed == 30
+        assert len(report.latencies_ms) == 30
+        assert report.percentile_ms(50) <= report.percentile_ms(99)
+        assert report.achieved_rps > 0
+
+    def test_overload_sheds_and_accounts(self):
+        """Past capacity the open loop must see rejections and/or
+        timeouts -- and every offered request still lands in exactly
+        one bucket."""
+        with _server(
+            _slow_executor,
+            max_batch=1,
+            max_wait_ms=0.0,
+            queue_depth=2,
+            timeout_ms=400.0,
+        ) as server:
+            report = run_open_loop(
+                server, "m", IMAGES, rate_rps=200.0, count=30
+            )
+        _assert_accounted(report)
+        assert report.rejected + report.timed_out > 0
+        assert report.completed >= 1
+
+    def test_report_dict_is_json_ready(self):
+        import json
+
+        with _server(_fast_executor, max_batch=2) as server:
+            report = run_open_loop(
+                server, "m", IMAGES, rate_rps=500.0, count=10
+            )
+        payload = report.as_dict()
+        json.dumps(payload)
+        assert payload["offered"] == 10
+        assert set(payload) >= {
+            "accepted", "completed", "rejected", "timed_out",
+            "p50_ms", "p99_ms", "achieved_rps",
+        }
+
+    def test_invalid_parameters_rejected(self):
+        with _server(_fast_executor) as server:
+            with pytest.raises(ServingError):
+                run_open_loop(server, "m", IMAGES, rate_rps=0.0, count=5)
+            with pytest.raises(ServingError):
+                run_open_loop(server, "m", IMAGES, rate_rps=10.0, count=0)
+
+
+class TestClosedLoop:
+    def test_clients_complete_and_account(self):
+        with _server(_fast_executor, max_batch=4, queue_depth=64) as server:
+            report = run_closed_loop(
+                server, "m", IMAGES, clients=3, requests_per_client=6
+            )
+        _assert_accounted(report)
+        assert report.offered == 18
+        assert report.completed == 18
+
+    def test_single_client_is_sequential(self):
+        with _server(_fast_executor, max_batch=8) as server:
+            report = run_closed_loop(
+                server, "m", IMAGES, clients=1, requests_per_client=5
+            )
+        # One closed-loop client can never coalesce with itself.
+        assert report.batch_sizes == [1] * 5
+
+
+class TestLoadReport:
+    def test_percentiles_on_empty_report(self):
+        report = LoadReport()
+        assert report.percentile_ms(99) == 0.0
+        assert report.achieved_rps == 0.0

@@ -63,6 +63,48 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "balanced" in out
 
+    def test_serve_replays_load_and_reports(self, tmp_path, capsys):
+        workspace = str(tmp_path / "ws")
+        common = ["--scale", "tiny", "--workspace", workspace, "--quiet"]
+        code = main(
+            [
+                "serve", "cifar10", "--scheme", "fp32",
+                "--requests", "8", "--rate", "200",
+                "--max-batch", "4", "--timeout-ms", "0",
+                *common,
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "offered 8" in out
+        assert "completed 8" in out
+        assert "p99" in out
+        assert "drained cleanly" in out
+
+    def test_serve_closed_loop(self, tmp_path, capsys):
+        workspace = str(tmp_path / "ws")
+        code = main(
+            [
+                "serve", "cifar10", "--scheme", "fp32",
+                "--mode", "closed", "--clients", "2", "--requests", "6",
+                "--timeout-ms", "0",
+                "--scale", "tiny", "--workspace", workspace, "--quiet",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "closed loop" in out
+        assert "completed 6" in out
+
+    def test_serve_parser_knobs(self):
+        args = build_parser().parse_args(
+            ["serve", "svhn", "--max-batch", "2", "--queue-depth", "8"]
+        )
+        assert args.command == "serve"
+        assert args.max_batch == 2
+        assert args.queue_depth == 8
+        assert args.mode == "open"
+
     def test_experiment_single(self, tmp_path, capsys):
         workspace = str(tmp_path / "ws")
         code = main(
