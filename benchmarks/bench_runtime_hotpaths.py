@@ -412,6 +412,88 @@ def bench_persistent_pool(params) -> Dict:
     }
 
 
+def bench_fault_recovery(deployable, images, params) -> Dict:
+    """Self-healing overhead: a clean 4-shard run vs the same run
+    healing one worker crash and one wedged shard.
+
+    The faulted run executes under a pinned deterministic fault plan
+    (shard 0's worker is killed on its first attempt; shard 2 wedges
+    until the per-task timeout fires) and must still produce the
+    byte-identical merged output -- the counter-stream invariant makes
+    every retried shard a pure function of (seed, sample index,
+    timestep). The delta between the two wall times is the price of
+    recovery: pool restart, timeout detection, and the retried shards.
+    The breaker is pinned high for the measurement (induced aborts must
+    reach the retry engine, not degrade to inline execution where
+    injection is off by design).
+    """
+    from repro.faults import FAULT_PLAN_ENV
+    from repro.parallel import (
+        CircuitBreaker,
+        RetryPolicy,
+        retry_stats,
+        shared_service,
+        shutdown_worker_service,
+    )
+    from repro.parallel.retry import reset_retry_stats
+    from repro.snn.encoding import RateEncoder
+
+    timesteps = params["timesteps"]
+    plan = "seed=0,crash@0:0,wedge@2:0~30"
+    policy = RetryPolicy(
+        max_attempts=3, backoff_ms=0.0, backoff_max_ms=0.0,
+        task_timeout_s=3.0,
+    )
+
+    def run():
+        return sharded_forward(
+            deployable, images, timesteps, RateEncoder(seed=11),
+            shards=4, workers=2, retry=policy,
+        )
+
+    service = shared_service()
+    saved_breaker = service.breaker
+    service.breaker = CircuitBreaker(threshold=10000)
+    try:
+        shutdown_worker_service()
+        start = time.perf_counter()
+        clean = run()
+        clean_ms = (time.perf_counter() - start) * 1e3
+
+        shutdown_worker_service()  # the plan is read at worker spawn
+        reset_retry_stats()
+        os.environ[FAULT_PLAN_ENV] = plan
+        try:
+            start = time.perf_counter()
+            healed = run()
+            faulted_ms = (time.perf_counter() - start) * 1e3
+        finally:
+            del os.environ[FAULT_PLAN_ENV]
+            shutdown_worker_service()
+        stats = retry_stats()
+        byte_identical = (
+            healed.logits.tobytes() == clean.logits.tobytes()
+            and healed.stats.per_layer == clean.stats.per_layer
+            and healed.input_spike_totals == clean.input_spike_totals
+        )
+        trips = service.breaker.trips
+    finally:
+        service.breaker = saved_breaker
+    return {
+        "plan": plan,
+        "shards": 4,
+        "workers": 2,
+        "clean_ms": clean_ms,
+        "faulted_ms": faulted_ms,
+        "recovery_overhead_ms": faulted_ms - clean_ms,
+        "retries": stats.retries,
+        "recovered_calls": stats.recovered_calls,
+        "quarantined": stats.quarantined,
+        "breaker_trips": trips,
+        "byte_identical": byte_identical,
+    }
+
+
 def bench_eval_cache() -> Dict:
     """Disk-backed evaluation cache: cold compute vs warm hit.
 
@@ -747,6 +829,26 @@ def smoke_check(record: Dict) -> List[str]:
                 f"float event ({row['float_event_ms']:.2f} ms) at density "
                 f"{row['density']:.1%} on the K={quantized['k']} deep shape"
             )
+    # Fault-recovery gate: a run that healed a worker crash and a
+    # wedged shard must merge to the byte-identical output of the
+    # fault-free run, with no task quarantined -- recovery that changes
+    # a single bit is silent corruption, not resilience.
+    recovery = record["fault_recovery"]
+    if not recovery["byte_identical"]:
+        failures.append(
+            f"fault recovery under plan {recovery['plan']!r} was not "
+            "byte-identical to the clean run"
+        )
+    if recovery["quarantined"]:
+        failures.append(
+            f"recoverable fault plan {recovery['plan']!r} quarantined "
+            f"{recovery['quarantined']} task(s)"
+        )
+    if recovery["retries"] < 2:
+        failures.append(
+            f"fault plan {recovery['plan']!r} drove only "
+            f"{recovery['retries']} retries: recovery was not exercised"
+        )
     # Serving gate: at nominal load every request completes and p99
     # stays under the self-calibrated bound; at overload every offered
     # request is accounted for (completed / rejected / timed out) --
@@ -806,6 +908,7 @@ def main(argv=None) -> int:
             "end_to_end": bench_end_to_end(deployable, images, params),
             "parallel": bench_parallel(deployable, images, params),
             "persistent_pool": bench_persistent_pool(params),
+            "fault_recovery": bench_fault_recovery(deployable, images, params),
             "eval_cache": bench_eval_cache(),
             "quantized_kernels": bench_quantized_kernels(params),
             "serving": bench_serving(deployable, images, params),
@@ -836,6 +939,13 @@ def main(argv=None) -> int:
         f"call {pool['warm_call_ms']:.2f} ms ({pool['startup_amortization']:.1f}x "
         f"amortized, {pool['warm_runs']} warm run(s), "
         f"{pool['pool_starts']} pool start(s))"
+    )
+    recovery = record["fault_recovery"]
+    print(
+        f"fault recovery: clean {recovery['clean_ms']:.2f} ms, faulted "
+        f"{recovery['faulted_ms']:.2f} ms (+{recovery['recovery_overhead_ms']:.2f} ms "
+        f"for {recovery['retries']} retr{'y' if recovery['retries'] == 1 else 'ies'}, "
+        f"byte_identical={recovery['byte_identical']})"
     )
     cache = record["eval_cache"]
     print(

@@ -27,6 +27,13 @@
 # workers (exit 1 on any difference). Rate coding was exempt while
 # encoder snapshots made it geometry-dependent.
 #
+# The fault recovery gate exercises the self-healing executor under a
+# pinned deterministic fault plan (one worker crash + one wedged shard
+# on a 4-shard rate-coded run): the healed run must byte-match the
+# fault-free run, and a 3-strike poison shard must surface as a typed
+# PoisonTaskError carrying the surviving shards (exit 1 otherwise).
+# The bench's fault_recovery section records the recovery overhead.
+#
 # The serving determinism gate closes the loop online: every sample
 # served through the dynamic batcher (burst, scattered and 2-worker
 # pooled arrival patterns, direct and rate coding) must byte-match the
@@ -46,4 +53,5 @@ python benchmarks/bench_runtime_hotpaths.py --smoke
 python scripts/check_blocked_routing.py
 python scripts/check_docs.py
 python scripts/check_serving_determinism.py
-exec python scripts/check_parallel_determinism.py
+python scripts/check_parallel_determinism.py
+exec python scripts/check_fault_recovery.py

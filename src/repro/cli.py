@@ -104,6 +104,31 @@ def build_parser() -> argparse.ArgumentParser:
                 "REPRO_INT_KERNELS env var, then auto"
             ),
         )
+        p.add_argument(
+            "--retries",
+            type=worker_count,
+            default=None,
+            metavar="N",
+            help=(
+                "total attempts per shard before a worker-killing task "
+                "is quarantined as poison (self-healing retry; 1 = fail "
+                "on the first crash, no retry). Default: "
+                "REPRO_RETRY_MAX_ATTEMPTS env var, then 3"
+            ),
+        )
+        p.add_argument(
+            "--on-shard-failure",
+            choices=["raise", "skip"],
+            default=None,
+            metavar="MODE",
+            help=(
+                "what to do when a shard is quarantined as poison after "
+                "all retries: raise (default) fails the run; skip "
+                "degrades -- surviving shards are merged, the failure "
+                "is recorded, and the degraded result is never cached. "
+                "Default: REPRO_ON_SHARD_FAILURE env var, then raise"
+            ),
+        )
 
     sub.add_parser("info", help="package / device / preset summary")
 
@@ -292,6 +317,16 @@ def _make_context(args):
 
         os.environ["REPRO_INT_KERNELS"] = int_kernels
         configure(int_kernels=int_kernels)
+    if getattr(args, "retries", None) is not None:
+        # Process-scoped like --workers: sharded_forward resolves its
+        # default RetryPolicy from REPRO_RETRY_MAX_ATTEMPTS.
+        from repro.parallel.retry import RETRY_MAX_ATTEMPTS_ENV
+
+        os.environ[RETRY_MAX_ATTEMPTS_ENV] = str(args.retries)
+    if getattr(args, "on_shard_failure", None) is not None:
+        from repro.parallel.config import ON_SHARD_FAILURE_ENV
+
+        os.environ[ON_SHARD_FAILURE_ENV] = args.on_shard_failure
     return ExperimentContext(
         scale=args.scale,
         workspace=args.workspace,

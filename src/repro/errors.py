@@ -62,6 +62,43 @@ class WorkerTimeoutError(ParallelError):
     """A pooled call exceeded its caller-supplied wall-clock budget."""
 
 
+class PoisonTaskError(ParallelError):
+    """One or more tasks killed their worker on every allowed attempt.
+
+    Raised by the retry layer after a task has been quarantined: it
+    crashed (or wedged) the pool on ``max_attempts`` consecutive
+    attempts, so retrying it further would only prolong the restart
+    storm. The error carries everything the caller needs to degrade
+    gracefully instead of losing the whole call:
+
+    * ``results`` -- the per-task results in payload order, with ``None``
+      at every quarantined index (the surviving partial results);
+    * ``quarantined`` -- the sorted task indices that were quarantined;
+    * ``fingerprints`` -- ``{index: sha256-hexdigest-of-pickled-payload}``
+      so the poison payload can be identified across runs/logs;
+    * ``attempts`` -- ``{index: attempts consumed}`` for the quarantined
+      tasks.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        results=None,
+        quarantined=(),
+        fingerprints=None,
+        attempts=None,
+    ) -> None:
+        super().__init__(message)
+        self.results = list(results) if results is not None else []
+        self.quarantined = sorted(quarantined)
+        self.fingerprints = dict(fingerprints or {})
+        self.attempts = dict(attempts or {})
+
+
+class FaultPlanError(ParallelError):
+    """A ``REPRO_FAULT_PLAN`` spec could not be parsed or applied."""
+
+
 class DatasetError(ReproError):
     """A dataset generator or loader received invalid parameters."""
 

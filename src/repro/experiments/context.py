@@ -18,7 +18,7 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from repro.datasets import Dataset, make_dataset, train_test_split
-from repro.errors import ExperimentError, ReproError
+from repro.errors import ExperimentError, PoisonTaskError, ReproError
 from repro.experiments.evalcache import (
     EvaluationResult,
     eval_cache_enabled,
@@ -28,7 +28,8 @@ from repro.experiments.evalcache import (
     try_load_evaluation,
 )
 from repro.experiments.presets import ScalePreset, get_preset
-from repro.parallel import sharded_forward
+from repro.parallel import merge_outputs, shard_slices, sharded_forward
+from repro.parallel.config import resolve_on_shard_failure
 from repro.quant import DeployableNetwork, convert, prepare_qat
 from repro.quant.schemes import QuantScheme, scheme_by_name
 from repro.runtime import (
@@ -95,6 +96,16 @@ class ExperimentContext:
         # Keyed (cache_key, numeric signature): forced-integer and float
         # evaluations of the same model never alias in the memo.
         self._evaluations: Dict[Tuple[str, str], EvaluationResult] = {}
+        # Cells that degraded under REPRO_ON_SHARD_FAILURE=skip: one
+        # record per evaluation that lost quarantined shards (cache key,
+        # shard indices, payload fingerprints, samples lost). A sweep
+        # that completes with this non-empty completed *degraded*.
+        self.failed_cells: list = []
+        # Shard granularity of test-set evaluation: the historical
+        # serial loop's 128-sample batches. Results are invariant to it
+        # (counter-stream encoding); tests shrink it to exercise
+        # multi-shard behaviour on tiny test sets.
+        self.eval_batch = 128
 
     # ------------------------------------------------------------------
     # Datasets
@@ -346,7 +357,7 @@ class ExperimentContext:
         if max_samples is not None:
             images, labels = images[:max_samples], labels[:max_samples]
         steps = timesteps or self.timesteps_for(coding)
-        batch = 128
+        batch = self.eval_batch
         if getattr(encoder, "deterministic", False) and len(images):
             # Deterministic encodings -- direct, TTFS *and* counter-
             # stream rate coding -- split freely: shard at the same
@@ -355,21 +366,63 @@ class ExperimentContext:
             # how many processes serve the shards. Workers cold-start
             # from the cached .npz + .plan.npz sidecar.
             model_path = self.model_path(self.model_key(dataset, scheme, coding))
-            out = sharded_forward(
-                model,
-                images,
-                steps,
-                encoder,
-                shard_size=batch,
-                model_path=model_path if os.path.exists(model_path) else None,
-            )
+            degraded = None
+            try:
+                out = sharded_forward(
+                    model,
+                    images,
+                    steps,
+                    encoder,
+                    shard_size=batch,
+                    model_path=model_path if os.path.exists(model_path) else None,
+                )
+                eval_labels = labels
+            except PoisonTaskError as exc:
+                # Self-healing already retried the lost shards; landing
+                # here means some shard killed its worker on every
+                # allowed attempt. Under REPRO_ON_SHARD_FAILURE=skip the
+                # sweep degrades instead of dying: the surviving shards
+                # (pure functions of their coordinates, so still
+                # byte-exact) are merged, the failure is recorded in
+                # ``failed_cells``, and the degraded result is *not*
+                # persisted to the eval cache.
+                if resolve_on_shard_failure() != "skip":
+                    raise
+                pieces = shard_slices(len(images), shard_size=batch)
+                survivors = [
+                    (piece, part)
+                    for piece, part in zip(pieces, exc.results)
+                    if part is not None
+                ]
+                if not survivors:
+                    raise
+                out = merge_outputs([part for _, part in survivors])
+                eval_labels = np.concatenate(
+                    [labels[piece] for piece, _ in survivors]
+                )
+                degraded = {
+                    "cache_key": cache_key,
+                    "quarantined_shards": list(exc.quarantined),
+                    "fingerprints": dict(exc.fingerprints),
+                    "samples_lost": int(len(images) - len(eval_labels)),
+                }
+                self.failed_cells.append(degraded)
+                if self.verbose:
+                    print(
+                        f"[ctx] degraded evaluation {cache_key}: shards "
+                        f"{degraded['quarantined_shards']} quarantined, "
+                        f"{degraded['samples_lost']} samples lost"
+                    )
             stats = out.stats
             input_events = dict(out.input_spike_totals)
-            correct = int((out.logits.argmax(axis=1) == labels).sum())
+            correct = int((out.logits.argmax(axis=1) == eval_labels).sum())
+            samples = int(out.logits.shape[0])
         else:
             # Leftover stateful encoders (deterministic=False) keep the
             # sequential legacy loop: their spike streams depend on
             # evaluation order. No in-tree encoder takes this branch.
+            degraded = None
+            samples = len(images)
             stats = SpikeStats()
             input_events = {}
             correct = 0
@@ -384,7 +437,6 @@ class ExperimentContext:
                         out.logits.argmax(axis=1) == labels[start : start + batch]
                     ).sum()
                 )
-        samples = len(images)
         result = EvaluationResult(
             accuracy=correct / samples if samples else 0.0,
             spikes_per_image=stats.spikes_per_image(),
@@ -397,7 +449,9 @@ class ExperimentContext:
             },
             samples=samples,
         )
-        if self.eval_cache:
+        if self.eval_cache and degraded is None:
+            # Degraded (partial-shard) results are never persisted: the
+            # cache must only ever serve full-test-set numbers.
             save_evaluation(
                 self.eval_cache_file(cache_key),
                 result,
@@ -405,7 +459,8 @@ class ExperimentContext:
                 encoding=encoder.stream_signature(),
                 numeric=numeric,
             )
-        self._evaluations[memo_key] = result
+        if degraded is None:
+            self._evaluations[memo_key] = result
         return result
 
     def eval_cache_file(self, cache_key: str) -> str:

@@ -101,6 +101,7 @@ class CacheStats:
     misses: int = 0
     stores: int = 0
     invalidations: int = 0
+    corrupt: int = 0  # entries quarantined to <entry>.corrupt on load
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -108,6 +109,7 @@ class CacheStats:
             "misses": self.misses,
             "stores": self.stores,
             "invalidations": self.invalidations,
+            "corrupt": self.corrupt,
         }
 
 
@@ -267,6 +269,15 @@ def try_load_evaluation(
     superseded v1), truncated or otherwise corrupt entry yields ``None``
     -- recompute and overwrite. Counts a hit or a miss in
     :func:`eval_cache_stats` either way.
+
+    Stale and corrupt entries part ways on disk: a *stale* entry (valid
+    JSON that fails a guard) is left in place to be overwritten by the
+    recompute, but a *corrupt* one -- undecodable bytes, malformed JSON,
+    a payload missing its keys -- is quarantined to ``<entry>.corrupt``
+    (counted in :attr:`CacheStats.corrupt`) rather than silently
+    recomputed over. Repeated corruption therefore stays visible, and
+    the bad bytes survive for diagnosis instead of being destroyed by
+    the next atomic store.
     """
     result = None
     if os.path.exists(path):
@@ -277,13 +288,34 @@ def try_load_evaluation(
                 encoding=encoding,
                 numeric=numeric,
             )
-        except (ExperimentError, KeyError, TypeError, ValueError, OSError):
+        except ExperimentError:
+            # Stale or foreign-format, but well-formed: the recompute
+            # overwrites it in place.
+            result = None
+        except (KeyError, TypeError, ValueError, OSError):
+            quarantine_corrupt_entry(path)
             result = None
     if result is None:
         _STATS.misses += 1
     else:
         _STATS.hits += 1
     return result
+
+
+def quarantine_corrupt_entry(path: str) -> bool:
+    """Move a corrupt entry aside to ``<entry>.corrupt``; ``True`` on move.
+
+    ``os.replace`` keeps the quarantine atomic (a crashed quarantine
+    leaves either the corrupt entry or its renamed twin, never both);
+    an entry that vanished or cannot be renamed is simply left to the
+    recompute path.
+    """
+    try:
+        os.replace(path, path + ".corrupt")
+    except OSError:
+        return False
+    _STATS.corrupt += 1
+    return True
 
 
 def invalidate_evaluation(path: str) -> bool:

@@ -1,0 +1,24 @@
+"""Deterministic fault injection for pooled execution (chaos harness).
+
+See :mod:`repro.faults.plan` for the plan grammar and injection seam.
+"""
+
+from repro.faults.plan import (  # noqa: F401
+    FAULT_PLAN_ENV,
+    FaultPlan,
+    FaultSpec,
+    active_fault_spec,
+    in_worker_process,
+    mark_worker_process,
+    parse_fault_plan,
+)
+
+__all__ = [
+    "FAULT_PLAN_ENV",
+    "FaultPlan",
+    "FaultSpec",
+    "active_fault_spec",
+    "in_worker_process",
+    "mark_worker_process",
+    "parse_fault_plan",
+]

@@ -63,9 +63,15 @@ from repro.parallel.config import (
     workers_override,
 )
 from repro.parallel.pool import effective_workers, run_tasks
+from repro.parallel.retry import (
+    RetryPolicy,
+    resolve_retry_policy,
+    retry_stats,
+)
 from repro.parallel.service import (
     PERSISTENT_POOL_ENV,
     START_METHOD_ENV,
+    CircuitBreaker,
     WorkerService,
     persistent_pool_enabled,
     service_stats,
@@ -85,12 +91,16 @@ __all__ = [
     "PERSISTENT_POOL_ENV",
     "START_METHOD_ENV",
     "WORKERS_ENV",
+    "CircuitBreaker",
+    "RetryPolicy",
     "WorkerService",
     "effective_workers",
     "load_deployable_with_plan",
     "merge_outputs",
     "persistent_pool_enabled",
+    "resolve_retry_policy",
     "resolve_workers",
+    "retry_stats",
     "run_tasks",
     "service_stats",
     "shard_slices",

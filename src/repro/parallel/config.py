@@ -25,7 +25,26 @@ from repro.errors import ConfigError
 
 WORKERS_ENV = "REPRO_WORKERS"
 
+ON_SHARD_FAILURE_ENV = "REPRO_ON_SHARD_FAILURE"
+
 _WORKERS_OVERRIDE: Optional[int] = None
+
+
+def resolve_on_shard_failure() -> str:
+    """What callers should do when a shard is quarantined as poison.
+
+    ``REPRO_ON_SHARD_FAILURE``: ``raise`` (the default -- a
+    :class:`~repro.errors.PoisonTaskError` propagates and the whole call
+    fails) or ``skip`` (callers that can degrade, e.g.
+    ``ExperimentContext.evaluate``, record the failed shards and
+    continue on the surviving partial results).
+    """
+    value = os.environ.get(ON_SHARD_FAILURE_ENV, "raise").strip().lower()
+    if value not in ("raise", "skip"):
+        raise ConfigError(
+            f"{ON_SHARD_FAILURE_ENV} must be 'raise' or 'skip', got {value!r}"
+        )
+    return value
 
 
 def _validated(value: int, source: str) -> int:

@@ -95,6 +95,9 @@ def _bootstrap_worker(
 ) -> None:  # pragma: no cover - runs inside worker processes
     os.environ[WORKERS_ENV] = "1"
     _reset_override_for_worker()
+    from repro.faults import mark_worker_process
+
+    mark_worker_process()
     set_runtime_config(RuntimeConfig(**config_kwargs))
     if initializer is not None:
         initializer(*initargs)
@@ -156,6 +159,76 @@ def guarded_map_wait(
             )
 
 
+def gather_indexed(
+    pool,
+    submit: Callable,
+    indices: Sequence[int],
+    window: int,
+    timeout: Optional[float] = None,
+) -> Tuple[dict, set, Optional[BaseException]]:
+    """Guarded per-task gather: the partial-harvest twin of
+    :func:`guarded_map_wait`.
+
+    Submits ``submit(index)`` (which must return an ``AsyncResult``) for
+    each index, at most ``window`` in flight at once -- the same
+    concurrency cap chunked ``map_async`` submission provides -- and
+    polls completions at :data:`_LIVENESS_POLL_S` granularity with the
+    same worker-liveness and deadline checks as the mapped wait.
+
+    Unlike the mapped wait, a crash or timeout does **not** discard what
+    already finished: the return value is ``(done, dispatched, error)``
+    where ``done`` maps index -> result for every task that completed,
+    ``dispatched`` is the set of indices that were actually handed to
+    the pool (tasks still queued behind the window were provably *not*
+    involved in the failure), and ``error`` is ``None`` on full success
+    or the typed :class:`~repro.errors.WorkerCrashError` /
+    :class:`~repro.errors.WorkerTimeoutError` otherwise. This is the
+    primitive the retry layer's "re-execute only the lost shards"
+    guarantee is built on. A cell that merely *raises* still propagates
+    its own exception, exactly like ``Pool.map``; callers own pool
+    teardown after a crash/timeout.
+    """
+    done: dict = {}
+    dispatched: set = set()
+    queue = list(indices)
+    inflight: dict = {}
+    initial_pids = {p.pid for p in _pool_members(pool)}
+    deadline = None if timeout is None else time.monotonic() + timeout
+    while queue or inflight:
+        while queue and len(inflight) < window:
+            index = queue.pop(0)
+            inflight[index] = submit(index)
+            dispatched.add(index)
+        next(iter(inflight.values())).wait(_LIVENESS_POLL_S)
+        for index in list(inflight):
+            if inflight[index].ready():
+                done[index] = inflight[index].get()
+                del inflight[index]
+        if not inflight and not queue:
+            break
+        members = _pool_members(pool)
+        crashed = any(
+            p.exitcode is not None and p.exitcode != 0 for p in members
+        )
+        replaced = (
+            initial_pids and {p.pid for p in members} != initial_pids
+        )
+        if crashed or replaced:
+            return done, dispatched, WorkerCrashError(
+                "a pool worker process died with tasks in flight "
+                "(abnormal exit; its tasks are lost). The pool is torn "
+                "down; completed tasks kept their results and only the "
+                "lost ones need re-execution."
+            )
+        if deadline is not None and time.monotonic() > deadline:
+            return done, dispatched, WorkerTimeoutError(
+                f"pooled call exceeded its {timeout:.3f}s budget; "
+                "the pool is torn down. Completed tasks kept their "
+                "results."
+            )
+    return done, dispatched, None
+
+
 def run_tasks(
     fn: Callable,
     payloads: Iterable,
@@ -163,6 +236,7 @@ def run_tasks(
     initializer: Optional[Callable] = None,
     initargs: Tuple = (),
     timeout: Optional[float] = None,
+    retry=None,
 ) -> List:
     """``[fn(p) for p in payloads]``, fanned out over worker processes.
 
@@ -186,6 +260,19 @@ def run_tasks(
     of hanging (see :func:`guarded_map_wait`). The serial fallback runs
     inline and therefore ignores ``timeout`` -- there is no separate
     process to abandon.
+
+    ``retry`` (a :class:`~repro.parallel.retry.RetryPolicy`, or ``None``
+    for the historical fail-the-call behaviour) routes the pooled call
+    through the self-healing executor instead: a crashed or timed-out
+    shard is re-executed on a recovered pool (with deterministic
+    backoff) rather than failing the whole call, a task that kills its
+    worker on every allowed attempt is quarantined behind a typed
+    :class:`~repro.errors.PoisonTaskError` carrying the surviving
+    results, and ``REPRO_FAULT_PLAN`` faults are injected at the task
+    seam (see :mod:`repro.parallel.retry` and :mod:`repro.faults`).
+    ``timeout`` then bounds the *whole* call, retries and backoff
+    included. The serial fallback is unchanged: inline, no retries, no
+    injection.
     """
     payloads = list(payloads)
     count = min(resolve_workers(workers), max(1, len(payloads)))
@@ -193,6 +280,18 @@ def run_tasks(
         if initializer is not None:
             initializer(*initargs)
         return [fn(payload) for payload in payloads]
+    if retry is not None:
+        from repro.parallel.retry import run_tasks_resilient
+
+        return run_tasks_resilient(
+            fn,
+            payloads,
+            count,
+            initializer=initializer,
+            initargs=initargs,
+            timeout=timeout,
+            policy=retry,
+        )
     from repro.parallel.service import persistent_pool_enabled, shared_service
 
     if persistent_pool_enabled():

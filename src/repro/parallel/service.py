@@ -76,6 +76,8 @@ import multiprocessing as mp
 import os
 import pickle
 import tempfile
+import time
+from collections import deque
 from dataclasses import asdict, dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
@@ -90,6 +92,25 @@ from repro.runtime.config import RuntimeConfig, runtime_config, set_runtime_conf
 PERSISTENT_POOL_ENV = "REPRO_PERSISTENT_POOL"
 
 START_METHOD_ENV = "REPRO_START_METHOD"
+
+BREAKER_THRESHOLD_ENV = "REPRO_BREAKER_THRESHOLD"
+
+BREAKER_WINDOW_MS_ENV = "REPRO_BREAKER_WINDOW_MS"
+
+BREAKER_COOLDOWN_MS_ENV = "REPRO_BREAKER_COOLDOWN_MS"
+
+
+def _env_positive(name: str, default: float, cast=float) -> float:
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    try:
+        value = cast(raw)
+    except ValueError:
+        raise ConfigError(f"{name} must be a number, got {raw!r}")
+    if value <= 0:
+        raise ConfigError(f"{name} must be > 0, got {value}")
+    return value
 
 
 def persistent_pool_enabled() -> bool:
@@ -129,6 +150,9 @@ class ServiceStats:
     generation_reuses: int = 0  # runs whose state matched the previous one
     blob_spills: int = 0  # generations whose state went via a temp file
     aborts: int = 0  # pools torn down after a worker crash / call timeout
+    restarts: int = 0  # pool starts that recovered from an abort (backoff-gated)
+    breaker_trips: int = 0  # times the circuit breaker opened
+    breaker_serial_runs: int = 0  # runs degraded to inline serial (breaker open)
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -140,7 +164,89 @@ class ServiceStats:
             "generation_reuses": self.generation_reuses,
             "blob_spills": self.blob_spills,
             "aborts": self.aborts,
+            "restarts": self.restarts,
+            "breaker_trips": self.breaker_trips,
+            "breaker_serial_runs": self.breaker_serial_runs,
         }
+
+
+class CircuitBreaker:
+    """Abort-rate circuit breaker over a service's pool.
+
+    Tracks pool aborts in a rolling window. While the abort count stays
+    under ``threshold`` the breaker is *closed* and pooled execution
+    proceeds normally. Hitting the threshold *opens* it: for
+    ``cooldown_s`` the service stops restarting pools and degrades to
+    inline serial execution -- ending a terminate/respawn storm from a
+    persistently hostile workload. Once the cooldown elapses the breaker
+    goes *half-open*: the next run probes the pool; success closes the
+    breaker (and clears the abort history), another abort re-opens it
+    for a fresh cooldown.
+    """
+
+    def __init__(
+        self,
+        threshold: int = 5,
+        window_s: float = 30.0,
+        cooldown_s: float = 1.0,
+    ) -> None:
+        if threshold < 1:
+            raise ConfigError(
+                f"breaker threshold must be >= 1, got {threshold}"
+            )
+        self.threshold = threshold
+        self.window_s = window_s
+        self.cooldown_s = cooldown_s
+        self.trips = 0
+        self._abort_times: deque = deque()
+        self._open_until: Optional[float] = None
+        self._probing = False
+
+    def _prune(self, now: float) -> None:
+        while self._abort_times and now - self._abort_times[0] > self.window_s:
+            self._abort_times.popleft()
+
+    @property
+    def state(self) -> str:
+        """``closed`` | ``open`` | ``half-open`` (cooldown elapsed)."""
+        if self._open_until is None:
+            return "closed"
+        if self._probing or time.monotonic() >= self._open_until:
+            return "half-open"
+        return "open"
+
+    def record_abort(self) -> bool:
+        """Note one pool abort; ``True`` if this trip opened the breaker."""
+        now = time.monotonic()
+        self._abort_times.append(now)
+        self._prune(now)
+        if self._probing:
+            # The half-open probe failed: straight back to open.
+            self._probing = False
+            self._open_until = now + self.cooldown_s
+            self.trips += 1
+            return True
+        if self._open_until is None and len(self._abort_times) >= self.threshold:
+            self._open_until = now + self.cooldown_s
+            self.trips += 1
+            return True
+        return False
+
+    def record_success(self) -> None:
+        """A pooled run completed: close after a successful probe."""
+        if self._open_until is not None:
+            self._open_until = None
+            self._probing = False
+            self._abort_times.clear()
+
+    def allow_pool(self) -> bool:
+        """Whether the next run may use the pool (half-open = probe)."""
+        if self._open_until is None:
+            return True
+        if time.monotonic() >= self._open_until:
+            self._probing = True
+            return True
+        return False
 
 
 # ---------------------------------------------------------------------------
@@ -165,6 +271,9 @@ def _service_bootstrap() -> None:  # pragma: no cover - runs in workers
     """Once per worker process: pin the no-nested-pools environment."""
     os.environ[WORKERS_ENV] = "1"
     _reset_override_for_worker()
+    from repro.faults import mark_worker_process
+
+    mark_worker_process()
 
 
 def _service_cell(task: Tuple[int, Tuple[str, object], Callable, object]):
@@ -216,6 +325,9 @@ class WorkerService:
         self,
         workers: Optional[int] = None,
         start_method: Optional[str] = None,
+        restart_backoff_ms: float = 50.0,
+        restart_backoff_max_ms: float = 2000.0,
+        breaker: Optional[CircuitBreaker] = None,
     ) -> None:
         self._default_workers = workers
         self._start_method = start_method
@@ -227,6 +339,18 @@ class WorkerService:
         # workers skip re-initialization (and keep e.g. a loaded model).
         self._generation_cache: Optional[Tuple[bytes, int, Tuple]] = None
         self.stats = ServiceStats()
+        # Post-abort restart damping: a flapping worker must not spin a
+        # terminate/respawn loop at pool-start speed. Doubled per
+        # consecutive abort, reset by the first successful pooled run.
+        self._restart_backoff_ms = restart_backoff_ms
+        self._restart_backoff_max_ms = restart_backoff_max_ms
+        self._consecutive_aborts = 0
+        self._last_abort: Optional[float] = None
+        self.breaker = breaker if breaker is not None else CircuitBreaker(
+            threshold=int(_env_positive(BREAKER_THRESHOLD_ENV, 5, int)),
+            window_s=_env_positive(BREAKER_WINDOW_MS_ENV, 30000.0) / 1000.0,
+            cooldown_s=_env_positive(BREAKER_COOLDOWN_MS_ENV, 1000.0) / 1000.0,
+        )
 
     # -- lifecycle ------------------------------------------------------
     def _ensure_pool(self, count: int):
@@ -243,6 +367,19 @@ class WorkerService:
         if inherited or too_small:
             self.shutdown()
         if self._pool is None:
+            if self._last_abort is not None:
+                # Restart backoff: damp terminate/respawn storms after a
+                # crash. Exponential in the consecutive-abort count,
+                # capped, and charged only for the remaining fraction.
+                backoff_s = min(
+                    self._restart_backoff_ms
+                    * (2.0 ** max(0, self._consecutive_aborts - 1)),
+                    self._restart_backoff_max_ms,
+                ) / 1000.0
+                wait = self._last_abort + backoff_s - time.monotonic()
+                if wait > 0:
+                    time.sleep(wait)
+                self.stats.restarts += 1
             method = self._start_method or service_start_method()
             context = mp.get_context(method)
             self._pool = context.Pool(
@@ -304,6 +441,38 @@ class WorkerService:
             pool.terminate()
             pool.join()
         self.stats.aborts += 1
+        self._consecutive_aborts += 1
+        self._last_abort = time.monotonic()
+        if self.breaker.record_abort():
+            self.stats.breaker_trips += 1
+
+    def _note_success(self) -> None:
+        """A pooled run completed: reset abort damping, close the breaker."""
+        self._consecutive_aborts = 0
+        self._last_abort = None
+        self.breaker.record_success()
+
+    def _run_inline(
+        self,
+        fn: Callable,
+        payloads: List,
+        initializer: Optional[Callable],
+        initargs: Tuple,
+    ) -> List:
+        """Degraded serial execution while the breaker is open.
+
+        Semantics match the single-worker serial fallback: the
+        initializer (then the cells) run in the calling process, so
+        progress continues at serial speed instead of feeding a restart
+        storm. Fault-plan injection is skipped by design -- these cells
+        do not run in a worker process (see :mod:`repro.faults`).
+        """
+        self.stats.breaker_serial_runs += 1
+        self.stats.runs += 1
+        self.stats.cells += len(payloads)
+        if initializer is not None:
+            initializer(*initargs)
+        return [fn(payload) for payload in payloads]
 
     def __enter__(self) -> "WorkerService":
         return self
@@ -359,17 +528,55 @@ class WorkerService:
             if initializer is not None:
                 initializer(*initargs)
             return [fn(payload) for payload in payloads]
+        if not self.breaker.allow_pool():
+            return self._run_inline(fn, payloads, initializer, initargs)
+        generation, blob_ref = self._broadcast_generation(
+            initializer, initargs, count=count
+        )
+        pool = self._pool
+        self.stats.cells += len(payloads)
+        tasks = [(generation, blob_ref, fn, payload) for payload in payloads]
+        # chunksize 1 keeps assignment balanced; on a pool wider than the
+        # requested cap, chunk so at most `count` chunks exist -- i.e. at
+        # most `count` workers ever hold work from this call.
+        if self._pool_workers <= count:
+            chunksize = 1
+        else:
+            chunksize = -(-len(tasks) // count)
+        from repro.parallel.pool import guarded_map_wait
+
+        result = pool.map_async(_service_cell, tasks, chunksize=chunksize)
+        try:
+            results = guarded_map_wait(pool, result, timeout=timeout)
+        except (WorkerCrashError, WorkerTimeoutError):
+            self._abort_pool()
+            raise
+        self._note_success()
+        return results
+
+    def _broadcast_generation(
+        self,
+        initializer: Optional[Callable],
+        initargs: Tuple,
+        count: int,
+    ) -> Tuple[int, Tuple]:
+        """Ensure a pool and mint (or reuse) the call's generation blob.
+
+        Shared by :meth:`run` and :meth:`run_indexed` so both paths
+        carry byte-identical state broadcasts -- a retry round reuses
+        the warm generation a mapped call established, and vice versa.
+        Updates run/warm-run/generation stats; callers account cells.
+        """
         blob = pickle.dumps(
             (asdict(runtime_config()), initializer, initargs),
             protocol=pickle.HIGHEST_PROTOCOL,
         )
         digest = hashlib.sha256(blob).digest()
         starts_before = self.stats.pool_starts
-        pool = self._ensure_pool(count)  # a grow restart clears the cache
+        self._ensure_pool(count)  # a grow restart clears the cache
         self.stats.runs += 1
         if self.stats.pool_starts == starts_before:
             self.stats.warm_runs += 1
-        self.stats.cells += len(payloads)
         cached = self._generation_cache
         if cached is not None and cached[0] == digest:
             # Byte-identical state: reuse the broadcast, so workers
@@ -393,22 +600,71 @@ class WorkerService:
                 blob_ref = ("inline", blob)
             self._generation_cache = (digest, generation, blob_ref)
             self.stats.generations += 1
-        tasks = [(generation, blob_ref, fn, payload) for payload in payloads]
-        # chunksize 1 keeps assignment balanced; on a pool wider than the
-        # requested cap, chunk so at most `count` chunks exist -- i.e. at
-        # most `count` workers ever hold work from this call.
-        if self._pool_workers <= count:
-            chunksize = 1
-        else:
-            chunksize = -(-len(tasks) // count)
-        from repro.parallel.pool import guarded_map_wait
+        return generation, blob_ref
 
-        result = pool.map_async(_service_cell, tasks, chunksize=chunksize)
-        try:
-            return guarded_map_wait(pool, result, timeout=timeout)
-        except (WorkerCrashError, WorkerTimeoutError):
+    def run_indexed(
+        self,
+        fn: Callable,
+        tasks: List[Tuple[int, object]],
+        workers: Optional[int] = None,
+        initializer: Optional[Callable] = None,
+        initargs: Tuple = (),
+        timeout: Optional[float] = None,
+    ) -> Tuple[Dict[int, object], set, Optional[BaseException]]:
+        """One recovery round for the retry layer: indexed, partial-harvest.
+
+        Same generation semantics as :meth:`run`, but each ``(index,
+        payload)`` task is submitted individually and a crash or timeout
+        returns ``(done, dispatched, error)`` instead of raising -- the
+        completed results survive, and only the lost tasks need
+        re-execution (see :func:`repro.parallel.pool.gather_indexed`).
+        There is **no** serial fallback here even for a single task: a
+        suspect task must run in a worker process so that killing its
+        worker cannot kill the caller. The one exception is an *open*
+        circuit breaker, which degrades to inline execution -- by then
+        the workload has already proven it kills pools, and the retry
+        layer quarantines true poison tasks before the breaker opens.
+        A cell that raises its own exception still propagates.
+        """
+        count = min(
+            resolve_workers(
+                workers if workers is not None else self._default_workers
+            ),
+            max(1, len(tasks)),
+        )
+        if not self.breaker.allow_pool():
+            payloads = [payload for _, payload in tasks]
+            results = self._run_inline(fn, payloads, initializer, initargs)
+            done = {
+                index: result
+                for (index, _), result in zip(tasks, results)
+            }
+            return done, set(), None
+        generation, blob_ref = self._broadcast_generation(
+            initializer, initargs, count=count
+        )
+        pool = self._pool
+        self.stats.cells += len(tasks)
+        payload_by = {
+            index: (generation, blob_ref, fn, payload)
+            for index, payload in tasks
+        }
+        from repro.parallel.pool import gather_indexed
+
+        done, dispatched, error = gather_indexed(
+            pool,
+            lambda index: pool.apply_async(
+                _service_cell, (payload_by[index],)
+            ),
+            [index for index, _ in tasks],
+            window=count,
+            timeout=timeout,
+        )
+        if error is not None:
             self._abort_pool()
-            raise
+        else:
+            self._note_success()
+        return done, dispatched, error
 
 
 # ---------------------------------------------------------------------------

@@ -363,6 +363,7 @@ def sharded_forward(
     workers: Optional[int] = None,
     model_path: Optional[str] = None,
     timeout: Optional[float] = None,
+    retry=None,
 ):
     """One merged forward pass over ``images``, sharded across workers.
 
@@ -387,7 +388,18 @@ def sharded_forward(
             (see :func:`repro.parallel.pool.run_tasks`; the serial
             fallback runs inline and ignores it). This is how the
             serving layer propagates request deadlines into the
-            execution path.
+            execution path. With retries enabled the budget covers the
+            whole call, recovery rounds included.
+        retry: a :class:`~repro.parallel.retry.RetryPolicy`; ``None``
+            (the default) resolves one from ``REPRO_RETRY_*`` -- pooled
+            shard evaluation is therefore *self-healing by default*: a
+            crashed or wedged shard is re-executed on a recovered pool,
+            byte-identically (shards are pure functions of their
+            coordinates), and only a task that kills its worker on
+            every allowed attempt surfaces as a
+            :class:`~repro.errors.PoisonTaskError` (carrying the
+            surviving shard outputs). ``REPRO_RETRY_MAX_ATTEMPTS=1``
+            restores single-shot semantics.
     """
     from repro.snn.encoding import DirectEncoder
 
@@ -421,6 +433,10 @@ def sharded_forward(
         (image_payload, piece.start, timesteps, record)
         for image_payload, piece in zip(image_payloads, slices)
     ]
+    if retry is None:
+        from repro.parallel.retry import resolve_retry_policy
+
+        retry = resolve_retry_policy()
     try:
         parts = run_tasks(
             _run_shard,
@@ -429,6 +445,7 @@ def sharded_forward(
             initializer=_init_shard_worker,
             initargs=(payload, init_images, encoder_blob),
             timeout=timeout,
+            retry=retry,
         )
     finally:
         cleanup()

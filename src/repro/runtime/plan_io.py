@@ -377,7 +377,14 @@ def try_load_plan(
         return None
     try:
         return load_plan(path, model_digest=model_digest)
-    except (ReproError, KeyError, ValueError, OSError, zipfile.BadZipFile):
+    except (
+        ReproError,
+        EOFError,  # zero-byte/torn file: np.load dies before the zip layer
+        KeyError,
+        ValueError,
+        OSError,
+        zipfile.BadZipFile,
+    ):
         return None
 
 

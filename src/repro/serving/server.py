@@ -50,6 +50,7 @@ class ModelEndpoint:
         model_path: Optional[str] = None,
         workers: Optional[int] = None,
         shard_size: Optional[int] = None,
+        retry=None,
     ) -> None:
         from repro.snn.encoding import DirectEncoder
 
@@ -62,6 +63,11 @@ class ModelEndpoint:
         self.model_path = model_path
         self.workers = workers
         self.shard_size = shard_size
+        #: RetryPolicy for pooled batches; None inherits the environment
+        #: default (self-healing on, REPRO_RETRY_* tunable), exactly like
+        #: offline evaluation. The serving layer also inherits the pool
+        #: circuit breaker through the shared WorkerService.
+        self.retry = retry
         self.sample_shape = tuple(model.input_shape)
 
     def run_batch(
@@ -93,6 +99,7 @@ class ModelEndpoint:
                 workers=self.workers,
                 model_path=self.model_path,
                 timeout=timeout_s,
+                retry=self.retry,
             )
         return output.logits
 
@@ -128,13 +135,16 @@ class InferenceServer:
         workers: Optional[int] = None,
         shard_size: Optional[int] = None,
         executor=None,
+        retry=None,
     ) -> ModelEndpoint:
         """Register ``model`` under ``name`` and start taking traffic.
 
         ``executor(images, stream_indices, timeout_s) -> logits``
         overrides the default pooled execution path -- the seam the
         fault-injection harness uses to induce worker crashes, stalls
-        and failures without a real pool.
+        and failures without a real pool. ``retry`` pins a
+        :class:`~repro.parallel.retry.RetryPolicy` for this endpoint's
+        pooled batches; ``None`` inherits the environment default.
         """
         endpoint = ModelEndpoint(
             name,
@@ -144,6 +154,7 @@ class InferenceServer:
             model_path=model_path,
             workers=workers,
             shard_size=shard_size,
+            retry=retry,
         )
         with self._lock:
             if self._closed:

@@ -97,3 +97,115 @@ class TestContext:
     def test_timesteps_for(self, ctx):
         assert ctx.timesteps_for("direct") == ctx.preset.direct_timesteps
         assert ctx.timesteps_for("rate") == ctx.preset.rate_timesteps
+
+
+class TestDegradedEvaluation:
+    """Poison shards under ``REPRO_ON_SHARD_FAILURE``: raise or degrade.
+
+    Real end-to-end: a genuine worker pool, a deterministic fault plan
+    SIGKILLing one shard's worker on every allowed attempt, and the
+    context either propagating the typed quarantine or completing on
+    the surviving shards.
+    """
+
+    @pytest.fixture(autouse=True)
+    def _fast_recovery(self, monkeypatch):
+        """No-sleep retries, damped restarts, breaker pinned shut-proof:
+        these tests SIGKILL workers repeatedly and must neither crawl
+        through backoff sleeps nor flip to inline execution (where
+        injection is off and nothing under test would fire)."""
+        from repro.parallel import CircuitBreaker, shared_service
+        from repro.parallel import shutdown_worker_service
+
+        monkeypatch.setenv("REPRO_RETRY_BACKOFF_MS", "0")
+        monkeypatch.setenv("REPRO_RETRY_BACKOFF_MAX_MS", "0")
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        service = shared_service()
+        monkeypatch.setattr(service, "breaker", CircuitBreaker(threshold=10000))
+        monkeypatch.setattr(service, "_restart_backoff_ms", 1.0)
+        shutdown_worker_service()
+        yield
+        shutdown_worker_service()
+
+    def _fresh(self, ctx):
+        """A context sharing ``ctx``'s trained artifacts, 4-shard evals."""
+        fresh = ExperimentContext(
+            scale="tiny", workspace=ctx.workspace, seed=0, eval_cache=False
+        )
+        fresh.eval_batch = 30  # 120 test samples -> 4 shards
+        return fresh
+
+    def test_poison_shard_raises_typed_by_default(self, ctx, monkeypatch):
+        from repro.errors import PoisonTaskError
+
+        ctx.trained("cifar10", "fp32")  # train once outside the fault plan
+        monkeypatch.delenv("REPRO_ON_SHARD_FAILURE", raising=False)
+        monkeypatch.setenv(
+            "REPRO_FAULT_PLAN", "crash@1:0,crash@1:1,crash@1:2"
+        )
+        with pytest.raises(PoisonTaskError) as excinfo:
+            self._fresh(ctx).evaluate("cifar10", "fp32")
+        err = excinfo.value
+        assert err.quarantined == [1]
+        survivors = [part for part in err.results if part is not None]
+        assert len(survivors) == 3
+
+    def test_skip_mode_completes_on_survivors(self, ctx, monkeypatch):
+        clean = self._fresh(ctx).evaluate("cifar10", "fp32")
+        assert clean.samples == 120
+        monkeypatch.setenv("REPRO_ON_SHARD_FAILURE", "skip")
+        monkeypatch.setenv(
+            "REPRO_FAULT_PLAN", "crash@1:0,crash@1:1,crash@1:2"
+        )
+        fresh = self._fresh(ctx)
+        degraded = fresh.evaluate("cifar10", "fp32")
+        assert degraded.samples == 90  # one 30-sample shard lost
+        (record,) = fresh.failed_cells
+        assert record["quarantined_shards"] == [1]
+        assert record["samples_lost"] == 30
+        assert list(record["fingerprints"]) == [1]
+        # Degraded results are never memoised or persisted: with the
+        # faults gone, the same context recomputes the full test set.
+        monkeypatch.delenv("REPRO_FAULT_PLAN")
+        recovered = fresh.evaluate("cifar10", "fp32")
+        assert recovered.samples == 120
+        assert recovered.accuracy == clean.accuracy
+
+    def test_skip_mode_never_caches_degraded_results(self, ctx, monkeypatch):
+        import os as _os
+
+        cached_ctx = ExperimentContext(
+            scale="tiny", workspace=ctx.workspace, seed=0, eval_cache=True
+        )
+        cached_ctx.eval_batch = 30
+        monkeypatch.setenv("REPRO_ON_SHARD_FAILURE", "skip")
+        monkeypatch.setenv(
+            "REPRO_FAULT_PLAN", "crash@0:0,crash@0:1,crash@0:2"
+        )
+        degraded = cached_ctx.evaluate("cifar10", "fp32", max_samples=119)
+        assert degraded.samples == 89
+        entry = cached_ctx.eval_cache_file(
+            "tiny_cifar10_fp32_direct_s0_n119_tNone"
+        )
+        assert not _os.path.exists(entry)
+
+    def test_skip_with_no_survivors_still_raises(self, ctx, monkeypatch):
+        from repro.errors import PoisonTaskError
+
+        monkeypatch.setenv("REPRO_ON_SHARD_FAILURE", "skip")
+        monkeypatch.setenv("REPRO_RETRY_MAX_ATTEMPTS", "2")
+        monkeypatch.setenv("REPRO_FAULT_PLAN", "crash%1")  # every coordinate
+        with pytest.raises(PoisonTaskError):
+            self._fresh(ctx).evaluate("cifar10", "fp32")
+
+    def test_on_shard_failure_env_validated(self, monkeypatch):
+        from repro.errors import ConfigError
+        from repro.parallel.config import resolve_on_shard_failure
+
+        monkeypatch.setenv("REPRO_ON_SHARD_FAILURE", "shrug")
+        with pytest.raises(ConfigError):
+            resolve_on_shard_failure()
+        monkeypatch.setenv("REPRO_ON_SHARD_FAILURE", "skip")
+        assert resolve_on_shard_failure() == "skip"
+        monkeypatch.delenv("REPRO_ON_SHARD_FAILURE")
+        assert resolve_on_shard_failure() == "raise"

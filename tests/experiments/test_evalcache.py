@@ -24,6 +24,7 @@ from repro.experiments.evalcache import (
     invalidate_evaluation,
     invalidate_evaluations,
     load_evaluation,
+    quarantine_corrupt_entry,
     save_evaluation,
     try_load_evaluation,
 )
@@ -128,6 +129,72 @@ class TestStalenessGuards:
         after = eval_cache_stats().as_dict()
         assert after["hits"] - before["hits"] == 1
         assert after["misses"] - before["misses"] == 1
+
+
+class TestCorruptQuarantine:
+    """Corrupt entries are moved aside to ``<entry>.corrupt``; stale
+    (well-formed but guard-failing) entries are left in place for the
+    recompute to overwrite."""
+
+    def test_corrupt_entry_moved_aside_with_bytes_preserved(self, entry):
+        bad = b"\x00not json at all"
+        with open(entry, "wb") as handle:
+            handle.write(bad)
+        before = eval_cache_stats().corrupt
+        assert try_load_evaluation(entry) is None
+        assert not os.path.exists(entry)
+        with open(entry + ".corrupt", "rb") as handle:
+            assert handle.read() == bad
+        assert eval_cache_stats().corrupt - before == 1
+
+    def test_truncated_entry_quarantined(self, entry):
+        with open(entry, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        with open(entry, "w", encoding="utf-8") as handle:
+            handle.write(text[: len(text) // 2])
+        assert try_load_evaluation(entry) is None
+        assert os.path.exists(entry + ".corrupt")
+
+    def test_missing_result_fields_quarantined(self, entry):
+        with open(entry, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        del payload["result"]["accuracy"]
+        with open(entry, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        assert try_load_evaluation(entry) is None
+        assert os.path.exists(entry + ".corrupt")
+
+    def test_stale_entry_left_in_place(self, entry):
+        """Digest mismatch means the model changed, not that the bytes
+        rotted: the entry stays put and the recompute overwrites it."""
+        before = eval_cache_stats().corrupt
+        assert try_load_evaluation(entry, model_digest="digest-NEW") is None
+        assert os.path.exists(entry)
+        assert not os.path.exists(entry + ".corrupt")
+        assert eval_cache_stats().corrupt == before
+
+    def test_foreign_format_left_in_place(self, tmp_path):
+        path = eval_cache_path(str(tmp_path), "foreign")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump({"format": "something-else", "result": {}}, handle)
+        assert try_load_evaluation(path) is None
+        assert os.path.exists(path)
+        assert not os.path.exists(path + ".corrupt")
+
+    def test_recompute_writes_fresh_entry_beside_quarantined(
+        self, entry, result
+    ):
+        with open(entry, "wb") as handle:
+            handle.write(b"garbage")
+        assert try_load_evaluation(entry) is None
+        save_evaluation(entry, result, model_digest="digest-a")
+        assert load_evaluation(entry, model_digest="digest-a") == result
+        assert os.path.exists(entry + ".corrupt")  # evidence retained
+
+    def test_quarantine_missing_file_returns_false(self, tmp_path):
+        before = eval_cache_stats().corrupt
+        assert not quarantine_corrupt_entry(str(tmp_path / "nope.eval.json"))
+        assert eval_cache_stats().corrupt == before
 
 
 class TestEncodingStreamGuard:

@@ -319,6 +319,161 @@ class TestFaultContainment:
             assert service.stats.pool_starts == 2
 
 
+class TestCircuitBreaker:
+    """The abort-rate breaker: open, degrade inline, probe, close."""
+
+    def test_full_cycle_closed_open_halfopen_closed(self):
+        from repro.parallel import CircuitBreaker
+
+        breaker = CircuitBreaker(threshold=2, window_s=30.0, cooldown_s=0.05)
+        assert breaker.state == "closed"
+        assert not breaker.record_abort()
+        assert breaker.state == "closed"
+        assert breaker.record_abort()  # second abort in window: trip
+        assert breaker.state == "open"
+        assert breaker.trips == 1
+        assert not breaker.allow_pool()
+        import time
+
+        time.sleep(0.06)
+        assert breaker.state == "half-open"
+        assert breaker.allow_pool()  # the probe
+        breaker.record_success()
+        assert breaker.state == "closed"
+        # History cleared: one fresh abort no longer trips.
+        assert not breaker.record_abort()
+
+    def test_failed_probe_reopens(self):
+        from repro.parallel import CircuitBreaker
+
+        breaker = CircuitBreaker(threshold=1, cooldown_s=0.05)
+        assert breaker.record_abort()
+        import time
+
+        time.sleep(0.06)
+        assert breaker.allow_pool()  # half-open probe
+        assert breaker.record_abort()  # probe failed
+        assert breaker.state == "open"
+        assert breaker.trips == 2
+        assert not breaker.allow_pool()
+
+    def test_window_prunes_old_aborts(self):
+        from repro.parallel import CircuitBreaker
+
+        breaker = CircuitBreaker(threshold=2, window_s=0.05)
+        assert not breaker.record_abort()
+        import time
+
+        time.sleep(0.08)  # first abort ages out of the window
+        assert not breaker.record_abort()
+        assert breaker.state == "closed"
+
+    def test_threshold_validated(self):
+        from repro.parallel import CircuitBreaker
+
+        with pytest.raises(ConfigError):
+            CircuitBreaker(threshold=0)
+
+    def test_env_configures_the_shared_breaker(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BREAKER_THRESHOLD", "7")
+        monkeypatch.setenv("REPRO_BREAKER_WINDOW_MS", "5000")
+        monkeypatch.setenv("REPRO_BREAKER_COOLDOWN_MS", "250")
+        service = WorkerService(workers=2)
+        assert service.breaker.threshold == 7
+        assert service.breaker.window_s == 5.0
+        assert service.breaker.cooldown_s == 0.25
+
+    def test_open_breaker_degrades_run_to_inline(self):
+        """With the breaker open, runs complete serially in the parent
+        (correct results, breaker_serial_runs counted) and the pool is
+        left alone until the cooldown's half-open probe."""
+        from repro.parallel import CircuitBreaker
+
+        with WorkerService(
+            workers=2, breaker=CircuitBreaker(threshold=1, cooldown_s=60.0)
+        ) as service:
+            service.breaker.record_abort()
+            assert service.breaker.state == "open"
+            assert service.run(_square, [1, 2, 3]) == [1, 4, 9]
+            assert not service.running  # no pool was started
+            assert service.stats.breaker_serial_runs == 1
+            assert service.stats.pool_starts == 0
+
+    def test_crash_storm_trips_then_probe_recovers(self):
+        """End to end: repeated worker deaths open the breaker (inline
+        execution keeps completing), then the post-cooldown probe closes
+        it and pooled execution resumes."""
+        from repro.parallel import CircuitBreaker
+
+        with WorkerService(
+            workers=2,
+            restart_backoff_ms=1.0,
+            breaker=CircuitBreaker(threshold=2, cooldown_s=0.1),
+        ) as service:
+            for _ in range(2):
+                with pytest.raises(WorkerCrashError):
+                    service.run(_kill_or_linger, ["die", "a", "b", "c"])
+            assert service.breaker.state == "open"
+            assert service.stats.breaker_trips == 1
+            # Degraded but alive (two payloads: a single payload takes
+            # the ordinary serial fallback before the breaker check).
+            assert service.run(_square, [5, 8]) == [25, 64]
+            assert service.stats.breaker_serial_runs == 1
+            import time
+
+            time.sleep(0.12)
+            # Half-open: this run probes the pool, succeeds, closes.
+            assert service.run(_square, [6, 7]) == [36, 49]
+            assert service.breaker.state == "closed"
+            assert service.running
+
+
+class TestRestartBackoff:
+    """Post-abort pool restarts are damped, and counted apart from starts."""
+
+    def test_restarts_counted_separately_from_pool_starts(self):
+        with WorkerService(workers=2, restart_backoff_ms=1.0) as service:
+            assert service.run(_square, [1, 2]) == [1, 4]
+            assert service.stats.pool_starts == 1
+            assert service.stats.restarts == 0  # first start: not a restart
+            with pytest.raises(WorkerCrashError):
+                service.run(_kill_or_linger, ["die", "a", "b", "c"])
+            assert service.run(_square, [3, 5]) == [9, 25]
+            assert service.stats.aborts == 1
+            assert service.stats.pool_starts == 2
+            assert service.stats.restarts == 1  # post-abort start
+
+    def test_backoff_grows_with_consecutive_aborts(self):
+        import time
+
+        with WorkerService(
+            workers=2,
+            restart_backoff_ms=120.0,
+            restart_backoff_max_ms=400.0,
+        ) as service:
+            with pytest.raises(WorkerCrashError):
+                service.run(_kill_or_linger, ["die", "a", "b", "c"])
+            with pytest.raises(WorkerCrashError):
+                service.run(_kill_or_linger, ["die", "a", "b", "c"])
+            assert service._consecutive_aborts == 2
+            # Third start pays ~2x the base backoff (damping doubled).
+            started = time.monotonic()
+            assert service.run(_square, [4, 5]) == [16, 25]
+            assert time.monotonic() - started >= 0.2
+            # Success resets the damping: the next abort starts over.
+            assert service._consecutive_aborts == 0
+            assert service.stats.restarts == 2
+
+    def test_success_resets_backoff_damping(self):
+        with WorkerService(workers=2, restart_backoff_ms=1.0) as service:
+            with pytest.raises(WorkerCrashError):
+                service.run(_kill_or_linger, ["die", "a", "b", "c"])
+            assert service._consecutive_aborts == 1
+            assert service.run(_square, [2, 3]) == [4, 9]
+            assert service._consecutive_aborts == 0
+            assert service._last_abort is None
+
+
 class TestWarmColdBitIdentity:
     """The ISSUE's acceptance gate: warm pools never change a bit."""
 

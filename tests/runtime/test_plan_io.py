@@ -113,6 +113,87 @@ class TestRoundTrip:
             load_plan(path)
 
 
+class TestAtomicSidecarWrites:
+    """A crash mid-write must never leave a sidecar a loader would trust."""
+
+    def test_crash_mid_write_preserves_previous_sidecar(
+        self, deployable, tmp_path, monkeypatch
+    ):
+        """Dying inside the ``.plan.npz`` serialization leaves the old
+        sidecar byte-identical and no temp-file litter -- the atomic
+        temp + ``os.replace`` protocol at work."""
+        live = plan_deployable(deployable)
+        path = str(tmp_path / "model.plan.npz")
+        save_plan(live, path)
+        with open(path, "rb") as handle:
+            before = handle.read()
+
+        def torn_write(handle, **payload):
+            handle.write(b"partial bytes then the process dies")
+            raise KeyboardInterrupt("simulated crash mid-write")
+
+        monkeypatch.setattr(np, "savez", torn_write)
+        with pytest.raises(KeyboardInterrupt):
+            save_plan(live, path)
+        with open(path, "rb") as handle:
+            assert handle.read() == before
+        leftovers = [
+            name for name in os.listdir(tmp_path) if name.endswith(".tmp")
+        ]
+        assert leftovers == []
+        monkeypatch.undo()
+        from repro.runtime import try_load_plan
+
+        assert try_load_plan(path) is not None
+
+    def test_crash_on_first_write_leaves_nothing(
+        self, deployable, tmp_path, monkeypatch
+    ):
+        live = plan_deployable(deployable)
+        path = str(tmp_path / "fresh.plan.npz")
+
+        def torn_write(handle, **payload):
+            raise KeyboardInterrupt("simulated crash mid-write")
+
+        monkeypatch.setattr(np, "savez", torn_write)
+        with pytest.raises(KeyboardInterrupt):
+            save_plan(live, path)
+        assert not os.path.exists(path)
+        assert os.listdir(tmp_path) == []
+
+    @pytest.mark.parametrize("keep_bytes", [0, 10, 0.5])
+    def test_torn_sidecar_loads_as_none(
+        self, deployable, tmp_path, keep_bytes
+    ):
+        """A truncated sidecar (as an unclean shutdown of a non-atomic
+        writer would produce) is rejected by ``try_load_plan`` -- the
+        caller falls back to live lowering instead of trusting it."""
+        from repro.runtime import try_load_plan
+
+        live = plan_deployable(deployable)
+        path = str(tmp_path / "torn.plan.npz")
+        save_plan(live, path)
+        assert try_load_plan(path) is not None
+        with open(path, "rb") as handle:
+            payload = handle.read()
+        cut = (
+            int(len(payload) * keep_bytes)
+            if isinstance(keep_bytes, float)
+            else keep_bytes
+        )
+        with open(path, "wb") as handle:
+            handle.write(payload[:cut])
+        assert try_load_plan(path) is None
+
+    def test_garbage_sidecar_loads_as_none(self, tmp_path):
+        from repro.runtime import try_load_plan
+
+        path = str(tmp_path / "garbage.plan.npz")
+        with open(path, "wb") as handle:
+            handle.write(b"\x00\x01not-a-zip-archive\xff" * 64)
+        assert try_load_plan(path) is None
+
+
 class TestCalibrationSeeding:
     def test_load_seeds_cache_and_skips_probes(
         self, deployable, tmp_path, monkeypatch
