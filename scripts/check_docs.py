@@ -1,11 +1,23 @@
 """Docs drift gate: configuration surface vs docs/CONFIGURATION.md.
 
-Greps ``src/``, ``scripts/`` and ``benchmarks/`` for ``REPRO_*``
-environment variables and walks the ``snn-hybrid`` argument parser
-(including every subcommand) for long option strings, then fails with
-exit code 1 if any of them is missing from ``docs/CONFIGURATION.md`` --
-so a new knob cannot land without its documentation. Wired into
-``scripts/perf_smoke.sh``; run standalone with:
+The configuration surface is declared once, in
+:mod:`repro.analysis.registry`. This gate holds three parties to that
+declaration and fails with exit code 1 on any disagreement:
+
+1. **source tree vs registry** -- every ``REPRO_*`` token in ``src/``,
+   ``scripts/`` and ``benchmarks/`` must be registered, and every
+   registered variable must still be mentioned somewhere (no stale
+   entries);
+2. **argument parser vs registry** -- every long option of the
+   ``snn-hybrid`` CLI (all subcommands) must be registered, and every
+   registered flag must exist on the parser;
+3. **registry vs docs** -- every registered token must appear in
+   ``docs/CONFIGURATION.md``.
+
+So a new knob cannot land without being registered *and* documented.
+``repro lint`` enforces (1) and (2) statically per-file (rules
+R101/R102/R103); this gate re-checks them end-to-end at CI time. Wired
+into ``scripts/perf_smoke.sh``; run standalone with:
 
     PYTHONPATH=src python scripts/check_docs.py
 """
@@ -16,35 +28,13 @@ import argparse
 import os
 import re
 import sys
-from typing import Iterator, Set
+from typing import Iterator, List, Set
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 if not any(os.path.isdir(os.path.join(p, "repro")) for p in sys.path if p):
     sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
 
 CONFIG_DOC = os.path.join(REPO_ROOT, "docs", "CONFIGURATION.md")
-
-#: Where configuration surface can be introduced. Tests are deliberately
-#: excluded: they may reference hypothetical or negative-case values.
-SCAN_DIRS = ("src", "scripts", "benchmarks")
-
-ENV_PATTERN = re.compile(r"REPRO_[A-Z0-9_]+")
-
-
-def repo_env_vars() -> Set[str]:
-    """Every REPRO_* token mentioned anywhere in the scanned trees."""
-    found: Set[str] = set()
-    for scan_dir in SCAN_DIRS:
-        root = os.path.join(REPO_ROOT, scan_dir)
-        for dirpath, dirnames, filenames in os.walk(root):
-            dirnames[:] = [d for d in dirnames if d != "__pycache__"]
-            for name in filenames:
-                if not name.endswith((".py", ".sh")):
-                    continue
-                path = os.path.join(dirpath, name)
-                with open(path, "r", encoding="utf-8") as handle:
-                    found.update(ENV_PATTERN.findall(handle.read()))
-    return found
 
 
 def _walk_options(parser: argparse.ArgumentParser) -> Iterator[str]:
@@ -68,7 +58,10 @@ def _is_documented(token: str, documented: str) -> bool:
     """Word-boundary membership, not substring membership: a token must
     not count as documented just because a longer token extending it
     (same name plus an extra ``_SUFFIX`` or ``-suffix``) appears in the
-    text."""
+    text. A family prefix (trailing ``_``) is documented by its
+    starred prose form."""
+    if token.endswith("_"):
+        token = token + "*"
     return (
         re.search(
             rf"(?<![A-Za-z0-9_-]){re.escape(token)}(?![A-Za-z0-9_-])",
@@ -79,27 +72,61 @@ def _is_documented(token: str, documented: str) -> bool:
 
 
 def main() -> int:
+    from repro.analysis import registry
+
+    problems: List[str] = []
+
+    # 1. source tree vs registry, both directions
+    unregistered, stale = registry.verify_against_tree(REPO_ROOT)
+    for token in sorted(unregistered):
+        problems.append(
+            f"REGISTRY DRIFT: REPRO_* token {token} appears in the source "
+            f"tree but is not declared in repro/analysis/registry.py"
+        )
+    for token in sorted(stale):
+        problems.append(
+            f"REGISTRY DRIFT: registered variable {token} no longer "
+            f"appears anywhere in the source tree (stale entry)"
+        )
+
+    # 2. argument parser vs registry, both directions
+    parser_flags = cli_flags()
+    registered_flags = registry.registered_flag_names()
+    for flag in sorted(parser_flags - registered_flags):
+        problems.append(
+            f"REGISTRY DRIFT: CLI flag {flag} exists on the parser but is "
+            f"not declared in repro/analysis/registry.py"
+        )
+    for flag in sorted(registered_flags - parser_flags):
+        problems.append(
+            f"REGISTRY DRIFT: registered CLI flag {flag} does not exist "
+            f"on the parser (stale entry)"
+        )
+
+    # 3. registry vs docs
     with open(CONFIG_DOC, "r", encoding="utf-8") as handle:
         documented = handle.read()
-    env_vars = repo_env_vars()
-    flags = cli_flags()
-    missing = [
-        token
-        for token in sorted(env_vars | flags)
-        if not _is_documented(token, documented)
-    ]
-    for token in missing:
-        kind = "environment variable" if token.startswith("REPRO_") else "CLI flag"
-        print(
-            f"DOCS DRIFT: {kind} {token} exists in the source tree but is "
-            f"missing from docs/CONFIGURATION.md",
-            file=sys.stderr,
-        )
-    if missing:
+    for token in sorted(registry.documented_tokens()):
+        if not _is_documented(token, documented):
+            kind = (
+                "environment variable" if token.startswith("REPRO_")
+                else "CLI flag"
+            )
+            problems.append(
+                f"DOCS DRIFT: {kind} {token} is registered but missing "
+                f"from docs/CONFIGURATION.md"
+            )
+
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
         return 1
+    env_count = len(registry.registered_env_names()) + len(
+        registry.FAMILY_PREFIXES
+    )
     print(
         f"docs configuration reference is complete "
-        f"({len(env_vars)} REPRO_* variables, {len(flags)} CLI flags)"
+        f"({env_count} REPRO_* variables, {len(parser_flags)} CLI flags)"
     )
     return 0
 

@@ -17,7 +17,12 @@
 # Also runs the blocked routing gate (every deep-VGG9 conv shape must
 # calibrate a k-block and route its density <= 5% timesteps to the
 # event path bit-exactly), the docs drift gate (every REPRO_* variable
-# and CLI flag must be documented in docs/CONFIGURATION.md) and the
+# and CLI flag must be registered in repro/analysis/registry.py and
+# documented in docs/CONFIGURATION.md), the static analysis gate
+# (scripts/check_static.py: repro lint must report zero fresh findings
+# -- determinism, cross-process safety, typed-error discipline and
+# registry drift, see docs/LINTING.md -- plus ruff when installed) and
+# the
 # parallel determinism gate: the direct-coded sharded evaluation path
 # with 2 workers, twice, byte-compared against each other and against
 # the serial fallback, plus the rate-coded counter-stream gate --
@@ -52,6 +57,7 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 python benchmarks/bench_runtime_hotpaths.py --smoke
 python scripts/check_blocked_routing.py
 python scripts/check_docs.py
+python scripts/check_static.py
 python scripts/check_serving_determinism.py
 python scripts/check_parallel_determinism.py
 exec python scripts/check_fault_recovery.py

@@ -1,0 +1,147 @@
+"""Static analysis: the ``repro lint`` invariant checker.
+
+The runtime's guarantees -- bit-exact results at any shard/worker
+geometry, deterministic counter-keyed randomness, typed failures across
+the pool boundary, one documented configuration surface -- are enforced
+dynamically by the byte-compare gates in ``scripts/perf_smoke.sh``.
+This package enforces them *statically*, so a violation is caught in
+any geometry, not just the ones the gates exercise.
+
+Entry points:
+
+* ``repro lint [paths...]`` (the ``snn-hybrid`` subcommand) and
+  ``python -m repro.analysis`` -- identical flags, shared here;
+* :func:`lint_paths` / :func:`lint_sources` -- library API (the test
+  suite's fixture harness);
+* ``scripts/check_static.py`` -- the CI gate wired into
+  ``scripts/perf_smoke.sh``.
+
+See ``docs/LINTING.md`` for the rule catalog, the
+``# repro: lint-ok[RULE] why`` pragma convention and the baseline
+workflow.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from repro.analysis.baseline import (
+    DEFAULT_BASELINE_NAME,
+    load_baseline,
+    partition_baseline,
+    save_baseline,
+)
+from repro.analysis.engine import LintResult, lint_paths, lint_sources
+from repro.analysis.findings import Finding, render_human, render_json
+from repro.analysis.rules import RULES
+from repro.errors import StaticAnalysisError
+
+__all__ = [
+    "Finding",
+    "LintResult",
+    "RULES",
+    "add_lint_arguments",
+    "lint_paths",
+    "lint_sources",
+    "main",
+    "run_lint_from_args",
+]
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """The ``lint`` flag set, shared by the ``snn-hybrid lint``
+    subcommand and ``python -m repro.analysis``."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["human", "json"],
+        default="human",
+        help="finding output format (default: human)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help=(
+            "grandfathered-findings file (default: lint-baseline.json "
+            "next to the lint root when present; 'none' disables)"
+        ),
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline file with the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+
+
+def _resolve_baseline_path(arg: Optional[str], root: str) -> Optional[str]:
+    if arg == "none":
+        return None
+    if arg is not None:
+        return arg if os.path.isabs(arg) else os.path.join(root, arg)
+    default = os.path.join(root, DEFAULT_BASELINE_NAME)
+    return default if os.path.exists(default) else None
+
+
+def run_lint_from_args(args: argparse.Namespace) -> int:
+    """Execute a parsed ``lint`` invocation; returns the exit code
+    (0 clean, 1 findings, 2 usage/configuration error)."""
+    if args.list_rules:
+        for rule in RULES:
+            print(f"{rule.id}  {rule.name:<22s} {rule.summary}")
+        return 0
+    root = os.getcwd()
+    select = args.select.split(",") if args.select else None
+    try:
+        result = lint_paths(args.paths, root=root, select=select)
+        baseline_path = _resolve_baseline_path(args.baseline, root)
+        if args.update_baseline:
+            target = baseline_path or os.path.join(root, DEFAULT_BASELINE_NAME)
+            count = save_baseline(target, result.findings)
+            print(f"wrote {count} baseline entr{'y' if count == 1 else 'ies'} "
+                  f"to {target}")
+            return 0
+        baselined: List[Finding] = []
+        if baseline_path is not None:
+            result.findings, baselined = partition_baseline(
+                result.findings, load_baseline(baseline_path)
+            )
+    except StaticAnalysisError as error:
+        print(f"repro lint: {error}", file=sys.stderr)
+        return 2
+    render = render_json if args.format == "json" else render_human
+    print(render(
+        result.findings,
+        files_scanned=result.files_scanned,
+        suppressed=result.suppressed,
+        baselined=len(baselined),
+    ))
+    return 1 if result.findings else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="AST-based invariant checker for the repro package",
+    )
+    add_lint_arguments(parser)
+    return run_lint_from_args(parser.parse_args(argv))

@@ -1,0 +1,8 @@
+"""``python -m repro.analysis`` -- same flags as ``snn-hybrid lint``."""
+
+import sys
+
+from repro.analysis import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,110 @@
+"""Checked-in baseline of grandfathered findings.
+
+The baseline lets the static gate land *green* on a tree that still
+carries known violations: each entry acknowledges one existing finding
+as "to be fixed, not to be multiplied". New findings -- including the
+same rule firing on a *changed* line -- are never absorbed, because the
+match key is ``(rule, path, stripped source line)`` with no line
+number: unrelated edits may shift a grandfathered line without
+un-baselining it, but touching the offending line itself (or moving the
+file) revokes the exemption and the gate fails until the violation is
+fixed or deliberately re-baselined with ``--update-baseline``.
+
+Format: a JSON document with a version tag and a sorted entry list, so
+diffs of the checked-in file stay reviewable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import Counter
+from typing import Dict, Iterable, List, Tuple
+
+from repro.analysis.findings import Finding, sort_findings
+from repro.errors import StaticAnalysisError
+
+_FORMAT = "repro-lint-baseline-v1"
+
+#: Conventional location, relative to the repo root.
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+BaselineKey = Tuple[str, str, str]
+
+
+def load_baseline(path: str) -> Counter:
+    """The multiset of grandfathered finding keys in ``path``.
+
+    A multiset, not a set: two identical offending lines in one file
+    produce two findings, and a baseline carrying one entry must absorb
+    exactly one of them. Raises
+    :class:`~repro.errors.StaticAnalysisError` on unreadable or
+    foreign-format files -- a gate must never silently run baseline-less
+    because of a typo'd path or a corrupt checkout.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except OSError as error:
+        raise StaticAnalysisError(f"cannot read baseline {path}: {error}")
+    except ValueError as error:
+        raise StaticAnalysisError(f"baseline {path} is not valid JSON: {error}")
+    if not isinstance(payload, dict) or payload.get("format") != _FORMAT:
+        raise StaticAnalysisError(
+            f"baseline {path} has format {payload.get('format')!r}, "
+            f"expected {_FORMAT!r}"
+        )
+    keys: Counter = Counter()
+    for entry in payload.get("entries", ()):
+        try:
+            keys[(entry["rule"], entry["path"], entry["snippet"])] += 1
+        except (TypeError, KeyError):
+            raise StaticAnalysisError(
+                f"baseline {path} carries a malformed entry: {entry!r}"
+            )
+    return keys
+
+
+def save_baseline(path: str, findings: Iterable[Finding]) -> int:
+    """Write ``findings`` as the new baseline; returns the entry count.
+
+    Entries are sorted and line numbers recorded for the human reader
+    only -- matching never uses them.
+    """
+    entries: List[Dict[str, object]] = [
+        {
+            "rule": finding.rule,
+            "path": finding.path,
+            "line": finding.line,
+            "snippet": finding.snippet,
+        }
+        for finding in sort_findings(findings)
+    ]
+    payload = {"format": _FORMAT, "entries": entries}
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, path)
+    return len(entries)
+
+
+def partition_baseline(
+    findings: Iterable[Finding], baseline: Counter
+) -> Tuple[List[Finding], List[Finding]]:
+    """Split findings into ``(fresh, grandfathered)`` against a baseline.
+
+    Consumes baseline entries as it matches, so N identical findings
+    need N entries.
+    """
+    remaining = Counter(baseline)
+    fresh: List[Finding] = []
+    grandfathered: List[Finding] = []
+    for finding in sort_findings(findings):
+        key = finding.baseline_key()
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            grandfathered.append(finding)
+        else:
+            fresh.append(finding)
+    return fresh, grandfathered

@@ -1,0 +1,185 @@
+"""The lint engine: file collection, rule dispatch, pragma filtering.
+
+One :func:`lint_paths` (or :func:`lint_sources`, for in-memory fixture
+suites) call produces a :class:`LintResult`:
+
+* per-file rules run over every parsed file;
+* the cross-file passes run once: worker reachability feeds P102, the
+  registry completeness check (R103) fires only when the registry
+  module itself is in scope;
+* ``# repro: lint-ok[RULE]`` pragmas suppress findings on their line --
+  the suppressed count is reported, never silently dropped;
+* files that fail to parse surface as an ``X100`` syntax finding rather
+  than aborting the run (the rest of the tree still gets checked).
+
+Baseline filtering is the caller's concern
+(:func:`repro.analysis.baseline.partition_baseline`): the engine
+reports everything it sees.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.analysis import callgraph, rules
+from repro.analysis.findings import Finding, sort_findings
+from repro.analysis.pragmas import collect_pragmas, unjustified_pragma_lines
+from repro.errors import StaticAnalysisError
+
+#: Pseudo-rule for unparseable files: cannot be pragma'd away (the
+#: pragma table needs a parse), can be baselined like anything else.
+SYNTAX_RULE = "X100"
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run learned."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    suppressed: int = 0
+    #: worker-reachable module names (diagnostic surface for tests/tools)
+    worker_reachable: Set[str] = field(default_factory=set)
+
+
+def _validated_select(select: Optional[Sequence[str]]) -> Set[str]:
+    known = rules.known_rule_ids()
+    if select is None:
+        return set(known)
+    chosen = {rule.strip() for rule in select if rule.strip()}
+    unknown = chosen - known
+    if unknown:
+        raise StaticAnalysisError(
+            f"unknown rule id(s) {sorted(unknown)}; known: {sorted(known)}"
+        )
+    return chosen
+
+
+def _module_name(relpath: str) -> str:
+    """Dotted module name of a scanned file.
+
+    ``src/repro/parallel/shard.py`` -> ``repro.parallel.shard`` and
+    package ``__init__`` files collapse onto the package name, so the
+    import-closure pass resolves real import statements directly.
+    Paths outside a ``src`` layout fall back to their slash-to-dot
+    form -- fixture suites match on those names explicitly.
+    """
+    path = relpath.replace("\\", "/")
+    if path.endswith(".py"):
+        path = path[: -len(".py")]
+    parts = [part for part in path.split("/") if part not in ("", ".")]
+    if "src" in parts:
+        parts = parts[parts.index("src") + 1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def collect_files(paths: Sequence[str], root: str) -> List[str]:
+    """The ``.py`` files under ``paths`` (files or directories),
+    relative to ``root``, deterministically ordered."""
+    out: Set[str] = set()
+    for path in paths:
+        absolute = path if os.path.isabs(path) else os.path.join(root, path)
+        if os.path.isfile(absolute):
+            out.add(os.path.relpath(absolute, root))
+        elif os.path.isdir(absolute):
+            for dirpath, dirnames, filenames in os.walk(absolute):
+                dirnames[:] = [
+                    d for d in dirnames
+                    if d != "__pycache__" and not d.startswith(".")
+                ]
+                for name in filenames:
+                    if name.endswith(".py"):
+                        out.add(
+                            os.path.relpath(os.path.join(dirpath, name), root)
+                        )
+        else:
+            raise StaticAnalysisError(f"no such file or directory: {path}")
+    return sorted(rel.replace("\\", "/") for rel in out)
+
+
+def lint_sources(
+    sources: Dict[str, str],
+    select: Optional[Sequence[str]] = None,
+    root: Optional[str] = None,
+) -> LintResult:
+    """Lint in-memory sources: ``{relative path: source text}``.
+
+    The fixture-suite entry point -- byte-for-byte the same pipeline
+    :func:`lint_paths` runs on files.
+    """
+    chosen = _validated_select(select)
+    result = LintResult()
+    contexts: List[rules.FileContext] = []
+    indexed: Dict[str, object] = {}
+
+    for relpath in sorted(sources):
+        result.files_scanned += 1
+        try:
+            ctx = rules.FileContext(
+                relpath, sources[relpath], _module_name(relpath)
+            )
+        except SyntaxError as error:
+            result.findings.append(Finding(
+                rule=SYNTAX_RULE,
+                path=relpath.replace("\\", "/"),
+                line=error.lineno or 1,
+                message=f"file does not parse: {error.msg}",
+            ))
+            continue
+        contexts.append(ctx)
+        indexed[ctx.module_name] = callgraph.index_module(ctx.tree)
+
+    reachable = callgraph.worker_reachable_modules(indexed)  # type: ignore[arg-type]
+    result.worker_reachable = reachable
+
+    raw: List[Finding] = []
+    for ctx in contexts:
+        for rule_id, check in rules.PER_FILE_CHECKS.items():
+            if rule_id in chosen:
+                raw.extend(check(ctx))
+        if "P102" in chosen:
+            raw.extend(rules.check_worker_mutable_state(
+                ctx, ctx.module_name in reachable
+            ))
+        # A pragma that names no justification is itself a finding --
+        # the workflow requires the why next to the what.
+        if "X101" in chosen:
+            for line in unjustified_pragma_lines(ctx.lines):
+                raw.append(ctx.finding(
+                    "X101", line,
+                    "lint-ok pragma carries no justification; say why the "
+                    "violation is intentional",
+                ))
+    if "R103" in chosen:
+        raw.extend(rules.check_stale_registry(contexts, root))
+
+    by_path = {ctx.relpath: ctx for ctx in contexts}
+    for finding in raw:
+        ctx = by_path.get(finding.path)
+        if ctx is not None:
+            pragmas = collect_pragmas(ctx.lines)
+            if finding.rule in pragmas.get(finding.line, set()):
+                result.suppressed += 1
+                continue
+        result.findings.append(finding)
+    result.findings = sort_findings(result.findings)
+    return result
+
+
+def lint_paths(
+    paths: Sequence[str],
+    root: Optional[str] = None,
+    select: Optional[Sequence[str]] = None,
+) -> LintResult:
+    """Lint files/directories rooted at ``root`` (default: cwd)."""
+    root = os.path.abspath(root or os.getcwd())
+    files = collect_files(paths, root)
+    sources: Dict[str, str] = {}
+    for relpath in files:
+        with open(os.path.join(root, relpath), "r", encoding="utf-8") as handle:
+            sources[relpath] = handle.read()
+    return lint_sources(sources, select=select, root=root)

@@ -1,0 +1,105 @@
+"""Finding objects and their two renderings (human lines, JSON).
+
+A :class:`Finding` is one rule violation at one source location. Its
+*baseline key* deliberately excludes the line number: grandfathered
+findings keep matching after unrelated edits shift the file, and stop
+matching as soon as the offending line itself changes (see
+:mod:`repro.analysis.baseline`).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation.
+
+    Attributes:
+        rule: rule identifier (``D101``, ``P102``, ...).
+        path: file path relative to the lint root, ``/``-separated.
+        line: 1-based line the violation anchors to (pragmas on this
+            line suppress it).
+        message: human explanation including the expected fix.
+        snippet: the stripped source line at ``line`` -- the stable part
+            of the baseline key.
+    """
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    snippet: str = ""
+
+    def baseline_key(self) -> Tuple[str, str, str]:
+        """Line-number-free identity used by the baseline file."""
+        return (self.rule, self.path, self.snippet)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "snippet": self.snippet,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+
+def sort_findings(findings: Iterable[Finding]) -> List[Finding]:
+    """Stable report order: path, line, rule."""
+    return sorted(findings, key=lambda f: (f.path, f.line, f.rule))
+
+
+def render_human(
+    findings: Iterable[Finding],
+    files_scanned: int,
+    suppressed: int = 0,
+    baselined: int = 0,
+) -> str:
+    """The human report: one line per finding plus a summary line."""
+    findings = sort_findings(findings)
+    lines = [finding.render() for finding in findings]
+    by_rule: Dict[str, int] = {}
+    for finding in findings:
+        by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
+    breakdown = (
+        " (" + ", ".join(f"{r}: {n}" for r, n in sorted(by_rule.items())) + ")"
+        if by_rule
+        else ""
+    )
+    lines.append(
+        f"repro lint: {len(findings)} finding(s){breakdown} in "
+        f"{files_scanned} file(s); {suppressed} pragma-suppressed, "
+        f"{baselined} baselined"
+    )
+    return "\n".join(lines)
+
+
+def render_json(
+    findings: Iterable[Finding],
+    files_scanned: int,
+    suppressed: int = 0,
+    baselined: int = 0,
+) -> str:
+    """The machine report (stable ordering, one JSON document)."""
+    findings = sort_findings(findings)
+    by_rule: Dict[str, int] = {}
+    for finding in findings:
+        by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
+    return json.dumps(
+        {
+            "findings": [finding.as_dict() for finding in findings],
+            "counts": by_rule,
+            "files_scanned": files_scanned,
+            "suppressed": suppressed,
+            "baselined": baselined,
+        },
+        indent=2,
+        sort_keys=True,
+    )

@@ -1,0 +1,51 @@
+"""Per-line suppression pragmas: ``# repro: lint-ok[RULE] why``.
+
+A pragma acknowledges a finding *at its line* and records the one-line
+justification next to the code it blesses -- unlike a baseline entry,
+which marks a finding as merely grandfathered. The rule list is
+explicit (``lint-ok[D102]``, ``lint-ok[P101,P102]``): a blanket
+``lint-ok`` with no rule is not honoured, so a pragma can never
+accidentally swallow a *new* class of violation on the same line.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Sequence, Set
+
+PRAGMA_PATTERN = re.compile(
+    r"#\s*repro:\s*lint-ok\[(?P<rules>[A-Z][A-Z0-9]*(?:\s*,\s*[A-Z][A-Z0-9]*)*)\]"
+)
+
+#: A pragma should say *why* -- matched loosely: any non-space text
+#: after the closing bracket counts as a justification.
+JUSTIFIED_PATTERN = re.compile(
+    r"#\s*repro:\s*lint-ok\[[^\]]*\]\s*\S"
+)
+
+
+def pragma_rules(line: str) -> Set[str]:
+    """Rule ids suppressed on this source line (empty set if none)."""
+    match = PRAGMA_PATTERN.search(line)
+    if not match:
+        return set()
+    return {rule.strip() for rule in match.group("rules").split(",")}
+
+
+def collect_pragmas(lines: Sequence[str]) -> Dict[int, Set[str]]:
+    """``{1-based line number: suppressed rule ids}`` for one file."""
+    table: Dict[int, Set[str]] = {}
+    for number, line in enumerate(lines, start=1):
+        rules = pragma_rules(line)
+        if rules:
+            table[number] = rules
+    return table
+
+
+def unjustified_pragma_lines(lines: Sequence[str]) -> List[int]:
+    """Lines carrying a pragma with no justification text after it."""
+    bad: List[int] = []
+    for number, line in enumerate(lines, start=1):
+        if PRAGMA_PATTERN.search(line) and not JUSTIFIED_PATTERN.search(line):
+            bad.append(number)
+    return bad

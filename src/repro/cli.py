@@ -272,6 +272,24 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="closed-loop client count (requests are split across them)",
     )
+
+    lint = sub.add_parser(
+        "lint",
+        help="static invariant checker (determinism, worker safety, "
+        "typed errors, registry drift)",
+        description=(
+            "AST-based checks that the runtime's invariants hold "
+            "statically: no ambient RNG or wall-clock reads outside "
+            "blessed modules, no mutable module state reachable from "
+            "pool workers, no swallowed or untyped errors in the "
+            "resilience layers, and no REPRO_* env var or CLI flag "
+            "missing from the configuration registry. See "
+            "docs/LINTING.md."
+        ),
+    )
+    from repro.analysis import add_lint_arguments
+
+    add_lint_arguments(lint)
     return parser
 
 
@@ -291,6 +309,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_experiment(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "lint":
+        from repro.analysis import run_lint_from_args
+
+        return run_lint_from_args(args)
     return 1  # pragma: no cover - argparse enforces choices
 
 
@@ -298,7 +320,7 @@ def _make_context(args):
     import os
 
     from repro.experiments.context import ExperimentContext
-    from repro.experiments.evalcache import EVAL_CACHE_ENV
+    from repro.experiments.config import EVAL_CACHE_ENV
 
     if getattr(args, "workers", None) is not None:
         # Process-scoped: every parallel entry point resolves through

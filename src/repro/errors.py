@@ -99,6 +99,12 @@ class FaultPlanError(ParallelError):
     """A ``REPRO_FAULT_PLAN`` spec could not be parsed or applied."""
 
 
+class StaticAnalysisError(ReproError):
+    """The ``repro lint`` framework was misconfigured or fed bad input
+    (unknown rule selection, unreadable/corrupt baseline file, paths
+    outside the lint root)."""
+
+
 class DatasetError(ReproError):
     """A dataset generator or loader received invalid parameters."""
 

@@ -1,0 +1,24 @@
+"""Environment resolution for the experiments layer.
+
+The single module in this package allowed to read ``os.environ`` (rule
+P101, see ``docs/LINTING.md``): every ambient knob the experiment
+machinery honours resolves here, so the full configuration surface of
+the layer is auditable in one place and registered in
+:mod:`repro.analysis.registry`.
+"""
+
+from __future__ import annotations
+
+import os
+
+EVAL_CACHE_ENV = "REPRO_EVAL_CACHE"
+
+
+def eval_cache_enabled() -> bool:
+    """Whether evaluations are persisted/looked up on disk by default.
+
+    On unless ``REPRO_EVAL_CACHE=0``; ``ExperimentContext`` resolves its
+    ``eval_cache=None`` constructor default through this, so worker
+    processes (which inherit the environment) agree with their parent.
+    """
+    return os.environ.get(EVAL_CACHE_ENV, "1") != "0"

@@ -62,7 +62,12 @@ from typing import Dict, Optional
 
 from repro.errors import ExperimentError
 
-EVAL_CACHE_ENV = "REPRO_EVAL_CACHE"
+# Historical home of these names; the definitions moved to the layer's
+# env-reading module (rule P101) and stay importable from here.
+from repro.experiments.config import (  # noqa: F401
+    EVAL_CACHE_ENV,
+    eval_cache_enabled,
+)
 
 EVAL_CACHE_SUFFIX = ".eval.json"
 
@@ -81,16 +86,6 @@ class EvaluationResult:
     per_layer_spikes: Dict[str, float]
     input_events_per_image: Dict[str, float]
     samples: int
-
-
-def eval_cache_enabled() -> bool:
-    """Whether evaluations are persisted/looked up on disk by default.
-
-    On unless ``REPRO_EVAL_CACHE=0``; ``ExperimentContext`` resolves its
-    ``eval_cache=None`` constructor default through this, so worker
-    processes (which inherit the environment) agree with their parent.
-    """
-    return os.environ.get(EVAL_CACHE_ENV, "1") != "0"
 
 
 @dataclass
@@ -113,7 +108,7 @@ class CacheStats:
         }
 
 
-_STATS = CacheStats()
+_STATS = CacheStats()  # repro: lint-ok[P102] per-process hit/miss counters; merged only for reporting, never for results
 
 
 def eval_cache_stats() -> CacheStats:

@@ -1,0 +1,21 @@
+"""Environment resolution for the fault-injection layer.
+
+The single module in this package allowed to read ``os.environ`` (rule
+P101, see ``docs/LINTING.md``). The plan *grammar* lives in
+:mod:`repro.faults.plan`; this module only answers "is a plan active,
+and what is its spec string" -- the one ambient input the chaos harness
+takes.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+
+
+def active_fault_spec() -> Optional[str]:
+    """The ``REPRO_FAULT_PLAN`` spec string, or ``None`` when unset/empty."""
+    spec = os.environ.get(FAULT_PLAN_ENV, "").strip()
+    return spec or None

@@ -61,7 +61,12 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.errors import FaultPlanError
 
-FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+# Historical home of these names; the env read moved to the layer's
+# config module (rule P101) and both stay importable from here.
+from repro.faults.config import (  # noqa: F401
+    FAULT_PLAN_ENV,
+    active_fault_spec,
+)
 
 #: Fault kinds, in the order that keys their probabilistic counter
 #: streams (appending is fine; reordering would change which coordinates
@@ -70,7 +75,7 @@ KINDS = ("crash", "wedge", "slow", "corrupt")
 
 _DEFAULT_SECONDS = {"wedge": 3600.0, "slow": 0.2}
 
-_IN_WORKER = False
+_IN_WORKER = False  # repro: lint-ok[P102] per-process bootstrap flag; set once by the pool initializer
 
 
 def mark_worker_process() -> None:
@@ -87,12 +92,6 @@ def mark_worker_process() -> None:
 def in_worker_process() -> bool:
     """Whether this process was bootstrapped as a pool worker."""
     return _IN_WORKER
-
-
-def active_fault_spec() -> Optional[str]:
-    """The ``REPRO_FAULT_PLAN`` spec string, or ``None`` when unset/empty."""
-    spec = os.environ.get(FAULT_PLAN_ENV, "").strip()
-    return spec or None
 
 
 @dataclass(frozen=True)
@@ -268,7 +267,7 @@ def parse_fault_plan(spec: str) -> FaultPlan:
     return FaultPlan(seed=seed, entries=tuple(entries))
 
 
-_PLAN_CACHE: Dict[str, FaultPlan] = {}
+_PLAN_CACHE: Dict[str, FaultPlan] = {}  # repro: lint-ok[P102] per-process parse cache keyed by spec text; identical in every process
 
 
 def cached_plan(spec: str) -> FaultPlan:

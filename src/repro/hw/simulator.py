@@ -179,7 +179,7 @@ def merge_cycle_sums(
 # Sharded exact mode: worker-side cells (module level for pickling)
 # ---------------------------------------------------------------------------
 
-_SIM_WORKER_STATE: Optional[Dict] = None
+_SIM_WORKER_STATE: Optional[Dict] = None  # repro: lint-ok[P102] per-worker broadcast state; repopulated by the initializer in each process
 
 
 def _sim_shard_result(model, config: AcceleratorConfig, out) -> Tuple:

@@ -17,6 +17,7 @@ without ever nesting process pools.
 
 from __future__ import annotations
 
+import multiprocessing as mp
 import os
 from contextlib import contextmanager
 from typing import Iterator, Optional
@@ -27,7 +28,72 @@ WORKERS_ENV = "REPRO_WORKERS"
 
 ON_SHARD_FAILURE_ENV = "REPRO_ON_SHARD_FAILURE"
 
-_WORKERS_OVERRIDE: Optional[int] = None
+PERSISTENT_POOL_ENV = "REPRO_PERSISTENT_POOL"
+
+START_METHOD_ENV = "REPRO_START_METHOD"
+
+BREAKER_THRESHOLD_ENV = "REPRO_BREAKER_THRESHOLD"
+
+BREAKER_WINDOW_MS_ENV = "REPRO_BREAKER_WINDOW_MS"
+
+BREAKER_COOLDOWN_MS_ENV = "REPRO_BREAKER_COOLDOWN_MS"
+
+RETRY_MAX_ATTEMPTS_ENV = "REPRO_RETRY_MAX_ATTEMPTS"
+
+RETRY_BACKOFF_MS_ENV = "REPRO_RETRY_BACKOFF_MS"
+
+RETRY_BACKOFF_MAX_MS_ENV = "REPRO_RETRY_BACKOFF_MAX_MS"
+
+RETRY_TASK_TIMEOUT_MS_ENV = "REPRO_RETRY_TASK_TIMEOUT_MS"
+
+# Scoped worker-count override (tests pin behaviour with it); cleared in
+# pool workers by _reset_override_for_worker so a parent's override
+# never leaks into a cell's own parallel entry points.
+_WORKERS_OVERRIDE: Optional[int] = None  # repro: lint-ok[P102] per-process scoped override; workers reset it on bootstrap
+
+
+def env_number(name: str, default: float, cast=float) -> float:
+    """A numeric env var, or ``default`` when unset/blank."""
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    try:
+        return cast(raw)
+    except ValueError:
+        raise ConfigError(f"{name} must be a number, got {raw!r}")
+
+
+def env_positive(name: str, default: float, cast=float) -> float:
+    """Like :func:`env_number`, additionally requiring the value > 0."""
+    value = env_number(name, default, cast)
+    if value <= 0:
+        raise ConfigError(f"{name} must be > 0, got {value}")
+    return value
+
+
+def persistent_pool_enabled() -> bool:
+    """Whether ``run_tasks`` routes through the shared persistent pool.
+
+    On by default; ``REPRO_PERSISTENT_POOL=0`` reverts every pooled
+    entry point to the pool-per-call executor (bit-identical results,
+    pool startup paid per call again).
+    """
+    return os.environ.get(PERSISTENT_POOL_ENV, "1") != "0"
+
+
+def service_start_method() -> str:
+    """Start method for service pools: env override, then the default."""
+    method = os.environ.get(START_METHOD_ENV)
+    if method is None:
+        from repro.parallel.pool import pool_start_method
+
+        return pool_start_method()
+    if method not in mp.get_all_start_methods():
+        raise ConfigError(
+            f"{START_METHOD_ENV} must be one of "
+            f"{mp.get_all_start_methods()}, got {method!r}"
+        )
+    return method
 
 
 def resolve_on_shard_failure() -> str:

@@ -40,7 +40,6 @@ from __future__ import annotations
 
 import hashlib
 import multiprocessing as mp
-import os
 import pickle
 import time
 from dataclasses import asdict, dataclass
@@ -54,10 +53,15 @@ from repro.errors import (
 )
 from repro.faults.plan import active_fault_spec, cached_plan, in_worker_process
 
-RETRY_MAX_ATTEMPTS_ENV = "REPRO_RETRY_MAX_ATTEMPTS"
-RETRY_BACKOFF_MS_ENV = "REPRO_RETRY_BACKOFF_MS"
-RETRY_BACKOFF_MAX_MS_ENV = "REPRO_RETRY_BACKOFF_MAX_MS"
-RETRY_TASK_TIMEOUT_MS_ENV = "REPRO_RETRY_TASK_TIMEOUT_MS"
+# The env constants and reader were defined here historically; they
+# moved to the layer's config module (rule P101) and stay importable.
+from repro.parallel.config import (  # noqa: F401
+    RETRY_BACKOFF_MAX_MS_ENV,
+    RETRY_BACKOFF_MS_ENV,
+    RETRY_MAX_ATTEMPTS_ENV,
+    RETRY_TASK_TIMEOUT_MS_ENV,
+    env_number as _env_number,
+)
 
 
 @dataclass(frozen=True)
@@ -120,16 +124,6 @@ class RetryPolicy:
         return base_ms * scale / 1000.0
 
 
-def _env_number(name: str, default: float, cast=float) -> float:
-    raw = os.environ.get(name)
-    if raw is None or not raw.strip():
-        return default
-    try:
-        return cast(raw)
-    except ValueError:
-        raise ConfigError(f"{name} must be a number, got {raw!r}")
-
-
 def resolve_retry_policy(
     max_attempts: Optional[int] = None,
     task_timeout_s: Optional[float] = None,
@@ -173,7 +167,7 @@ class RetryStats:
         }
 
 
-_STATS = RetryStats()
+_STATS = RetryStats()  # repro: lint-ok[P102] per-process observability counters; never read by result-producing code
 
 
 def retry_stats() -> RetryStats:

@@ -82,60 +82,23 @@ from dataclasses import asdict, dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import ConfigError, WorkerCrashError, WorkerTimeoutError
-from repro.parallel.config import (
+
+# The env constants and readers were defined here historically; they
+# moved to the layer's config module (rule P101) and stay importable.
+from repro.parallel.config import (  # noqa: F401
+    BREAKER_COOLDOWN_MS_ENV,
+    BREAKER_THRESHOLD_ENV,
+    BREAKER_WINDOW_MS_ENV,
+    PERSISTENT_POOL_ENV,
+    START_METHOD_ENV,
     WORKERS_ENV,
     _reset_override_for_worker,
+    env_positive as _env_positive,
+    persistent_pool_enabled,
     resolve_workers,
+    service_start_method,
 )
 from repro.runtime.config import RuntimeConfig, runtime_config, set_runtime_config
-
-PERSISTENT_POOL_ENV = "REPRO_PERSISTENT_POOL"
-
-START_METHOD_ENV = "REPRO_START_METHOD"
-
-BREAKER_THRESHOLD_ENV = "REPRO_BREAKER_THRESHOLD"
-
-BREAKER_WINDOW_MS_ENV = "REPRO_BREAKER_WINDOW_MS"
-
-BREAKER_COOLDOWN_MS_ENV = "REPRO_BREAKER_COOLDOWN_MS"
-
-
-def _env_positive(name: str, default: float, cast=float) -> float:
-    raw = os.environ.get(name)
-    if raw is None or not raw.strip():
-        return default
-    try:
-        value = cast(raw)
-    except ValueError:
-        raise ConfigError(f"{name} must be a number, got {raw!r}")
-    if value <= 0:
-        raise ConfigError(f"{name} must be > 0, got {value}")
-    return value
-
-
-def persistent_pool_enabled() -> bool:
-    """Whether ``run_tasks`` routes through the shared persistent pool.
-
-    On by default; ``REPRO_PERSISTENT_POOL=0`` reverts every pooled
-    entry point to the pool-per-call executor (bit-identical results,
-    pool startup paid per call again).
-    """
-    return os.environ.get(PERSISTENT_POOL_ENV, "1") != "0"
-
-
-def service_start_method() -> str:
-    """Start method for service pools: env override, then the default."""
-    method = os.environ.get(START_METHOD_ENV)
-    if method is None:
-        from repro.parallel.pool import pool_start_method
-
-        return pool_start_method()
-    if method not in mp.get_all_start_methods():
-        raise ConfigError(
-            f"{START_METHOD_ENV} must be one of "
-            f"{mp.get_all_start_methods()}, got {method!r}"
-        )
-    return method
 
 
 @dataclass
@@ -256,9 +219,9 @@ class CircuitBreaker:
 #: Monotonic across the whole process (never reset on pool restarts), so
 #: a fresh worker -- whose last-seen generation is None -- always
 #: re-initializes, and a stale worker can never mistake old state for new.
-_GENERATION_COUNTER = 0
+_GENERATION_COUNTER = 0  # repro: lint-ok[P102] parent-only monotonic id; workers compare, never increment
 
-_WORKER_GENERATION: Optional[int] = None
+_WORKER_GENERATION: Optional[int] = None  # repro: lint-ok[P102] per-worker last-applied generation; written only by that worker
 
 #: Generation blobs up to this size ride inline in every task; larger
 #: ones (pickled models, image snapshots) are spilled to a temp file the
@@ -671,7 +634,7 @@ class WorkerService:
 # The shared instance run_tasks routes through
 # ---------------------------------------------------------------------------
 
-_SHARED: Optional[WorkerService] = None
+_SHARED: Optional[WorkerService] = None  # repro: lint-ok[P102] parent-only singleton; fork-inherited copies are detected by owner pid and discarded
 
 
 def shared_service() -> WorkerService:

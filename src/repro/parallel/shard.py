@@ -253,7 +253,7 @@ def plan_task_images(
     )
 
 
-_MMAP_CACHE: Dict[str, np.ndarray] = {}
+_MMAP_CACHE: Dict[str, np.ndarray] = {}  # repro: lint-ok[P102] per-process read-only mmap handles keyed by path; contents identical everywhere
 
 
 def resolve_task_images(
@@ -278,7 +278,7 @@ def resolve_task_images(
 # Worker side
 # ---------------------------------------------------------------------------
 
-_WORKER_STATE: Optional[Dict] = None
+_WORKER_STATE: Optional[Dict] = None  # repro: lint-ok[P102] per-worker broadcast state; repopulated by the initializer in each process
 
 
 def load_deployable_with_plan(path: str):

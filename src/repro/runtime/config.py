@@ -138,7 +138,7 @@ def _env_int_kernels() -> str:
     return raw if raw in ("off", "auto", "on") else "auto"
 
 
-_CONFIG = RuntimeConfig(
+_CONFIG = RuntimeConfig(  # repro: lint-ok[P102] per-process config snapshot; workers re-resolve it from env at bootstrap
     enabled=os.environ.get("REPRO_RUNTIME", "1") != "0",
     dispatch_policy=_env_dispatch_policy(),
     event_kblock=_env_event_kblock(),

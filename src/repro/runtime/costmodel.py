@@ -46,6 +46,7 @@ from typing import Optional
 import numpy as np
 
 from repro.runtime.plan import LayerPlan
+from repro.utils.rng import new_rng
 
 #: EMA weight of a new online observation (probe seeds count as the
 #: first observation). High enough to adapt within a few calls, low
@@ -159,7 +160,7 @@ def probe_cost_state(
     )
 
     g = layer.geometry
-    rng = np.random.default_rng(0x5EED)
+    rng = new_rng(0x5EED)
     probe = (
         rng.random((PROBE_BATCH, g.cin, g.height, g.width)) < PROBE_DENSITY
     ).astype(np.float32)
@@ -191,7 +192,7 @@ def probe_int_rates(layer: LayerPlan, backend: str) -> "tuple[float, float]":
     from repro.runtime.kernels import dense_conv_int, event_conv_int
 
     g = layer.geometry
-    rng = np.random.default_rng(0x5EED)
+    rng = new_rng(0x5EED)
     probe = (
         rng.random((PROBE_BATCH, g.cin, g.height, g.width)) < PROBE_DENSITY
     ).astype(np.float32)

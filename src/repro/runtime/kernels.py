@@ -49,6 +49,7 @@ import numpy as np
 
 from repro.errors import ConfigError
 from repro.runtime.plan import LayerPlan
+from repro.utils.rng import new_rng
 
 try:  # scipy ships with the image; gate anyway so the runtime degrades cleanly
     from scipy import sparse as _sparse
@@ -438,7 +439,7 @@ def calibrate_int_exact(
     if cached is not None:
         return cached
     g = layer.geometry
-    rng = np.random.default_rng(0xC0FFEE)
+    rng = new_rng(0xC0FFEE)
     exact = True
     for density in (0.02, 0.1, 0.3):
         probe = (
@@ -465,7 +466,7 @@ def seed_int_exact(
     layer._int_exact.setdefault((backend, int(block or 0)), bool(exact))
 
 
-_CALIBRATION_CACHE: Dict[Tuple, bool] = {}
+_CALIBRATION_CACHE: Dict[Tuple, bool] = {}  # repro: lint-ok[P102] per-process memo of a pure predicate; same key gives same value in every process
 
 #: Candidate k-block sizes probed largest-first by the auto resolution.
 #: In practice the within-block GEMM stays single-lane up to a few
@@ -474,10 +475,10 @@ _CALIBRATION_CACHE: Dict[Tuple, bool] = {}
 KBLOCK_CANDIDATES = (512, 256, 128, 64, 32)
 
 # (shape key, block) -> the blocked kernels proved bit-identical.
-_BLOCK_EXACT_CACHE: Dict[Tuple, bool] = {}
+_BLOCK_EXACT_CACHE: Dict[Tuple, bool] = {}  # repro: lint-ok[P102] per-process memo of a pure predicate; same key gives same value in every process
 # shape key -> auto-resolved block (0 = unblocked exact, >0 = blocked
 # with that size, None = no exact configuration; dense fallback).
-_BLOCK_CHOICE_CACHE: Dict[Tuple, Optional[int]] = {}
+_BLOCK_CHOICE_CACHE: Dict[Tuple, Optional[int]] = {}  # repro: lint-ok[P102] per-process memo of a pure choice function; same key gives same value in every process
 
 _UNRESOLVED = object()  # distinguishes "never probed" from "probed: None"
 
@@ -516,7 +517,7 @@ def calibrate_event_exact(layer: LayerPlan, backend: str) -> bool:
     cached = _CALIBRATION_CACHE.get(key)
     if cached is not None:
         return cached
-    rng = np.random.default_rng(0xC0FFEE)
+    rng = new_rng(0xC0FFEE)
     exact = True
     for density in (0.02, 0.1, 0.3):
         probe = (
@@ -548,7 +549,7 @@ def calibrate_block_exact(layer: LayerPlan, backend: str, kblock: int) -> bool:
     if cached is not None:
         return cached
     g = layer.geometry
-    rng = np.random.default_rng(0xC0FFEE)
+    rng = new_rng(0xC0FFEE)
     exact = True
     for density in (0.02, 0.1, 0.3):
         probe = (

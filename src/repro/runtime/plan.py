@@ -26,7 +26,7 @@ import numpy as np
 
 from repro.errors import RuntimeUnsupportedError
 
-_GEOMETRY_CACHE: Dict[Tuple[int, int, int, int, int], "ConvGeometry"] = {}
+_GEOMETRY_CACHE: Dict[Tuple[int, int, int, int, int], "ConvGeometry"] = {}  # repro: lint-ok[P102] per-process memo of pure conv geometry; same key gives same value in every process
 _GEOMETRY_CACHE_MAX = 64
 
 

@@ -16,6 +16,7 @@ from typing import Tuple
 import numpy as np
 
 from repro.runtime.plan import LayerPlan, NetworkPlan, conv_geometry
+from repro.utils.rng import new_rng
 
 #: Deep-VGG9 (CIFAR scale) conv input shapes with K = Cin * 3 * 3 >= 500
 #: -- conv2_2, conv3_1, conv3_2/3_3: the shapes whose full-K GEMM folds
@@ -36,7 +37,7 @@ def make_conv_layer_plan(
     """A standalone 3x3 same-padded conv :class:`LayerPlan` with seeded
     random weights."""
     geometry = conv_geometry(cin, height, width, 3, 1)
-    rng = np.random.default_rng(seed)
+    rng = new_rng(seed)
     wmat = rng.standard_normal((cout, geometry.k)).astype(np.float32)
     return LayerPlan(
         name=name or f"conv{cin}x{height}",
@@ -57,7 +58,7 @@ def make_conv_network_plan(
     """A runnable conv + FC-head :class:`NetworkPlan` around one conv
     shape -- the minimal plan the engine's dispatcher can execute."""
     conv = make_conv_layer_plan(cin, height, width, cout, seed=seed)
-    rng = np.random.default_rng(seed + 1)
+    rng = new_rng(seed + 1)
     fc_w = rng.standard_normal(
         (num_classes, cout * height * width)
     ).astype(np.float32)

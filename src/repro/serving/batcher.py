@@ -459,7 +459,7 @@ class ModelQueue:
         )
         try:
             logits = np.asarray(self._executor(images, indices, timeout_s))
-        except BaseException as error:  # typed errors pass through as-is
+        except BaseException as error:  # typed errors pass through as-is  # repro: lint-ok[E101] containment seam: every waiter is failed with the original (typed) error
             failed = sum(1 for r in live if r.fail(error))
             with self._cond:
                 self.stats.failed += failed

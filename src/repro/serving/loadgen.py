@@ -95,7 +95,7 @@ def _settle(report: LoadReport, pendings: List) -> None:
             report.timed_out += 1
         except ServerClosedError:
             report.failed += 1
-        except Exception:
+        except Exception:  # repro: lint-ok[E101] load generator survives any server fault; failure is the datum being counted
             report.failed += 1
         else:
             report.completed += 1

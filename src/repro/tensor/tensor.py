@@ -18,7 +18,7 @@ from repro.errors import GraphError
 
 DTYPE = np.float32
 
-_GRAD_ENABLED = [True]
+_GRAD_ENABLED = [True]  # repro: lint-ok[P102] per-process autograd switch; scoped by no_grad and restored on exit
 
 
 @contextlib.contextmanager

@@ -1,0 +1,145 @@
+"""Suppression mechanics: per-line pragmas and the checked-in baseline."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import lint_sources
+from repro.analysis.baseline import (
+    load_baseline,
+    partition_baseline,
+    save_baseline,
+)
+from repro.analysis.findings import Finding
+from repro.analysis.pragmas import (
+    collect_pragmas,
+    pragma_rules,
+    unjustified_pragma_lines,
+)
+from repro.errors import ReproError, StaticAnalysisError
+
+
+class TestPragmaParsing:
+    def test_single_rule(self):
+        assert pragma_rules("x = 1  # repro: lint-ok[D101] seeded") == {"D101"}
+
+    def test_multiple_rules(self):
+        line = "x = 1  # repro: lint-ok[D101, P102] shared fixture"
+        assert pragma_rules(line) == {"D101", "P102"}
+
+    def test_blanket_pragma_is_not_honoured(self):
+        # No rule list -> no suppression: a pragma can never swallow an
+        # unanticipated class of violation.
+        assert pragma_rules("x = 1  # repro: lint-ok") == set()
+        assert pragma_rules("x = 1  # repro: lint-ok[]") == set()
+
+    def test_collect_is_line_keyed(self):
+        lines = [
+            "a = 1",
+            "b = 2  # repro: lint-ok[E101] contained",
+            "c = 3",
+        ]
+        assert collect_pragmas(lines) == {2: {"E101"}}
+
+    def test_unjustified_detection(self):
+        lines = [
+            "a = 1  # repro: lint-ok[D101]",
+            "b = 2  # repro: lint-ok[D101] because seeded",
+        ]
+        assert unjustified_pragma_lines(lines) == [1]
+
+
+class TestPragmaSuppression:
+    SOURCE = (
+        "import numpy as np\n"
+        "rng = np.random.default_rng(0)  # repro: lint-ok[D101] fixture\n"
+    )
+
+    def test_matching_rule_suppresses_and_counts(self):
+        result = lint_sources({"src/repro/thing.py": self.SOURCE})
+        assert result.findings == []
+        assert result.suppressed == 1
+
+    def test_wrong_rule_does_not_suppress(self):
+        source = self.SOURCE.replace("[D101]", "[D102]")
+        result = lint_sources({"src/repro/thing.py": source})
+        assert [f.rule for f in result.findings] == ["D101"]
+
+    def test_pragma_only_covers_its_own_line(self):
+        source = (
+            "import numpy as np\n"
+            "a = np.random.default_rng(0)  # repro: lint-ok[D101] fixture\n"
+            "b = np.random.default_rng(1)\n"
+        )
+        result = lint_sources({"src/repro/thing.py": source})
+        assert [f.line for f in result.findings] == [3]
+        assert result.suppressed == 1
+
+
+def _finding(rule="D102", path="src/repro/snn/training.py", line=10,
+             snippet="start = time.perf_counter()"):
+    return Finding(rule=rule, path=path, line=line,
+                   message="wall-clock read", snippet=snippet)
+
+
+class TestBaseline:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        count = save_baseline(path, [_finding(), _finding(line=20,
+                                               snippet="end = now()")])
+        assert count == 2
+        baseline = load_baseline(path)
+        assert sum(baseline.values()) == 2
+
+    def test_line_shift_stays_baselined(self, tmp_path):
+        # Matching is (rule, path, snippet) -- unrelated edits that move
+        # the offending line do not un-baseline it.
+        path = str(tmp_path / "baseline.json")
+        save_baseline(path, [_finding(line=10)])
+        fresh, grandfathered = partition_baseline(
+            [_finding(line=55)], load_baseline(path)
+        )
+        assert fresh == []
+        assert len(grandfathered) == 1
+
+    def test_changed_snippet_revokes_exemption(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        save_baseline(path, [_finding()])
+        fresh, grandfathered = partition_baseline(
+            [_finding(snippet="start = time.time()")], load_baseline(path)
+        )
+        assert len(fresh) == 1
+        assert grandfathered == []
+
+    def test_multiset_semantics(self, tmp_path):
+        # Two identical findings against one baseline entry: exactly one
+        # is absorbed, the duplicate stays fresh.
+        path = str(tmp_path / "baseline.json")
+        save_baseline(path, [_finding()])
+        fresh, grandfathered = partition_baseline(
+            [_finding(line=10), _finding(line=30)], load_baseline(path)
+        )
+        assert len(fresh) == 1
+        assert len(grandfathered) == 1
+
+    def test_corrupt_file_raises_typed_error(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(StaticAnalysisError):
+            load_baseline(str(path))
+
+    def test_foreign_format_raises_typed_error(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"format": "something-else",
+                                    "entries": []}), encoding="utf-8")
+        with pytest.raises(StaticAnalysisError):
+            load_baseline(str(path))
+
+    def test_missing_file_raises_typed_error(self, tmp_path):
+        with pytest.raises(StaticAnalysisError):
+            load_baseline(str(tmp_path / "nope.json"))
+
+    def test_static_analysis_error_is_a_repro_error(self):
+        assert issubclass(StaticAnalysisError, ReproError)
